@@ -1,0 +1,87 @@
+"""E1 — Table 1 / Figure 1: the sj-free dichotomy on the paper's examples.
+
+Paper claims (Figure 1 caption, Theorem 7):
+* {R, S, T} is a triad of q_triangle; {A, B, C} of q_tripod => NP-complete;
+* in q_rats, A dominates R and T, "disarming" the apparent triad => P;
+* q_lin is linear => P, solvable by network flow.
+"""
+
+from conftest import short_verdict
+
+from repro.query.zoo import q_lin, q_rats, q_triangle, q_tripod
+from repro.resilience import resilience_exact, resilience_linear_flow, solve
+from repro.structure import classify, find_triad, normalize
+from repro.structure.linearity import is_linear
+from repro.workloads import random_database_for_query
+
+PAPER_ROWS = {
+    "q_triangle": "NPC",
+    "q_tripod": "NPC",
+    "q_rats": "P",
+    "q_lin": "P",
+}
+
+
+def test_figure1_verdicts(benchmark):
+    """Classify all four Figure 1 queries; verdicts must match the paper."""
+
+    def run():
+        return {
+            q.name: short_verdict(classify(q))
+            for q in (q_triangle, q_tripod, q_rats, q_lin)
+        }
+
+    verdicts = benchmark(run)
+    assert verdicts == PAPER_ROWS
+    benchmark.extra_info["paper"] = PAPER_ROWS
+    benchmark.extra_info["measured"] = verdicts
+
+
+def test_triangle_triad_detection(benchmark):
+    """The triad of q_triangle is exactly its three atoms."""
+    triad = benchmark(find_triad, q_triangle)
+    assert triad == (0, 1, 2)
+
+
+def test_rats_domination_disarms_triad(benchmark):
+    """After normalization q_rats has no triad (Figure 1 caption)."""
+
+    def run():
+        norm = normalize(q_rats)
+        return find_triad(norm), norm
+
+    triad, norm = benchmark(run)
+    assert triad is None
+    flags = norm.relation_flags()
+    assert flags["R"] and flags["T"]
+
+
+def test_qlin_flow_equals_exact(benchmark):
+    """q_lin is linear and its flow solver matches exact search."""
+    assert is_linear(q_lin)
+    dbs = [
+        random_database_for_query(q_lin, domain_size=4, density=0.4, seed=s)
+        for s in range(10)
+    ]
+
+    def run():
+        return [resilience_linear_flow(db, q_lin).value for db in dbs]
+
+    flow_values = benchmark(run)
+    exact_values = [resilience_exact(db, q_lin).value for db in dbs]
+    assert flow_values == exact_values
+    benchmark.extra_info["values"] = flow_values
+
+
+def test_rats_solved_correctly_despite_cycle(benchmark):
+    """q_rats (cyclic but easy) solved by the dispatcher, cross-checked."""
+    dbs = [
+        random_database_for_query(q_rats, domain_size=4, density=0.45, seed=s)
+        for s in range(6)
+    ]
+
+    def run():
+        return [solve(db, q_rats).value for db in dbs]
+
+    values = benchmark(run)
+    assert values == [resilience_exact(db, q_rats).value for db in dbs]

@@ -1,0 +1,83 @@
+"""E2 — Figure 2 / Propositions 9 & 10: the basic hard queries q_vc, q_chain.
+
+Paper claims:
+* RES(q_vc) is NP-complete via VC: (G,k) in VC <=> (D_G,k) in RES(q_vc);
+* RES(q_chain) is NP-complete via 3SAT with the Figure 10 gadget;
+* hypergraphs vs binary graphs (Figure 2) distinguish the two queries.
+"""
+
+from conftest import SAT_FORMULA, UNSAT_FORMULA
+
+from repro.query import BinaryGraph, DualHypergraph
+from repro.query.zoo import q_chain, q_vc
+from repro.reductions.chain_gadgets import chain_instance
+from repro.reductions.vertex_cover import vc_instance
+from repro.resilience.exact import resilience_exact, resilience_ilp
+from repro.workloads import random_graph
+
+
+def test_vc_reduction_biconditional(benchmark):
+    """rho(q_vc, D_G) equals the vertex-cover number, across graphs."""
+    graphs = [random_graph(6, 0.45, seed=s) for s in range(6)]
+    graphs = [g for g in graphs if g.edges]
+
+    def run():
+        out = []
+        for g in graphs:
+            inst = vc_instance(g, 0)
+            out.append(resilience_exact(inst.database, q_vc).value)
+        return out
+
+    rhos = benchmark(run)
+    vcs = [g.vertex_cover_number() for g in graphs]
+    assert rhos == vcs
+    benchmark.extra_info["vertex_covers"] = vcs
+
+
+def test_chain_gadget_satisfiable(benchmark):
+    """Satisfiable psi => rho(D_psi) == k = (n+5)m."""
+    inst = chain_instance(SAT_FORMULA)
+
+    def run():
+        return resilience_ilp(inst.database, inst.query).value
+
+    rho = benchmark(run)
+    assert SAT_FORMULA.is_satisfiable()
+    assert rho == inst.k
+    benchmark.extra_info["k"] = inst.k
+    benchmark.extra_info["gadget_tuples"] = len(inst.database)
+
+
+def test_chain_gadget_unsatisfiable(benchmark):
+    """Unsatisfiable psi => rho(D_psi) == k + 1."""
+    inst = chain_instance(UNSAT_FORMULA)
+
+    def run():
+        return resilience_ilp(inst.database, inst.query).value
+
+    rho = benchmark(run)
+    assert not UNSAT_FORMULA.is_satisfiable()
+    assert rho == inst.k + 1
+    benchmark.extra_info["k"] = inst.k
+
+
+def test_figure2_representations(benchmark):
+    """Figure 2: hypergraph and binary graph of q_vc and q_chain."""
+
+    def run():
+        return (
+            DualHypergraph(q_vc),
+            BinaryGraph(q_vc),
+            DualHypergraph(q_chain),
+            BinaryGraph(q_chain),
+        )
+
+    h_vc, b_vc, h_chain, b_chain = benchmark(run)
+    # q_vc: hyperedges x (atoms R(x), S) and y (S, R(y)).
+    assert h_vc.hyperedges["x"] == frozenset({0, 1})
+    assert h_vc.hyperedges["y"] == frozenset({1, 2})
+    # binary graph of q_vc: loops at x and y, S edge x -> y.
+    assert ("x", "R") in b_vc.unary_loops and ("y", "R") in b_vc.unary_loops
+    # q_chain binary graph: x -R-> y -R-> z.
+    assert ("x", "y", "R", False) in b_chain.edges
+    assert ("y", "z", "R", False) in b_chain.edges

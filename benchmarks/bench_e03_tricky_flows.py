@@ -1,0 +1,70 @@
+"""E3 — Figure 3 / Propositions 12 & 13: PTIME queries needing modified flow.
+
+Paper claims:
+* RES(q_ACconf) is in P (R-tuples never optimal; bipartite vertex cover);
+* RES(q_A3perm_R) is in P via the 2-way-pair flow graph — notably it
+  *contains* the hard q_chain pattern yet stays easy (Figure 3 caption).
+"""
+
+from repro.query.zoo import q_A3perm_R, q_ACconf, q_chain
+from repro.resilience.exact import resilience_exact
+from repro.resilience.flow_special import solve_qACconf, solve_qA3perm_R
+from repro.structure import classify, Verdict
+from repro.workloads import random_database_for_query
+
+SEEDS = range(10)
+
+
+def test_qACconf_flow_agrees(benchmark):
+    dbs = [
+        random_database_for_query(q_ACconf, domain_size=5, density=0.4, seed=s)
+        for s in SEEDS
+    ]
+
+    def run():
+        return [solve_qACconf(db).value for db in dbs]
+
+    flow = benchmark(run)
+    exact = [resilience_exact(db, q_ACconf).value for db in dbs]
+    assert flow == exact
+    benchmark.extra_info["values"] = flow
+
+
+def test_qA3perm_R_flow_agrees(benchmark):
+    dbs = [
+        random_database_for_query(q_A3perm_R, domain_size=5, density=0.35, seed=s)
+        for s in SEEDS
+    ]
+
+    def run():
+        return [solve_qA3perm_R(db).value for db in dbs]
+
+    flow = benchmark(run)
+    exact = [resilience_exact(db, q_A3perm_R).value for db in dbs]
+    assert flow == exact
+
+
+def test_qA3perm_R_contains_chain_but_easy(benchmark):
+    """Figure 3 caption: q_A3perm_R contains q_chain and is still in P."""
+
+    def run():
+        return classify(q_A3perm_R), classify(q_chain)
+
+    res_perm, res_chain = benchmark(run)
+    assert res_perm.verdict == Verdict.P
+    assert res_chain.verdict == Verdict.NPC
+    # The chain pattern R(x,y), R(y,z) is literally a sub-body.
+    args = [a.args for a in q_A3perm_R.atoms if a.relation == "R"]
+    assert ("x", "y") in args and ("y", "z") in args
+
+
+def test_qACconf_flow_speed(benchmark):
+    """Time the Prop 12 algorithm on a larger instance (polynomial)."""
+    db = random_database_for_query(q_ACconf, domain_size=20, density=0.25, seed=0)
+
+    def run():
+        return solve_qACconf(db).value
+
+    value = benchmark(run)
+    benchmark.extra_info["tuples"] = len(db)
+    benchmark.extra_info["rho"] = value

@@ -1,0 +1,76 @@
+"""E4 — Example 11 / Definition 16: domination with self-joins.
+
+Paper claims:
+* Example 11: in q_sj1_rats the sj-free domination rule would make R
+  exogenous and force Gamma = {A(1), A(5)}, but {R(1,2)} (size 1) is a
+  smaller contingency set — old domination is unsound with self-joins;
+* Example 17: under Definition 16, A does not dominate R in q1 but does
+  in q2; S is dominated in both;
+* Proposition 18: normalization by SJ-domination preserves resilience.
+"""
+
+from repro.db import Database, DBTuple
+from repro.query.zoo import q_dom_ex17_1, q_dom_ex17_2, q_sj1_rats
+from repro.resilience.exact import resilience_exact
+from repro.structure import normalize, sj_dominates
+from repro.workloads import random_database_for_query
+
+
+def _example_11_db():
+    db = Database()
+    db.add_all("A", [(1,), (5,)])
+    db.add_all("R", [(1, 2), (2, 3), (3, 1), (5, 1), (2, 5)])
+    return db
+
+
+def test_example_11_exact_values(benchmark):
+    """rho = 1 endogenous, rho = 2 with R frozen (the paper's numbers)."""
+
+    def run():
+        db = _example_11_db()
+        rho_endo = resilience_exact(db, q_sj1_rats)
+        frozen = db.copy()
+        frozen.set_exogenous("R")
+        rho_exo = resilience_exact(frozen, q_sj1_rats)
+        return rho_endo, rho_exo
+
+    rho_endo, rho_exo = benchmark(run)
+    assert rho_endo.value == 1
+    assert rho_endo.contingency_set == frozenset({DBTuple("R", (1, 2))})
+    assert rho_exo.value == 2
+    benchmark.extra_info["paper"] = "Gamma={R(1,2)} vs {A(1),A(5)}"
+
+
+def test_example_17_sj_domination(benchmark):
+    """Definition 16 verdicts on Example 17's q1 and q2."""
+
+    def run():
+        return (
+            sj_dominates(q_dom_ex17_1, "A", "R"),
+            sj_dominates(q_dom_ex17_2, "A", "R"),
+            sj_dominates(q_dom_ex17_1, "A", "S"),
+            sj_dominates(q_dom_ex17_2, "A", "S"),
+        )
+
+    q1_ar, q2_ar, q1_as, q2_as = benchmark(run)
+    assert not q1_ar and q2_ar
+    assert q1_as and q2_as
+
+
+def test_proposition_18_preserves_resilience(benchmark):
+    """Normalization never changes rho (checked over random databases)."""
+    query = q_dom_ex17_2
+    norm = normalize(query)
+    dbs = [
+        random_database_for_query(query, domain_size=4, density=0.45, seed=s)
+        for s in range(8)
+    ]
+
+    def run():
+        return [
+            (resilience_exact(db, query).value, resilience_exact(db, norm).value)
+            for db in dbs
+        ]
+
+    pairs = benchmark(run)
+    assert all(a == b for a, b in pairs)

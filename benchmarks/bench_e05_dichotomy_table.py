@@ -1,0 +1,98 @@
+"""E5 — Figure 5 / Theorem 37: the two-R-atom dichotomy table.
+
+Regenerates every row of Figure 5 (chain / confluence / permutation /
+REP, PTIME and NP-hard columns) through the classifier, and checks the
+P rows' flow solvers against exact search.
+"""
+
+from conftest import short_verdict
+
+from repro.query import parse_query
+from repro.query.zoo import ALL_QUERIES, PAPER_VERDICTS
+from repro.resilience import resilience_exact, solve
+from repro.structure import classify
+from repro.workloads import random_database_for_query
+
+# Figure 5, row by row: (label, query text, paper verdict)
+FIGURE_5 = [
+    ("chain-bare", "R(x,y), R(y,z)", "NPC"),
+    ("chain-abc", "A(x), R(x,y), B(y), R(y,z), C(z)", "NPC"),
+    ("conf-AC", "A(x), R(x,y), R(z,y), C(z)", "P"),
+    ("conf-AB-C", "A(x), R(x,y), B(y), R(z,y), C(z)", "P"),
+    ("conf-exo-path", "R(x,y), H^x(x,z), R(z,y)", "NPC"),
+    ("perm-bare", "R(x,y), R(y,x)", "P"),
+    ("perm-A", "A(x), R(x,y), R(y,x)", "P"),
+    ("perm-AB", "A(x), R(x,y), R(y,x), B(y)", "NPC"),
+    ("rep-z3", "R(x,x), R(x,y), A(y)", "P"),
+    ("rep-loops", "R(x,x), S(x,y), R(y,y)", "NPC"),
+]
+
+
+def test_figure5_table(benchmark):
+    """Every Figure 5 row classified; all verdicts must match the paper."""
+
+    def run():
+        return [
+            (label, short_verdict(classify(parse_query(text))))
+            for (label, text, _paper) in FIGURE_5
+        ]
+
+    rows = benchmark(run)
+    mismatches = [
+        (label, got, paper)
+        for (label, got), (_, _, paper) in zip(rows, FIGURE_5)
+        if got != paper
+    ]
+    assert not mismatches, mismatches
+    benchmark.extra_info["rows"] = {label: got for label, got in rows}
+
+
+def test_full_zoo_against_paper(benchmark):
+    """All 48 named queries with stated verdicts."""
+
+    def run():
+        return {
+            name: short_verdict(classify(ALL_QUERIES[name]))
+            for name in sorted(PAPER_VERDICTS)
+        }
+
+    verdicts = benchmark(run)
+    assert verdicts == PAPER_VERDICTS
+    benchmark.extra_info["agreement"] = f"{len(verdicts)}/{len(PAPER_VERDICTS)}"
+
+
+def test_p_rows_flow_vs_exact(benchmark):
+    """The PTIME rows of Figure 5 solved by dispatch == exact search."""
+    p_queries = [
+        ALL_QUERIES[name]
+        for name in ("q_ACconf", "q_perm", "q_Aperm", "q_z3")
+    ]
+    dbs = {
+        q.name: [
+            random_database_for_query(q, domain_size=4, density=0.45, seed=s)
+            for s in range(5)
+        ]
+        for q in p_queries
+    }
+
+    def run():
+        return {
+            q.name: [solve(db, q).value for db in dbs[q.name]]
+            for q in p_queries
+        }
+
+    fast = benchmark(run)
+    for q in p_queries:
+        exact = [resilience_exact(db, q).value for db in dbs[q.name]]
+        assert fast[q.name] == exact, q.name
+
+
+def test_decision_procedure_is_fast(benchmark):
+    """Theorem 37 promises a PTIME classification algorithm; time it on
+    the whole zoo."""
+
+    def run():
+        return sum(1 for name in ALL_QUERIES if classify(ALL_QUERIES[name]))
+
+    count = benchmark(run)
+    assert count == len(ALL_QUERIES)

@@ -1,0 +1,48 @@
+"""E6 — Figure 6 / Proposition 29, Lemmas 52-54: qchain's unary expansions.
+
+Paper claim: all 8 expansions of q_chain with unary relations
+(A at x, B at y, C at z, in any combination) are NP-complete, via
+adapted 3SAT gadgets (Figures 10-12).
+"""
+
+import pytest
+from conftest import SAT_FORMULA, UNSAT_FORMULA, short_verdict
+
+from repro.reductions.chain_gadgets import CHAIN_EXPANSIONS, chain_instance
+from repro.resilience.exact import resilience_ilp
+from repro.structure import classify
+
+EXPANSIONS = sorted(CHAIN_EXPANSIONS)
+
+
+def test_all_expansions_classified_hard(benchmark):
+    def run():
+        return {
+            unaries or "(plain)": short_verdict(classify(CHAIN_EXPANSIONS[unaries]))
+            for unaries in EXPANSIONS
+        }
+
+    verdicts = benchmark(run)
+    assert all(v == "NPC" for v in verdicts.values()), verdicts
+    benchmark.extra_info["verdicts"] = verdicts
+
+
+@pytest.mark.parametrize("unaries", EXPANSIONS, ids=lambda u: u or "plain")
+def test_expansion_gadget_biconditional(benchmark, unaries):
+    """sat(psi) <=> rho(D_psi) <= k, for each expansion's gadget."""
+
+    def run():
+        sat_inst = chain_instance(SAT_FORMULA, unaries)
+        unsat_inst = chain_instance(UNSAT_FORMULA, unaries)
+        return (
+            resilience_ilp(sat_inst.database, sat_inst.query).value,
+            sat_inst.k,
+            resilience_ilp(unsat_inst.database, unsat_inst.query).value,
+            unsat_inst.k,
+        )
+
+    rho_sat, k_sat, rho_unsat, k_unsat = benchmark(run)
+    assert rho_sat <= k_sat
+    assert rho_unsat > k_unsat
+    benchmark.extra_info["sat"] = f"rho={rho_sat} k={k_sat}"
+    benchmark.extra_info["unsat"] = f"rho={rho_unsat} k={k_unsat}"

@@ -1,0 +1,65 @@
+"""E7 — Figure 7 / Section 8.2: the three 3-confluence queries.
+
+Paper claims:
+* RES(q_AC3conf) is NP-complete (Prop 39, Max 2SAT);
+* RES(q_TS3conf) is in P (Prop 41, forced tuples + flow);
+* RES(q_AS3conf) is open.
+"""
+
+from conftest import short_verdict
+
+from repro.query.zoo import q_AC3conf, q_AS3conf, q_TS3conf
+from repro.resilience.exact import resilience_exact
+from repro.resilience.flow_special import solve_qTS3conf
+from repro.structure import classify
+from repro.workloads import random_database_for_query
+
+
+def test_figure7_verdicts(benchmark):
+    def run():
+        return {
+            q.name: short_verdict(classify(q))
+            for q in (q_AC3conf, q_TS3conf, q_AS3conf)
+        }
+
+    verdicts = benchmark(run)
+    assert verdicts == {
+        "q_AC3conf": "NPC",
+        "q_TS3conf": "P",
+        "q_AS3conf": "OPEN",
+    }
+    benchmark.extra_info["verdicts"] = verdicts
+
+
+def test_ts3conf_flow_vs_exact(benchmark):
+    """Proposition 41's algorithm agrees with exact search."""
+    dbs = [
+        random_database_for_query(q_TS3conf, domain_size=4, density=0.4, seed=s)
+        for s in range(10)
+    ]
+
+    def run():
+        return [solve_qTS3conf(db, q_TS3conf).value for db in dbs]
+
+    flow = benchmark(run)
+    exact = [resilience_exact(db, q_TS3conf).value for db in dbs]
+    assert flow == exact
+    benchmark.extra_info["values"] = flow
+
+
+def test_ts3conf_forced_tuples(benchmark):
+    """Prop 41's key step: R(a,b) with T(a,b), S(a,b) present is forced."""
+    from repro.db import Database, DBTuple
+
+    def run():
+        db = Database()
+        db.declare("T", 2, exogenous=True)
+        db.declare("S", 2, exogenous=True)
+        db.add("T", 1, 2)
+        db.add("S", 1, 2)
+        db.add("R", 1, 2)
+        return resilience_exact(db, q_TS3conf)
+
+    res = benchmark(run)
+    assert res.value == 1
+    assert res.contingency_set == frozenset({DBTuple("R", (1, 2))})

@@ -1,0 +1,68 @@
+"""E8 — Section 8.4: the 3-permutation-plus-R family.
+
+Paper claims:
+* q_A3perm_R and q_Swx3perm_R are in P (Props 13/44, modified flows);
+* q_Sxy3perm_R, q_AC3perm_R, q_AB3perm_R, q_SxyBC3perm_R are NP-complete
+  (Props 45/46);
+* q_ASxy3perm_R, q_SxyB3perm_R, q_SxyC3perm_R remain open.
+"""
+
+from conftest import short_verdict
+
+from repro.query.zoo import ALL_QUERIES, q_A3perm_R, q_Swx3perm_R
+from repro.resilience.exact import resilience_exact
+from repro.resilience.flow_special import solve_qA3perm_R, solve_qSwx3perm_R
+from repro.structure import classify
+from repro.workloads import random_database_for_query
+
+FAMILY = {
+    "q_A3perm_R": "P",
+    "q_Swx3perm_R": "P",
+    "q_Sxy3perm_R": "NPC",
+    "q_AC3perm_R": "NPC",
+    "q_AB3perm_R": "NPC",
+    "q_SxyBC3perm_R": "NPC",
+    "q_ASxy3perm_R": "OPEN",
+    "q_SxyB3perm_R": "OPEN",
+    "q_SxyC3perm_R": "OPEN",
+}
+
+
+def test_family_verdicts(benchmark):
+    def run():
+        return {
+            name: short_verdict(classify(ALL_QUERIES[name])) for name in FAMILY
+        }
+
+    verdicts = benchmark(run)
+    assert verdicts == FAMILY
+    benchmark.extra_info["verdicts"] = verdicts
+
+
+def test_swx_flow_vs_exact(benchmark):
+    """Prop 44's modified flow (1-way tuples deletable) vs exact."""
+    dbs = [
+        random_database_for_query(q_Swx3perm_R, domain_size=5, density=0.3, seed=s)
+        for s in range(10)
+    ]
+
+    def run():
+        return [solve_qSwx3perm_R(db).value for db in dbs]
+
+    flow = benchmark(run)
+    exact = [resilience_exact(db, q_Swx3perm_R).value for db in dbs]
+    assert flow == exact
+
+
+def test_a3perm_flow_vs_exact(benchmark):
+    dbs = [
+        random_database_for_query(q_A3perm_R, domain_size=5, density=0.35, seed=s)
+        for s in range(10)
+    ]
+
+    def run():
+        return [solve_qA3perm_R(db).value for db in dbs]
+
+    flow = benchmark(run)
+    exact = [resilience_exact(db, q_A3perm_R).value for db in dbs]
+    assert flow == exact

@@ -1,0 +1,97 @@
+"""E10 — Section 5 / Theorems 24 & 25: triads with self-joins; pseudo-linearity.
+
+Paper claims:
+* triads imply NP-completeness for arbitrary CQs (Theorem 24), in
+  particular the self-join variations of q_rats / q_brats whose triads
+  consist of three R-atoms (Prop 23, Lemmas 50/51);
+* no triad => endogenous atoms linearly connected (Theorem 25);
+* Lemma 21: self-join variations can only be harder — the tagged
+  lifting preserves resilience exactly.
+"""
+
+from conftest import SAT_FORMULA
+
+from repro.query.zoo import (
+    ALL_QUERIES,
+    q_sj1_brats,
+    q_sj1_rats,
+    q_triangle,
+    q_triangle_sj2,
+)
+from repro.reductions.rats_gadgets import sj1_brats_instance, sj1_rats_instance
+from repro.reductions.sj_variation import sj_variation_instance
+from repro.resilience.exact import resilience_exact, resilience_ilp
+from repro.structure import classify, has_triad, normalize, Verdict
+from repro.structure.linearity import no_triad_implies_pseudo_linear
+from repro.workloads import random_database_for_query
+
+
+def test_sj_variation_triads_survive(benchmark):
+    """q_sj1_rats / q_sj1_brats keep their triads after normalization."""
+
+    def run():
+        return (
+            has_triad(normalize(q_sj1_rats)),
+            has_triad(normalize(q_sj1_brats)),
+            classify(q_sj1_rats).verdict,
+            classify(q_sj1_brats).verdict,
+        )
+
+    t1, t2, v1, v2 = benchmark(run)
+    assert t1 and t2
+    assert v1 == Verdict.NPC and v2 == Verdict.NPC
+
+
+def test_lemma_50_gadget(benchmark):
+    """The collapsed triangle gadget for q_sj1_rats reaches k exactly."""
+    inst = sj1_rats_instance(SAT_FORMULA)
+
+    def run():
+        return resilience_ilp(inst.database, inst.query).value
+
+    rho = benchmark(run)
+    assert rho == inst.k
+    benchmark.extra_info["k"] = inst.k
+
+
+def test_lemma_51_gadget(benchmark):
+    inst = sj1_brats_instance(SAT_FORMULA)
+
+    def run():
+        return resilience_ilp(inst.database, inst.query).value
+
+    rho = benchmark(run)
+    assert rho == inst.k
+
+
+def test_lemma_21_lifting(benchmark):
+    """The tagged lifting preserves resilience exactly."""
+    dbs = [
+        random_database_for_query(q_triangle, domain_size=4, density=0.5, seed=s)
+        for s in range(5)
+    ]
+
+    def run():
+        out = []
+        for db in dbs:
+            base = resilience_exact(db, q_triangle).value
+            inst = sj_variation_instance(q_triangle, q_triangle_sj2, db, base)
+            out.append(
+                (base, resilience_exact(inst.database, q_triangle_sj2).value)
+            )
+        return out
+
+    pairs = benchmark(run)
+    assert all(a == b for a, b in pairs)
+
+
+def test_theorem_25_over_zoo(benchmark):
+    """No triad => pseudo-linear, across every named query."""
+
+    def run():
+        return all(
+            no_triad_implies_pseudo_linear(normalize(q))
+            for q in ALL_QUERIES.values()
+        )
+
+    assert benchmark(run)

@@ -1,0 +1,82 @@
+"""E12 — Lemmas 14/15/21, Examples 20/22: foundational machinery.
+
+Paper claims:
+* rho of a disconnected query is the minimum over its components
+  (Lemma 14), and complexity is governed by the hardest component
+  (Lemma 15);
+* minimization must precede pattern analysis: Example 22's self-join
+  variation of a triad query collapses to a single atom and is trivially
+  in P;
+* all self-join variations of q_triangle (Example 20) are NP-complete.
+"""
+
+from conftest import short_verdict
+
+from repro.db import Database
+from repro.query import parse_query, satisfies
+from repro.query.zoo import ALL_QUERIES, q_comp, q_ex22_sj
+from repro.resilience.exact import resilience_exact
+from repro.structure import classify
+from repro.workloads import random_database_for_query
+
+
+def test_lemma_14_component_min_rule(benchmark):
+    """rho(q_comp) == min over component resiliences on random data."""
+    q1 = parse_query("A(x), R(x,y)")
+    q2 = parse_query("R(z,w), B(w)")
+    dbs = [
+        random_database_for_query(q_comp, domain_size=4, density=0.5, seed=s)
+        for s in range(8)
+    ]
+    dbs = [db for db in dbs if satisfies(db, q_comp)]
+
+    def run():
+        out = []
+        for db in dbs:
+            whole = resilience_exact(db, q_comp).value
+            parts = [
+                resilience_exact(db, q).value
+                for q in (q1, q2)
+                if satisfies(db, q)
+            ]
+            out.append((whole, min(parts)))
+        return out
+
+    pairs = benchmark(run)
+    assert all(a == b for a, b in pairs)
+
+
+def test_lemma_15_component_complexity(benchmark):
+    """A disconnected query with one hard component is NP-complete."""
+    hard = parse_query("R(x,y), R(y,z), S(u,v), A(u)")
+    easy = ALL_QUERIES["q_comp"]
+
+    def run():
+        return short_verdict(classify(hard)), short_verdict(classify(easy))
+
+    v_hard, v_easy = benchmark(run)
+    assert v_hard == "NPC" and v_easy == "P"
+
+
+def test_example_22_minimization(benchmark):
+    """The 4-atom variation is equivalent to R(x,y): trivially in P."""
+
+    def run():
+        return classify(q_ex22_sj)
+
+    res = benchmark(run)
+    assert short_verdict(res) == "P"
+    assert len(res.minimized.atoms) == 1
+
+
+def test_example_20_variations_hard(benchmark):
+    """All self-join variations of the triangle are NP-complete."""
+
+    def run():
+        return {
+            name: short_verdict(classify(ALL_QUERIES[name]))
+            for name in ("q_triangle_sj1", "q_triangle_sj2", "q_triangle_sj3")
+        }
+
+    verdicts = benchmark(run)
+    assert all(v == "NPC" for v in verdicts.values())

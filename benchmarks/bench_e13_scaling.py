@@ -1,0 +1,59 @@
+"""E13 — scaling behaviour behind the "in P" claims.
+
+Times the flow solvers on growing instances (polynomial growth) and the
+exact solver on growing *hard*-query gadgets (super-polynomial in the
+worst case — here we only demonstrate the flow side stays cheap while
+instance sizes grow by an order of magnitude).
+"""
+
+import pytest
+
+from repro.query.zoo import q_A3perm_R, q_ACconf, q_chain
+from repro.resilience.exact import resilience_ilp
+from repro.resilience.flow_special import solve_qACconf, solve_qA3perm_R
+from repro.workloads import random_database_for_query
+
+DOMAINS = [8, 16, 24]
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_qacconf_flow_scaling(benchmark, domain):
+    db = random_database_for_query(q_ACconf, domain_size=domain, density=0.25, seed=0)
+
+    def run():
+        return solve_qACconf(db).value
+
+    value = benchmark(run)
+    benchmark.extra_info["domain"] = domain
+    benchmark.extra_info["tuples"] = len(db)
+    benchmark.extra_info["rho"] = value
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_qa3perm_flow_scaling(benchmark, domain):
+    db = random_database_for_query(
+        q_A3perm_R, domain_size=domain, density=0.2, seed=0
+    )
+
+    def run():
+        return solve_qA3perm_R(db).value
+
+    value = benchmark(run)
+    benchmark.extra_info["domain"] = domain
+    benchmark.extra_info["tuples"] = len(db)
+    benchmark.extra_info["rho"] = value
+
+
+@pytest.mark.parametrize("domain", [5, 7, 9])
+def test_exact_solver_on_chain(benchmark, domain):
+    """ILP on the NP-complete q_chain over random data — tractable at
+    these sizes, but with no polynomial guarantee."""
+    db = random_database_for_query(q_chain, domain_size=domain, density=0.3, seed=0)
+
+    def run():
+        return resilience_ilp(db, q_chain).value
+
+    value = benchmark(run)
+    benchmark.extra_info["domain"] = domain
+    benchmark.extra_info["tuples"] = len(db)
+    benchmark.extra_info["rho"] = value

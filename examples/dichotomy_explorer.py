@@ -1,0 +1,58 @@
+"""Regenerate the paper's dichotomy table (Figure 5) and classify
+every named query of the paper.
+
+Run:  python examples/dichotomy_explorer.py
+
+The first table mirrors Figure 5 — each two-R-atom self-join pattern
+with its PTIME and NP-hard cases, classified by the Theorem 37 decision
+procedure.  The second table sweeps the whole query zoo (all named
+queries of the paper) and compares the classifier's verdict against the
+verdict the paper states.
+"""
+
+from repro import parse_query
+from repro.query.zoo import ALL_QUERIES, PAPER_VERDICTS
+from repro.structure import classify
+
+FIGURE_5_ROWS = [
+    # (pattern, query text, paper verdict)
+    ("chain   ", "R(x,y), R(y,z)", "NPC"),
+    ("chain   ", "A(x), R(x,y), B(y), R(y,z), C(z)", "NPC"),
+    ("conf    ", "A(x), R(x,y), R(z,y), C(z)", "P"),
+    ("conf    ", "R(x,y), H^x(x,z), R(z,y)", "NPC"),
+    ("perm    ", "R(x,y), R(y,x)", "P"),
+    ("perm    ", "A(x), R(x,y), R(y,x)", "P"),
+    ("perm    ", "A(x), R(x,y), R(y,x), B(y)", "NPC"),
+    ("REP     ", "R(x,x), R(x,y), A(y)", "P"),
+]
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 5 — two-R-atom self-join patterns")
+    print("=" * 72)
+    print(f"{'pattern':9s} {'verdict':13s} {'paper':6s} {'rule':34s} query")
+    for pattern, text, paper in FIGURE_5_ROWS:
+        q = parse_query(text)
+        res = classify(q)
+        got = {"P": "P", "NP-complete": "NPC", "OPEN": "OPEN"}[res.verdict.value]
+        flag = "" if got == paper else "  << MISMATCH"
+        print(f"{pattern:9s} {res.verdict.value:13s} {paper:6s} {res.rule:34s} {text}{flag}")
+
+    print()
+    print("=" * 72)
+    print("The full query zoo vs the paper's verdicts")
+    print("=" * 72)
+    agree = 0
+    for name in sorted(PAPER_VERDICTS):
+        res = classify(ALL_QUERIES[name])
+        got = {"P": "P", "NP-complete": "NPC", "OPEN": "OPEN"}[res.verdict.value]
+        paper = PAPER_VERDICTS[name]
+        mark = "ok" if got == paper else "** MISMATCH **"
+        agree += got == paper
+        print(f"{name:18s} classifier={got:5s} paper={paper:5s} [{res.rule}] {mark}")
+    print(f"\n{agree}/{len(PAPER_VERDICTS)} verdicts match the paper.")
+
+
+if __name__ == "__main__":
+    main()

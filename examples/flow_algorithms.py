@@ -1,0 +1,62 @@
+"""The paper's polynomial-time algorithms vs exact search.
+
+Run:  python examples/flow_algorithms.py
+
+For each PTIME query of the paper, solve random instances with the
+bespoke flow algorithm and with exact hitting-set search, confirm they
+agree, and time both to show the flow algorithms scale polynomially
+while exact search blows up.
+"""
+
+import time
+
+from repro.query.zoo import (
+    q_A3perm_R,
+    q_ACconf,
+    q_Aperm,
+    q_Swx3perm_R,
+    q_TS3conf,
+    q_perm,
+    q_z3,
+)
+from repro.resilience import resilience_exact, solve
+from repro.workloads import random_database_for_query
+
+PTIME_QUERIES = [q_ACconf, q_A3perm_R, q_perm, q_Aperm, q_z3, q_TS3conf, q_Swx3perm_R]
+
+
+def main() -> None:
+    print("--- agreement on random instances ---\n")
+    for q in PTIME_QUERIES:
+        ok = 0
+        for seed in range(10):
+            db = random_database_for_query(q, domain_size=5, density=0.4, seed=seed)
+            fast = solve(db, q)
+            slow = resilience_exact(db, q)
+            assert fast.value == slow.value, (q.name, seed)
+            ok += 1
+        print(f"{q.name:16s} {ok}/10 random instances agree "
+              f"(algorithm: {fast.method})")
+
+    print("\n--- scaling: flow vs exact on growing q_ACconf instances ---\n")
+    print(f"{'domain':>6s} {'tuples':>7s} {'flow (s)':>10s} {'exact (s)':>10s}")
+    for domain in (6, 9, 12, 15):
+        db = random_database_for_query(
+            q_ACconf, domain_size=domain, density=0.3, seed=1
+        )
+        t0 = time.perf_counter()
+        fast = solve(db, q_ACconf)
+        t_flow = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        slow = resilience_exact(db, q_ACconf)
+        t_exact = time.perf_counter() - t0
+        assert fast.value == slow.value
+        print(f"{domain:6d} {len(db):7d} {t_flow:10.4f} {t_exact:10.4f}")
+
+    print("\nThe flow algorithms stay fast as instances grow; exact search")
+    print("is exponential in the worst case — which is the paper's point")
+    print("for the NP-complete side of the dichotomy.")
+
+
+if __name__ == "__main__":
+    main()

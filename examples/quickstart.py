@@ -1,0 +1,46 @@
+"""Quickstart: resilience of a Boolean conjunctive query.
+
+Run:  python examples/quickstart.py
+
+Covers the core workflow: write a query in Datalog syntax, load a
+database, ask how many tuples must be deleted to make the query false
+(= its resilience, Definition 1 of the paper), and ask the classifier
+whether that computation is tractable in general.
+"""
+
+from repro import Database, classify, parse_query, solve, witnesses
+
+
+def main() -> None:
+    # The paper's running example: the chain query (Proposition 10).
+    q = parse_query("qchain() :- R(x,y), R(y,z)")
+
+    db = Database()
+    db.add_all("R", [(1, 2), (2, 3), (3, 3)])
+
+    print(f"query: {q}")
+    print(f"database: {sorted(db.all_tuples())}")
+
+    ws = witnesses(db, q)
+    print(f"\n{len(ws)} witnesses (valuations of x, y, z):")
+    for w in ws:
+        print(f"  x={w['x']}, y={w['y']}, z={w['z']}")
+
+    result = solve(db, q)
+    print(f"\nresilience rho(q, D) = {result.value}")
+    print(f"a minimum contingency set: {sorted(result.contingency_set)}")
+    print(f"computed by: {result.method}")
+
+    verdict = classify(q)
+    print(f"\ncomplexity of RES(q): {verdict.verdict.value}")
+    print(f"  deciding rule: {verdict.rule} — {verdict.detail}")
+
+    # An easy query for contrast: the confluence (Proposition 12).
+    q_easy = parse_query("qACconf() :- A(x), R(x,y), R(z,y), C(z)")
+    verdict = classify(q_easy)
+    print(f"\ncomplexity of RES({q_easy.name}): {verdict.verdict.value}")
+    print(f"  deciding rule: {verdict.rule} — {verdict.detail}")
+
+
+if __name__ == "__main__":
+    main()

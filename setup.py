@@ -1,0 +1,6 @@
+"""Setup shim: this environment lacks the `wheel` package, so PEP 660
+editable installs fail; `python setup.py develop` (or `pip install -e .
+--no-build-isolation` once wheel exists) works via this file."""
+from setuptools import setup
+
+setup()

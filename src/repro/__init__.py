@@ -1,0 +1,76 @@
+"""repro — Resilience of binary conjunctive queries with self-joins.
+
+A full reproduction of *"New Results for the Complexity of Resilience
+for Binary Conjunctive Queries with Self-Joins"* (Freire, Gatterbauer,
+Immerman, Meliou — PODS 2020, arXiv:1907.01129).
+
+Quickstart
+----------
+>>> from repro import Database, parse_query, solve, classify
+>>> q = parse_query("qchain() :- R(x,y), R(y,z)")
+>>> db = Database()
+>>> db.add_all("R", [(1, 2), (2, 3), (3, 3)])
+>>> solve(db, q).value
+2
+>>> classify(q).verdict.value
+'NP-complete'
+
+Package map
+-----------
+``repro.db``
+    Databases, relations, tuples (with exogenous marking).
+``repro.query``
+    Conjunctive queries, parsing, evaluation (witnesses), containment
+    and minimization, dual hypergraphs, binary graphs, the query zoo.
+``repro.structure``
+    Domination, triads, (pseudo-)linearity, self-join patterns, and the
+    dichotomy classifier (Theorem 37 + Section 8).
+``repro.resilience``
+    Exact solvers and all of the paper's polynomial-time flow
+    algorithms, behind a dispatching :func:`solve`.
+``repro.reductions``
+    Executable hardness gadgets for every NP-completeness proof.
+``repro.ijp``
+    Independent Join Paths: the Definition 48 checker, the automated
+    search of Appendix C.2, and the paper's example IJPs.
+``repro.workloads``
+    Random graphs, CNF formulas, and databases for tests/benchmarks.
+"""
+
+from repro.db import Database, DBTuple, Relation
+from repro.query import (
+    Atom,
+    BinaryGraph,
+    ConjunctiveQuery,
+    DualHypergraph,
+    minimize,
+    parse_query,
+    satisfies,
+    witnesses,
+)
+from repro.resilience import ResilienceResult, resilience, solve
+from repro.structure import Classification, Verdict, classify, normalize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DBTuple",
+    "Relation",
+    "Atom",
+    "ConjunctiveQuery",
+    "BinaryGraph",
+    "DualHypergraph",
+    "parse_query",
+    "satisfies",
+    "witnesses",
+    "minimize",
+    "ResilienceResult",
+    "resilience",
+    "solve",
+    "Classification",
+    "Verdict",
+    "classify",
+    "normalize",
+    "__version__",
+]

@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``classify "<query>"``
+    Run the dichotomy decision procedure and print the verdict with the
+    full structural explanation (triads, domination, patterns).
+
+``solve "<query>" <database.json>``
+    Compute resilience over a database given as JSON
+    ``{"relations": {"R": {"arity": 2, "exogenous": false,
+    "tuples": [[1,2], ...]}}}`` and print the value, a minimum
+    contingency set, and the algorithm used.
+
+``zoo``
+    List every named query from the paper with its paper verdict and
+    the classifier's verdict.
+
+``ijp "<query>"``
+    Search for an Independent Join Path (Appendix C.2) within a small
+    budget and report the endpoints if found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.analyzer import ResilienceAnalyzer
+from repro.db.database import Database
+from repro.ijp.search import ijp_search
+from repro.query.parser import parse_query
+from repro.query.zoo import ALL_QUERIES, PAPER_VERDICTS
+from repro.structure.classifier import classify
+
+
+def load_database(path: str) -> Database:
+    """Load a database from the JSON schema documented in the module."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    db = Database()
+    for name, rel_spec in spec.get("relations", {}).items():
+        arity = rel_spec["arity"]
+        db.declare(name, arity, exogenous=rel_spec.get("exogenous", False))
+        for row in rel_spec.get("tuples", []):
+            values = row if isinstance(row, list) else [row]
+            if len(values) != arity:
+                raise ValueError(f"{name}: row {row!r} does not match arity {arity}")
+            # JSON lists arrive as lists; values must be hashable.
+            db.add(name, *(tuple(v) if isinstance(v, list) else v for v in values))
+    return db
+
+
+def cmd_classify(args) -> int:
+    analyzer = ResilienceAnalyzer(args.query)
+    print(analyzer.explain())
+    return 0
+
+
+def cmd_solve(args) -> int:
+    query = parse_query(args.query)
+    db = load_database(args.database)
+    analyzer = ResilienceAnalyzer(query)
+    result = analyzer.solve(db)
+    print(f"rho = {result.value}")
+    print(f"contingency set: {sorted(result.contingency_set)}")
+    print(f"method: {result.method}")
+    return 0
+
+
+def cmd_zoo(args) -> int:
+    short = {"P": "P", "NP-complete": "NPC", "OPEN": "OPEN"}
+    print(f"{'query':20s} {'paper':6s} {'classifier':11s} rule")
+    for name in sorted(ALL_QUERIES):
+        res = classify(ALL_QUERIES[name])
+        paper = PAPER_VERDICTS.get(name, "-")
+        print(f"{name:20s} {paper:6s} {short[res.verdict.value]:11s} {res.rule}")
+    return 0
+
+
+def cmd_ijp(args) -> int:
+    query = parse_query(args.query)
+    report = ijp_search(
+        query, max_joins=args.max_joins, partition_budget=args.budget
+    )
+    if report is None:
+        print("no IJP found within the budget "
+              "(not a proof of impossibility — Conjecture 49's converse is open)")
+        return 1
+    print(f"IJP found: endpoints {report.pair[0]} / {report.pair[1]}")
+    print(f"resilience of the gadget: {report.resilience}")
+    for reason in report.reasons:
+        print(f"  {reason}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resilience of conjunctive queries with self-joins (PODS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="classify RES(q) as P / NP-complete / OPEN")
+    p.add_argument("query", help='e.g. "R(x,y), R(y,z)"')
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("solve", help="compute resilience over a JSON database")
+    p.add_argument("query")
+    p.add_argument("database", help="path to a database JSON file")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("zoo", help="list the paper's queries and verdicts")
+    p.set_defaults(func=cmd_zoo)
+
+    p = sub.add_parser("ijp", help="search for an Independent Join Path")
+    p.add_argument("query")
+    p.add_argument("--max-joins", type=int, default=2)
+    p.add_argument("--budget", type=int, default=20000)
+    p.set_defaults(func=cmd_ijp)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

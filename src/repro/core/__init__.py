@@ -1,0 +1,29 @@
+"""High-level API: analysis reports and deletion propagation.
+
+The paper's primary contribution is the complexity map of RES(q); this
+package wraps it in the two interfaces a downstream user actually
+wants:
+
+* :class:`~repro.core.analyzer.ResilienceAnalyzer` — one object that
+  classifies a query, explains the verdict (triads, patterns,
+  domination), and solves instances with the right algorithm;
+* :mod:`repro.core.deletion_propagation` — the paper's motivating
+  application (Section 1): deletion propagation with source
+  side-effects for non-Boolean views reduces to resilience of the
+  Boolean specialization.
+"""
+
+from repro.core.analyzer import AnalysisReport, ResilienceAnalyzer
+from repro.core.deletion_propagation import (
+    ViewQuery,
+    deletion_propagation,
+    parse_view,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "ResilienceAnalyzer",
+    "ViewQuery",
+    "deletion_propagation",
+    "parse_view",
+]

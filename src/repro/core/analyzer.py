@@ -1,0 +1,125 @@
+"""End-to-end resilience analysis for a fixed query.
+
+:class:`ResilienceAnalyzer` bundles the paper's pipeline — minimize,
+normalize (SJ-domination), detect triads / patterns, classify, pick a
+solver — behind one object, and renders a human-readable explanation of
+*why* the query lands where it does in the dichotomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.homomorphism import minimize
+from repro.query.parser import parse_query
+from repro.resilience.solver import solve
+from repro.resilience.types import ResilienceResult
+from repro.structure.classifier import Classification, Verdict, classify
+from repro.structure.domination import dominated_relations, normalize
+from repro.structure.linearity import find_linear_order, is_pseudo_linear
+from repro.structure.patterns import two_atom_pattern
+from repro.structure.triads import find_triad
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the pipeline learned about one query."""
+
+    query: ConjunctiveQuery
+    minimized: ConjunctiveQuery
+    normalized: ConjunctiveQuery
+    dominated: List[Tuple[str, str]]
+    triad: Optional[Tuple[int, int, int]]
+    linear_order: Optional[List[int]]
+    pseudo_linear: bool
+    pattern: Optional[str]
+    classification: Classification
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.classification.verdict
+
+    def explain(self) -> str:
+        """A multi-line, paper-vocabulary explanation of the verdict."""
+        lines = [f"query: {self.query}"]
+        if len(self.minimized.atoms) != len(self.query.atoms):
+            lines.append(
+                f"minimized to {len(self.minimized.atoms)} atoms: {self.minimized}"
+            )
+        if self.dominated:
+            pairs = ", ".join(f"{a} dominates {b}" for a, b in self.dominated)
+            lines.append(f"SJ-domination (Def 16): {pairs}; dominated made exogenous")
+        if self.triad is not None:
+            atoms = ", ".join(
+                repr(self.normalized.atoms[i]) for i in self.triad
+            )
+            lines.append(f"triad found (Def 5): {{{atoms}}} -> NP-complete (Thm 24)")
+        else:
+            lines.append("no triad; endogenous atoms are pseudo-linear (Thm 25)")
+        if self.linear_order is not None:
+            ordered = " < ".join(
+                repr(self.normalized.atoms[i]) for i in self.linear_order
+            )
+            lines.append(f"linear order: {ordered}")
+        if self.pattern is not None:
+            lines.append(f"two-R-atom pattern (Fig 5): {self.pattern}")
+        lines.append(
+            f"verdict: RES(q) is {self.classification.verdict.value} "
+            f"[{self.classification.rule}] — {self.classification.detail}"
+        )
+        return "\n".join(lines)
+
+
+class ResilienceAnalyzer:
+    """Analyze and solve resilience for one conjunctive query.
+
+    Parameters
+    ----------
+    query:
+        A :class:`ConjunctiveQuery` or Datalog text (parsed on the fly).
+
+    Examples
+    --------
+    >>> analyzer = ResilienceAnalyzer("R(x,y), R(y,z)")
+    >>> analyzer.report().verdict.value
+    'NP-complete'
+    """
+
+    def __init__(self, query):
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.query: ConjunctiveQuery = query
+        self._report: Optional[AnalysisReport] = None
+
+    def report(self) -> AnalysisReport:
+        """Run (and cache) the full structural analysis."""
+        if self._report is not None:
+            return self._report
+        minimized = minimize(self.query)
+        dominated = dominated_relations(minimized)
+        normalized = normalize(minimized)
+        triad = find_triad(normalized)
+        order = find_linear_order(normalized)
+        self._report = AnalysisReport(
+            query=self.query,
+            minimized=minimized,
+            normalized=normalized,
+            dominated=dominated,
+            triad=triad,
+            linear_order=order,
+            pseudo_linear=is_pseudo_linear(normalized),
+            pattern=two_atom_pattern(normalized),
+            classification=classify(self.query),
+        )
+        return self._report
+
+    def solve(self, database: Database) -> ResilienceResult:
+        """Resilience of this query over ``database`` (auto dispatch)."""
+        return solve(database, self.query)
+
+    def explain(self) -> str:
+        """Shortcut for ``report().explain()``."""
+        return self.report().explain()

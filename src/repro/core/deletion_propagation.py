@@ -1,0 +1,110 @@
+"""Deletion propagation with source side-effects (Section 1).
+
+The paper's opening observation: *"A solution to [resilience]
+immediately translates into a solution for the more widely known
+problem of deletion propagation with source-side effects."*  This
+module is that translation.
+
+Given a non-Boolean view ``q(y) :- body`` over a database ``D`` and an
+output tuple ``t ∈ q(D)``, the source-side-effect deletion-propagation
+problem asks for the minimum set of (endogenous) source tuples to
+delete so that ``t`` disappears from the view.  This is exactly the
+resilience of the Boolean specialization ``q[t/y]``.
+
+Constants are handled per the paper's footnote 3 idiom without touching
+the atom machinery: each head variable ``y_i`` is pinned with a fresh
+exogenous unary "selector" relation holding just ``t_i``.  Selector
+tuples are exogenous, so contingency sets are untouched, and the
+specialized Boolean query has a witness exactly when ``t`` is in the
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import iter_witnesses
+from repro.query.parser import parse_query
+from repro.resilience.solver import solve
+from repro.resilience.types import ResilienceResult
+
+
+@dataclass
+class ViewQuery:
+    """A non-Boolean CQ: a body plus an ordered tuple of head variables."""
+
+    head: Tuple[str, ...]
+    body: ConjunctiveQuery
+    name: str = "q"
+
+    def __post_init__(self):
+        missing = [v for v in self.head if v not in self.body.variables()]
+        if missing:
+            raise ValueError(f"head variables {missing} not in body")
+
+    def evaluate(self, database: Database) -> set:
+        """The view contents ``q(D)``: the set of head-value tuples."""
+        out = set()
+        for valuation in iter_witnesses(database, self.body):
+            out.add(tuple(valuation[v] for v in self.head))
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.head)}) :- {self.body!r}"
+
+
+def parse_view(text: str) -> ViewQuery:
+    """Parse ``"q(x, z) :- R(x,y), R(y,z)"`` into a :class:`ViewQuery`."""
+    if ":-" not in text:
+        raise ValueError("a view needs an explicit head, e.g. 'q(x) :- R(x,y)'")
+    head_text, _body_text = text.split(":-", 1)
+    head_text = head_text.strip()
+    if "(" not in head_text:
+        raise ValueError(f"malformed head: {head_text!r}")
+    name = head_text.split("(", 1)[0].strip() or "q"
+    inner = head_text[head_text.index("(") + 1 : head_text.rindex(")")]
+    head = tuple(v.strip() for v in inner.split(",") if v.strip())
+    body = parse_query(text)
+    return ViewQuery(head=head, body=body, name=name)
+
+
+def _specialize(
+    view: ViewQuery, database: Database, output_tuple: Sequence[Hashable]
+) -> Tuple[ConjunctiveQuery, Database]:
+    """Pin head variables to the output tuple via exogenous selectors."""
+    if len(output_tuple) != len(view.head):
+        raise ValueError(
+            f"output tuple arity {len(output_tuple)} != head arity {len(view.head)}"
+        )
+    existing = view.body.relation_names()
+    atoms: List[Atom] = list(view.body.atoms)
+    spec_db = database.copy()
+    for i, (var, value) in enumerate(zip(view.head, output_tuple)):
+        sel = f"__sel{i}_{var}"
+        if sel in existing:  # pragma: no cover - double-underscore namespace
+            raise ValueError(f"selector name collision: {sel}")
+        atoms.append(Atom(sel, (var,), exogenous=True))
+        spec_db.declare(sel, 1, exogenous=True)
+        spec_db.add(sel, value)
+    boolean = ConjunctiveQuery(atoms, name=f"{view.name}_at_{output_tuple!r}")
+    return boolean, spec_db
+
+
+def deletion_propagation(
+    view: ViewQuery,
+    database: Database,
+    output_tuple: Sequence[Hashable],
+) -> ResilienceResult:
+    """Minimum source-side deletion removing ``output_tuple`` from the view.
+
+    Returns the same :class:`ResilienceResult` as :func:`repro.solve`:
+    ``value`` is the minimum number of endogenous source tuples, and
+    ``contingency_set`` is one optimal deletion set.  ``value == 0``
+    means the tuple is not in the view to begin with.
+    """
+    boolean, spec_db = _specialize(view, database, output_tuple)
+    return solve(spec_db, boolean)

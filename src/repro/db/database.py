@@ -1,0 +1,179 @@
+"""Database instances.
+
+A :class:`Database` is a collection of :class:`~repro.db.relation.Relation`
+instances over a fixed vocabulary.  Following the paper (Section 2), a
+database is also viewed as the disjoint union of all its tuples, with size
+``n = |D|`` counting tuples.
+
+Databases support:
+
+* convenient fact insertion — ``db.add("R", 1, 2)``;
+* the deletion operator ``D - Gamma`` used throughout the paper
+  (:meth:`Database.minus`), which refuses to delete exogenous facts;
+* the active domain ``dom(D)``;
+* structural hashing for memoised solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set
+
+from repro.db.relation import Relation
+from repro.db.tuples import DBTuple
+
+
+class Database:
+    """A database instance: a set of named relations.
+
+    Relations are declared lazily: :meth:`add` creates the relation on
+    first use, inferring its arity from the inserted fact.  Declare
+    relations explicitly with :meth:`declare` when you need an empty
+    relation or an exogenous one.
+    """
+
+    def __init__(self, relations: Optional[Iterable[Relation]] = None):
+        self.relations: Dict[str, Relation] = {}
+        if relations is not None:
+            for rel in relations:
+                if rel.name in self.relations:
+                    raise ValueError(f"duplicate relation {rel.name!r}")
+                self.relations[rel.name] = rel
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def declare(self, name: str, arity: int, exogenous: bool = False) -> Relation:
+        """Declare (or fetch) relation ``name`` with the given signature."""
+        existing = self.relations.get(name)
+        if existing is not None:
+            if existing.arity != arity:
+                raise ValueError(
+                    f"relation {name!r} already declared with arity {existing.arity}"
+                )
+            if exogenous and not existing.exogenous:
+                existing.exogenous = True
+            return existing
+        rel = Relation(name, arity, exogenous=exogenous)
+        self.relations[name] = rel
+        return rel
+
+    def add(self, name: str, *values: Hashable) -> DBTuple:
+        """Insert fact ``name(values...)``, declaring the relation if new."""
+        rel = self.relations.get(name)
+        if rel is None:
+            rel = self.declare(name, len(values))
+        return rel.add(*values)
+
+    def add_all(self, name: str, rows: Iterable) -> None:
+        """Insert many facts into relation ``name``.
+
+        Rows may be value vectors (tuples/lists) or single values for a
+        unary relation.
+        """
+        for row in rows:
+            if isinstance(row, (tuple, list)):
+                self.add(name, *row)
+            else:
+                self.add(name, row)
+
+    def set_exogenous(self, *names: str) -> None:
+        """Mark the named relations exogenous."""
+        for name in names:
+            if name not in self.relations:
+                raise KeyError(f"unknown relation {name!r}")
+            self.relations[name].exogenous = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> Relation:
+        """The relation instance named ``name``."""
+        return self.relations[name]
+
+    def __contains__(self, fact: DBTuple) -> bool:
+        rel = self.relations.get(fact.relation)
+        return rel is not None and fact in rel
+
+    def __iter__(self) -> Iterator[DBTuple]:
+        """Iterate over all facts (the disjoint-union view)."""
+        for rel in self.relations.values():
+            yield from rel
+
+    def __len__(self) -> int:
+        """Database size ``n = |D|``: the number of tuples."""
+        return sum(len(rel) for rel in self.relations.values())
+
+    def all_tuples(self) -> Set[DBTuple]:
+        """All facts as a set."""
+        return set(self)
+
+    def endogenous_tuples(self) -> Set[DBTuple]:
+        """All facts belonging to endogenous relations."""
+        out: Set[DBTuple] = set()
+        for rel in self.relations.values():
+            if not rel.exogenous:
+                out.update(rel)
+        return out
+
+    def active_domain(self) -> Set[Hashable]:
+        """``dom(D)``: every constant occurring in some fact."""
+        dom: Set[Hashable] = set()
+        for fact in self:
+            dom.update(fact.values)
+        return dom
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def minus(self, gamma: Iterable[DBTuple]) -> "Database":
+        """The database ``D - Gamma``.
+
+        Raises ``ValueError`` if ``gamma`` contains an exogenous fact —
+        contingency sets may only contain endogenous tuples
+        (Definition 1).
+        """
+        gamma = set(gamma)
+        for fact in gamma:
+            rel = self.relations.get(fact.relation)
+            if rel is None or fact not in rel:
+                raise ValueError(f"{fact!r} is not in the database")
+            if rel.exogenous:
+                raise ValueError(f"cannot delete exogenous fact {fact!r}")
+        clone = self.copy()
+        for fact in gamma:
+            clone.relations[fact.relation].discard(fact)
+        return clone
+
+    def copy(self) -> "Database":
+        """A deep-enough copy: fresh relations, shared immutable facts."""
+        return Database([rel.copy() for rel in self.relations.values()])
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def canonical_form(self) -> frozenset:
+        """A hashable snapshot of the database contents.
+
+        Two databases are equal as instances iff their canonical forms
+        are equal (relation flags included).
+        """
+        parts: List = []
+        for name in sorted(self.relations):
+            rel = self.relations[name]
+            parts.append((name, rel.arity, rel.exogenous, rel.tuples))
+        return frozenset(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.canonical_form() == other.canonical_form()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_form())
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{r.name}{'^x' if r.exogenous else ''}:{len(r)}"
+            for r in self.relations.values()
+        )
+        return f"Database({rels}; n={len(self)})"

@@ -1,0 +1,109 @@
+"""Relation instances.
+
+A :class:`Relation` is a finite set of value vectors under a name and a
+fixed arity, with an *endogenous/exogenous* marker.
+
+Exogenous relations (atoms written with a superscript ``x`` in the paper,
+e.g. ``W^x(x, y, z)``) provide context: their tuples may participate in
+witnesses but may never be deleted, i.e. they never appear in contingency
+sets.  Endogenous relations are the ones interventions may touch.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.db.tuples import DBTuple
+
+
+class Relation:
+    """A named, fixed-arity finite relation instance.
+
+    Parameters
+    ----------
+    name:
+        Relation symbol, e.g. ``"R"``.
+    arity:
+        Number of attributes.  The paper's *binary* queries use arity 1
+        ("unary") or 2 ("binary"); the class supports any positive arity
+        because triads and the generic Lemma 6 reduction need wider atoms
+        (e.g. ``W(x, y, z)`` in the tripod query).
+    tuples:
+        Optional initial contents, as value vectors.
+    exogenous:
+        If ``True``, tuples of this relation may never be deleted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        tuples: Optional[Iterable[Sequence[Hashable]]] = None,
+        exogenous: bool = False,
+    ):
+        if arity < 1:
+            raise ValueError(f"arity must be >= 1, got {arity}")
+        self.name = name
+        self.arity = arity
+        self.exogenous = exogenous
+        self._tuples: Set[DBTuple] = set()
+        if tuples is not None:
+            for values in tuples:
+                self.add(*values)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, *values: Hashable) -> DBTuple:
+        """Insert the fact ``name(values...)`` and return it.
+
+        Re-inserting an existing fact is a no-op (set semantics).
+        """
+        if len(values) != self.arity:
+            raise ValueError(
+                f"{self.name} has arity {self.arity}, got {len(values)} values: {values!r}"
+            )
+        fact = DBTuple(self.name, tuple(values))
+        self._tuples.add(fact)
+        return fact
+
+    def discard(self, fact: DBTuple) -> None:
+        """Remove ``fact`` if present."""
+        self._tuples.discard(fact)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, DBTuple):
+            return item in self._tuples
+        if isinstance(item, tuple):
+            return DBTuple(self.name, item) in self._tuples
+        return False
+
+    def __iter__(self) -> Iterator[DBTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def tuples(self) -> frozenset:
+        """The facts of this relation, as an immutable snapshot."""
+        return frozenset(self._tuples)
+
+    def value_vectors(self) -> Set[Tuple[Hashable, ...]]:
+        """The raw value vectors, without relation identity."""
+        return {t.values for t in self._tuples}
+
+    def copy(self) -> "Relation":
+        """An independent copy (same name/arity/exogenous flag and facts)."""
+        clone = Relation(self.name, self.arity, exogenous=self.exogenous)
+        clone._tuples = set(self._tuples)
+        return clone
+
+    def __repr__(self) -> str:
+        flag = "^x" if self.exogenous else ""
+        shown = ", ".join(repr(t) for t in sorted(self._tuples)[:6])
+        suffix = ", ..." if len(self._tuples) > 6 else ""
+        return f"Relation {self.name}{flag}/{self.arity} {{{shown}{suffix}}}"

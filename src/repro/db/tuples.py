@@ -1,0 +1,78 @@
+"""Immutable database facts.
+
+A :class:`DBTuple` is a single fact ``R(v1, ..., vk)``.  The paper treats a
+database as a *disjoint* union of its relations (Section 2, "with some
+abuse of notation we also denote D as the set of all tuples"), so a tuple
+carries its relation name: ``R(1, 2)`` and ``S(1, 2)`` are different
+tuples even though their value vectors coincide.
+
+Values are arbitrary hashable Python objects.  The paper's constructions
+use integers, strings, and composite constants such as ``<ab>`` — we model
+composite constants simply as tuples or strings produced by the
+reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+
+class DBTuple:
+    """A fact ``relation(values...)`` with value-based identity.
+
+    Instances are immutable and hashable, which lets contingency sets be
+    ordinary Python ``set``/``frozenset`` objects.
+
+    Parameters
+    ----------
+    relation:
+        Name of the relation this fact belongs to, e.g. ``"R"``.
+    values:
+        The value vector.  Length must equal the relation's arity; this is
+        enforced by :class:`repro.db.relation.Relation` on insertion.
+    """
+
+    __slots__ = ("relation", "values", "_hash")
+
+    def __init__(self, relation: str, values: Tuple[Hashable, ...]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "values", tuple(values))
+        object.__setattr__(self, "_hash", hash((relation, self.values)))
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("DBTuple is immutable")
+
+    @property
+    def arity(self) -> int:
+        """Number of values in the fact."""
+        return len(self.values)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DBTuple):
+            return NotImplemented
+        return self.relation == other.relation and self.values == other.values
+
+    def __lt__(self, other: "DBTuple") -> bool:
+        # A stable total order so outputs (e.g. sorted contingency sets)
+        # are deterministic across runs.
+        return (self.relation, _sort_key(self.values)) < (
+            other.relation,
+            _sort_key(other.values),
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+
+def _sort_key(values: Tuple[Hashable, ...]) -> Tuple[str, ...]:
+    """Sort heterogeneous value vectors by their repr.
+
+    Reductions freely mix ints, strings, and composite tuples, which are
+    not mutually orderable in Python 3; comparing their reprs gives a
+    deterministic (if arbitrary) total order.
+    """
+    return tuple(repr(v) for v in values)

@@ -1,0 +1,37 @@
+"""Independent Join Paths (Section 9, Appendix C).
+
+An IJP is a canonical database certifying hardness of RES(q) via a
+generalized vertex-cover reduction (Definition 48, Conjecture 49):
+
+* :mod:`repro.ijp.checker` — verify the five IJP conditions for a
+  given (database, query, tuple pair);
+* :mod:`repro.ijp.search` — the Appendix C.2 procedure: enumerate
+  canonical join copies and constant partitions (Bell-number
+  enumeration, Example 62) and test each merged database;
+* :mod:`repro.ijp.examples` — the paper's concrete IJP databases
+  (Examples 58-61).
+"""
+
+from repro.ijp.checker import IJPReport, check_ijp, find_ijp_pair
+from repro.ijp.search import ijp_search, canonical_database, set_partitions
+from repro.ijp.examples import (
+    example_58_qvc,
+    example_59_triangle,
+    example_60_z5,
+    example_60_z5_corrected,
+    example_61_failed,
+)
+
+__all__ = [
+    "IJPReport",
+    "check_ijp",
+    "find_ijp_pair",
+    "ijp_search",
+    "canonical_database",
+    "set_partitions",
+    "example_58_qvc",
+    "example_59_triangle",
+    "example_60_z5",
+    "example_60_z5_corrected",
+    "example_61_failed",
+]

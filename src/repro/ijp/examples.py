@@ -1,0 +1,91 @@
+"""The paper's concrete IJP example databases (Appendix C.1).
+
+Each function returns ``(query, database, expected_pair)`` where
+``expected_pair`` is the endpoint pair the paper names.  The checker is
+run on these in tests and in benchmark E9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.cq import ConjunctiveQuery
+from repro.query.zoo import q_ex61, q_triangle, q_vc, q_z5
+
+
+def example_58_qvc() -> Tuple[ConjunctiveQuery, Database, Tuple[DBTuple, DBTuple]]:
+    """Example 58: ``D = {R(1), S(1,2), R(2)}`` is an IJP for q_vc."""
+    db = Database()
+    db.add("R", 1)
+    db.add("R", 2)
+    db.add("S", 1, 2)
+    return q_vc, db, (DBTuple("R", (1,)), DBTuple("R", (2,)))
+
+
+def example_59_triangle() -> Tuple[ConjunctiveQuery, Database, Tuple[DBTuple, DBTuple]]:
+    """Example 59: a 7-tuple IJP for the triangle query (Figure 18)."""
+    db = Database()
+    db.add_all("R", [(1, 2), (4, 2), (4, 5)])
+    db.add_all("S", [(2, 3), (5, 3)])
+    db.add_all("T", [(3, 1), (3, 4)])
+    return q_triangle, db, (DBTuple("R", (1, 2)), DBTuple("R", (4, 5)))
+
+
+def example_60_z5() -> Tuple[ConjunctiveQuery, Database, Tuple[DBTuple, DBTuple]]:
+    """Example 60: a 21-tuple IJP for ``z5 :- A(x), R(x,y), R(y,z), R(z,z)``
+    (Figure 19) with endpoints ``A(9)`` and ``A(13)``."""
+    db = Database()
+    db.add_all("A", [(1,), (4,), (5,), (9,), (13,)])
+    db.add_all(
+        "R",
+        [
+            (1, 2), (2, 2), (2, 3), (3, 3), (4, 1), (5, 2),
+            (5, 6), (6, 7), (7, 7), (8, 7), (9, 8),
+            (1, 10), (10, 11), (11, 11), (12, 11), (13, 12),
+        ],
+    )
+    return q_z5, db, (DBTuple("A", (9,)), DBTuple("A", (13,)))
+
+
+def example_60_z5_corrected() -> Tuple[ConjunctiveQuery, Database, Tuple[DBTuple, DBTuple]]:
+    """A corrected variant of Example 60 that passes all five conditions.
+
+    **Erratum.** The database printed in the paper fails condition 5:
+    the tuples ``R(5,2), R(2,3), R(3,3)`` generate a ninth witness
+    ``(5,2,3)`` (Figure 19 draws only eight joins), and with it the
+    resilience after removing ``A(13)`` stays 4 instead of dropping to
+    3 — the claimed contingency set ``{A(1), R(2,2), R(7,7)}`` misses
+    that witness.  Replacing ``R(5,2)`` by ``R(6,2)`` (found by
+    exhaustive single-tuple repair around the printed database) yields
+    a database satisfying all of Definition 48.
+    """
+    db = Database()
+    db.add_all("A", [(1,), (4,), (5,), (9,), (13,)])
+    db.add_all(
+        "R",
+        [
+            (1, 2), (2, 2), (2, 3), (3, 3), (4, 1), (6, 2),
+            (5, 6), (6, 7), (7, 7), (8, 7), (9, 8),
+            (1, 10), (10, 11), (11, 11), (12, 11), (13, 12),
+        ],
+    )
+    return q_z5, db, (DBTuple("A", (9,)), DBTuple("A", (13,)))
+
+
+def example_61_failed() -> Tuple[ConjunctiveQuery, Database, Tuple[DBTuple, DBTuple]]:
+    """Example 61: the canonical database of
+    ``q :- A^x(x), R(x), S(x,y), S(z,y), R(z), B^x(z)`` — *not* an IJP:
+    condition 4 would force ``B^x(1)`` and ``A^x(3)`` into the database,
+    after which conditions 2 and 5 fail."""
+    db = Database()
+    db.declare("A", 1, exogenous=True)
+    db.declare("B", 1, exogenous=True)
+    db.add("R", 1)
+    db.add("A", 1)
+    db.add("S", 1, 2)
+    db.add("S", 3, 2)
+    db.add("R", 3)
+    db.add("B", 3)
+    return q_ex61, db, (DBTuple("R", (1,)), DBTuple("R", (3,)))

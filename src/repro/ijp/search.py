@@ -1,0 +1,117 @@
+"""Automated IJP search (Appendix C.2, Example 62).
+
+The procedure: for an increasing number of join copies ``k``, lay down
+``k`` disjoint canonical databases of the query (one witness each, with
+copy-tagged constants), then enumerate all set partitions of the
+constants; each partition identifies constants across copies, yielding
+a candidate database that is tested against Definition 48.
+
+Example 62 walks this for the triangle query: 3 copies use 9 constants,
+whose Bell number is 21147, and one of those partitions —
+``{{1}, {2,a}, {3,b,c}, {4,d}, {5}}`` — is isomorphic to the Figure 18
+IJP.  The search below re-discovers it.
+
+Exhaustive Bell enumeration explodes quickly (B(12) ≈ 4.2M), so the
+search accepts a partition budget and prunes with the cheap conditions
+before ever calling the exact resilience solver.
+
+**Reproduction finding.**  Definition 48, read literally, is satisfied
+by degenerate databases for some *PTIME* queries: e.g. for
+``q_ACconf`` (Proposition 12, in P) the two-copy partition
+``{x0,y0} {z0,x1} {y1,z1}`` yields endpoints ``R(p,p)``/``R(r,r)``
+passing all five conditions, and for ``q_Swx3perm_R`` (Proposition 44,
+in P) a one-copy partition does.  Under Conjecture 49 these would imply
+NP-hardness of PTIME problems, so the conjecture as stated needs
+further conditions (plausibly about how IJP copies can be *glued* at
+their endpoints without spurious witnesses — the property the Figure 8
+vertex-cover template actually uses).  The tests and benchmark E9
+record this; the search remains empty, as expected, on
+``q_perm``, ``q_Aperm``, ``q_z3``, ``q_TS3conf`` and ``q_A3perm_R``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.ijp.checker import IJPReport, find_ijp_pair
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import satisfies
+
+
+def canonical_database(query: ConjunctiveQuery, tag: int = 0) -> Database:
+    """The canonical database of ``q``: one tuple per atom, constants
+    ``(tag, variable)``."""
+    db = Database()
+    flags = query.relation_flags()
+    for rel_name, arity in query.relation_arities().items():
+        db.declare(rel_name, arity, exogenous=flags[rel_name])
+    for atom in query.atoms:
+        db.add(atom.relation, *((tag, v) for v in atom.args))
+    return db
+
+
+def set_partitions(items: List) -> Iterator[List[List]]:
+    """All set partitions of ``items`` (Bell-number many)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1:]
+        yield [[first]] + partition
+
+
+def _merge_copies(
+    query: ConjunctiveQuery, k: int, partition: List[List]
+) -> Database:
+    """Build the database of ``k`` canonical copies under a partition."""
+    representative = {}
+    for block in partition:
+        rep = ("blk",) + tuple(sorted(map(repr, block)))
+        for item in block:
+            representative[item] = rep
+    db = Database()
+    flags = query.relation_flags()
+    for rel_name, arity in query.relation_arities().items():
+        db.declare(rel_name, arity, exogenous=flags[rel_name])
+    for tag in range(k):
+        for atom in query.atoms:
+            db.add(
+                atom.relation,
+                *(representative[(tag, v)] for v in atom.args),
+            )
+    return db
+
+
+def ijp_search(
+    query: ConjunctiveQuery,
+    max_joins: int = 3,
+    partition_budget: int = 200_000,
+) -> Optional[IJPReport]:
+    """Search for an IJP by the Appendix C.2 enumeration.
+
+    Returns the first :class:`IJPReport` found, or ``None`` when no IJP
+    exists within ``max_joins`` copies and the partition budget.  A
+    ``None`` is *not* a proof of impossibility — Conjecture 49's
+    converse direction is open — but on the paper's PTIME queries the
+    bounded search comes up empty, as expected.
+    """
+    for k in range(1, max_joins + 1):
+        constants = [(tag, v) for tag in range(k) for v in sorted(query.variables())]
+        budget = partition_budget
+        for partition in set_partitions(constants):
+            budget -= 1
+            if budget < 0:
+                break
+            db = _merge_copies(query, k, partition)
+            if not satisfies(db, query):
+                continue  # pragma: no cover - canonical copies always satisfy
+            report = find_ijp_pair(db, query)
+            if report is not None:
+                report.reasons.append(
+                    f"found with {k} join copies, partition {partition}"
+                )
+                return report
+    return None

@@ -1,0 +1,51 @@
+"""Conjunctive query representation and reasoning.
+
+This subpackage implements the query-side machinery of the paper:
+
+* :mod:`repro.query.atom` / :mod:`repro.query.cq` — Boolean conjunctive
+  queries with per-atom exogenous markers and positional variable lists;
+* :mod:`repro.query.parser` — a Datalog-style surface syntax, e.g.
+  ``parse_query("q() :- R(x,y), R(y,z)")`` with ``Sx(...)``/``S^x(...)``
+  denoting exogenous atoms;
+* :mod:`repro.query.evaluation` — witness enumeration by backtracking
+  join (Section 2, "witnesses");
+* :mod:`repro.query.homomorphism` — homomorphisms, containment and the
+  Chandra–Merlin core/minimization (Section 4.1);
+* :mod:`repro.query.hypergraph` — the dual hypergraph H(q) (Section 2.1);
+* :mod:`repro.query.binary_graph` — the binary graph of Definition 8;
+* :mod:`repro.query.zoo` — every named query from the paper.
+"""
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.evaluation import (
+    satisfies,
+    witnesses,
+    witness_tuple_sets,
+)
+from repro.query.homomorphism import (
+    find_homomorphism,
+    is_contained_in,
+    are_equivalent,
+    minimize,
+    is_minimal,
+)
+from repro.query.hypergraph import DualHypergraph
+from repro.query.binary_graph import BinaryGraph
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_query",
+    "satisfies",
+    "witnesses",
+    "witness_tuple_sets",
+    "find_homomorphism",
+    "is_contained_in",
+    "are_equivalent",
+    "minimize",
+    "is_minimal",
+    "DualHypergraph",
+    "BinaryGraph",
+]

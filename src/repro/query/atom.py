@@ -1,0 +1,87 @@
+"""Query atoms (subgoals).
+
+An :class:`Atom` is an occurrence ``R(z1, ..., zk)`` of a relation symbol
+in a query body.  With self-joins the *same* relation may occur in several
+atoms, so atoms carry a per-occurrence index and the query tracks
+positions; two atoms over the same relation with the same variable vector
+are the same subgoal (conjunction is idempotent).
+
+The paper's queries use only variables in atoms (constants are pushed
+into the database, footnote 3), so arguments here are variable names
+(strings).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Atom:
+    """An atom ``relation(args...)`` with an exogenous marker.
+
+    Parameters
+    ----------
+    relation:
+        Relation symbol, e.g. ``"R"``.
+    args:
+        Variable names, positionally.  Repeated variables are allowed
+        (the paper's REP patterns, e.g. ``R(x, x)``).
+    exogenous:
+        If ``True`` this atom's relation is exogenous (superscript ``x``
+        in the paper).  The flag is per *relation* semantically; the
+        query constructor enforces consistency across occurrences.
+    """
+
+    __slots__ = ("relation", "args", "exogenous")
+
+    def __init__(self, relation: str, args: Tuple[str, ...], exogenous: bool = False):
+        self.relation = relation
+        self.args = tuple(args)
+        self.exogenous = exogenous
+        if not self.args:
+            raise ValueError("atoms must have at least one argument")
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> frozenset:
+        """``var(g)``: the set of variables occurring in this atom."""
+        return frozenset(self.args)
+
+    def has_repeated_variable(self) -> bool:
+        """True iff some variable occurs twice (a REP atom, Section 7.4)."""
+        return len(set(self.args)) < len(self.args)
+
+    def signature(self) -> Tuple[str, Tuple[str, ...]]:
+        """Identity of the subgoal: relation plus positional variables."""
+        return (self.relation, self.args)
+
+    def with_exogenous(self, exogenous: bool) -> "Atom":
+        """A copy of this atom with the exogenous flag set to ``exogenous``."""
+        return Atom(self.relation, self.args, exogenous=exogenous)
+
+    def rename(self, mapping) -> "Atom":
+        """A copy with variables substituted via ``mapping`` (dict-like).
+
+        Variables absent from the mapping are kept.
+        """
+        new_args = tuple(mapping.get(a, a) for a in self.args)
+        return Atom(self.relation, new_args, exogenous=self.exogenous)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.args == other.args
+            and self.exogenous == other.exogenous
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.args, self.exogenous))
+
+    def __repr__(self) -> str:
+        sup = "^x" if self.exogenous else ""
+        return f"{self.relation}{sup}({', '.join(self.args)})"

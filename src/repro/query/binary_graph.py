@@ -1,0 +1,95 @@
+"""The binary graph of a binary CQ (Definition 8).
+
+For binary queries the dual hypergraph loses the *positions* at which
+variables appear — but positions drive complexity with self-joins
+(Section 3: ``R(x, y), R(y, y)`` differs from ``R(x, y), R(y, z)``).
+Definition 8 therefore represents a binary CQ as a labelled directed
+graph: vertices are variables, a binary atom ``A(x, y)`` is a labelled
+edge ``x --A--> y``, and a unary atom ``A(x)`` is a labelled loop at
+``x``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+
+
+class BinaryGraph:
+    """Labelled directed graph of a binary CQ (Definition 8).
+
+    Edges are stored as ``(source, target, label, exogenous)`` tuples;
+    unary atoms appear as ``(x, x, label, exogenous)`` loops flagged in
+    :attr:`unary_loops`.
+    """
+
+    def __init__(self, query: ConjunctiveQuery):
+        if not query.is_binary():
+            raise ValueError("binary graphs are defined for binary queries only")
+        self.query = query
+        self.vertices: FrozenSet[str] = query.variables()
+        self.edges: List[Tuple[str, str, str, bool]] = []
+        self.unary_loops: Set[Tuple[str, str]] = set()
+        for atom in query.atoms:
+            if atom.arity == 1:
+                x = atom.args[0]
+                self.edges.append((x, x, atom.relation, atom.exogenous))
+                self.unary_loops.add((x, atom.relation))
+            else:
+                x, y = atom.args
+                self.edges.append((x, y, atom.relation, atom.exogenous))
+
+    # ------------------------------------------------------------------
+    def out_edges(self, vertex: str) -> List[Tuple[str, str, str, bool]]:
+        """Edges leaving ``vertex`` (loops included)."""
+        return [e for e in self.edges if e[0] == vertex]
+
+    def in_edges(self, vertex: str) -> List[Tuple[str, str, str, bool]]:
+        """Edges entering ``vertex`` (loops included)."""
+        return [e for e in self.edges if e[1] == vertex]
+
+    def edges_labeled(self, label: str) -> List[Tuple[str, str, str, bool]]:
+        """All edges carrying relation ``label``."""
+        return [e for e in self.edges if e[2] == label]
+
+    def to_networkx(self):
+        """A networkx MultiDiGraph with edge attribute ``label``."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(self.vertices)
+        for src, dst, label, exo in self.edges:
+            graph.add_edge(src, dst, label=label + ("^x" if exo else ""))
+        return graph
+
+    def degree_profile(self) -> Dict[str, Tuple[int, int]]:
+        """Per-variable (in-degree, out-degree) over binary atoms only."""
+        profile: Dict[str, Tuple[int, int]] = {}
+        for v in self.vertices:
+            indeg = sum(
+                1 for e in self.edges if e[1] == v and (e[0], e[2]) not in self.unary_loops
+            )
+            outdeg = sum(
+                1 for e in self.edges if e[0] == v and (e[0], e[2]) not in self.unary_loops
+            )
+            profile[v] = (indeg, outdeg)
+        return profile
+
+    def ascii_render(self) -> str:
+        """A small textual rendering, e.g. ``x -R-> y -R-> z``.
+
+        Used by the examples and benchmark reports to echo the paper's
+        binary-graph figures.
+        """
+        lines = []
+        for src, dst, label, exo in self.edges:
+            sup = "^x" if exo else ""
+            if (src, label) in self.unary_loops and src == dst:
+                lines.append(f"{src} [{label}{sup}]")
+            else:
+                lines.append(f"{src} -{label}{sup}-> {dst}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"BinaryGraph({self.query.name or 'q'}: {len(self.vertices)} vars, {len(self.edges)} edges)"

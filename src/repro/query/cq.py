@@ -1,0 +1,225 @@
+"""Boolean conjunctive queries.
+
+A :class:`ConjunctiveQuery` is a Boolean CQ ``q :- g1, ..., gm`` (all
+variables existentially quantified; the paper restricts attention to
+Boolean queries, Section 2).  The class records the ordered list of atoms
+— order matters for the paper's linear-arrangement arguments — and
+provides the structural vocabulary used throughout: occurrences per
+relation, self-join detection, the single-self-join (ssj) and binary
+restrictions, and connectivity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.query.atom import Atom
+
+
+class ConjunctiveQuery:
+    """A Boolean conjunctive query.
+
+    Parameters
+    ----------
+    atoms:
+        The body, in order.  Exogenous flags must be consistent per
+        relation symbol (an atom's relation is exogenous or not as a
+        whole); the constructor harmonises flags and raises on conflict
+        only if both values were given explicitly for the same relation.
+    name:
+        Optional display name (e.g. ``"qchain"``).
+    """
+
+    def __init__(self, atoms: Sequence[Atom], name: Optional[str] = None):
+        if not atoms:
+            raise ValueError("a query needs at least one atom")
+        flags: Dict[str, bool] = {}
+        for atom in atoms:
+            prev = flags.get(atom.relation)
+            if prev is None:
+                flags[atom.relation] = atom.exogenous
+            elif prev != atom.exogenous:
+                raise ValueError(
+                    f"inconsistent exogenous flag for relation {atom.relation!r}"
+                )
+        arities: Dict[str, int] = {}
+        for atom in atoms:
+            prev_ar = arities.get(atom.relation)
+            if prev_ar is None:
+                arities[atom.relation] = atom.arity
+            elif prev_ar != atom.arity:
+                raise ValueError(
+                    f"relation {atom.relation!r} used with arities {prev_ar} and {atom.arity}"
+                )
+        # Conjunction is idempotent: drop duplicate subgoals, keep order.
+        seen: Set[Tuple[str, Tuple[str, ...]]] = set()
+        unique: List[Atom] = []
+        for atom in atoms:
+            sig = atom.signature()
+            if sig not in seen:
+                seen.add(sig)
+                unique.append(atom)
+        self.atoms: Tuple[Atom, ...] = tuple(unique)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    def variables(self) -> FrozenSet[str]:
+        """``var(q)``: all variables of the query."""
+        out: Set[str] = set()
+        for atom in self.atoms:
+            out.update(atom.args)
+        return frozenset(out)
+
+    def relation_names(self) -> FrozenSet[str]:
+        """All relation symbols occurring in the body."""
+        return frozenset(a.relation for a in self.atoms)
+
+    def relation_arities(self) -> Dict[str, int]:
+        """Arity of each relation symbol."""
+        return {a.relation: a.arity for a in self.atoms}
+
+    def relation_flags(self) -> Dict[str, bool]:
+        """Exogenous flag of each relation symbol."""
+        return {a.relation: a.exogenous for a in self.atoms}
+
+    def occurrences(self, relation: str) -> List[Atom]:
+        """The atoms over ``relation``, in body order."""
+        return [a for a in self.atoms if a.relation == relation]
+
+    def occurrence_counts(self) -> Dict[str, int]:
+        """Number of atoms per relation symbol."""
+        counts: Dict[str, int] = defaultdict(int)
+        for atom in self.atoms:
+            counts[atom.relation] += 1
+        return dict(counts)
+
+    def endogenous_atoms(self) -> List[Atom]:
+        """Atoms whose relation is endogenous."""
+        return [a for a in self.atoms if not a.exogenous]
+
+    def exogenous_atoms(self) -> List[Atom]:
+        """Atoms whose relation is exogenous."""
+        return [a for a in self.atoms if a.exogenous]
+
+    # ------------------------------------------------------------------
+    # Classification predicates (paper vocabulary)
+    # ------------------------------------------------------------------
+    def is_self_join_free(self) -> bool:
+        """True iff no relation symbol occurs in two distinct atoms."""
+        return all(c == 1 for c in self.occurrence_counts().values())
+
+    def self_join_relations(self) -> List[str]:
+        """Relations occurring in >= 2 atoms, sorted."""
+        return sorted(r for r, c in self.occurrence_counts().items() if c >= 2)
+
+    def is_single_self_join(self) -> bool:
+        """True iff at most one relation symbol is repeated (ssj, Section 1)."""
+        return len(self.self_join_relations()) <= 1
+
+    def is_binary(self) -> bool:
+        """True iff every relation is unary or binary ("binary query")."""
+        return all(a.arity <= 2 for a in self.atoms)
+
+    def self_join_relation(self) -> Optional[str]:
+        """The unique repeated relation of an ssj query, or ``None``."""
+        sj = self.self_join_relations()
+        if len(sj) == 1:
+            return sj[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Connectivity (Section 4.2)
+    # ------------------------------------------------------------------
+    def components(self) -> List["ConjunctiveQuery"]:
+        """The connected components of the query.
+
+        Atoms are connected when they share a variable; a component is a
+        maximal connected set of atoms (Section 4.2).  Components are
+        returned as queries, preserving body order within each.
+        """
+        n = len(self.atoms)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[ri] = rj
+
+        var_to_atoms: Dict[str, List[int]] = defaultdict(list)
+        for i, atom in enumerate(self.atoms):
+            for v in atom.args:
+                var_to_atoms[v].append(i)
+        for idxs in var_to_atoms.values():
+            for j in idxs[1:]:
+                union(idxs[0], j)
+
+        groups: Dict[int, List[Atom]] = defaultdict(list)
+        for i, atom in enumerate(self.atoms):
+            groups[find(i)].append(atom)
+        comps = [
+            ConjunctiveQuery(atoms, name=None)
+            for _, atoms in sorted(groups.items(), key=lambda kv: kv[0])
+        ]
+        return comps
+
+    def is_connected(self) -> bool:
+        """True iff the query has a single connected component."""
+        return len(self.components()) == 1
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def with_atoms_exogenous(self, relations: Iterable[str]) -> "ConjunctiveQuery":
+        """A copy where the given relations are marked exogenous."""
+        targets = set(relations)
+        new_atoms = [
+            a.with_exogenous(True) if a.relation in targets else a
+            for a in self.atoms
+        ]
+        return ConjunctiveQuery(new_atoms, name=self.name)
+
+    def drop_atoms(self, indices: Iterable[int]) -> "ConjunctiveQuery":
+        """A copy without the atoms at the given body positions."""
+        drop = set(indices)
+        kept = [a for i, a in enumerate(self.atoms) if i not in drop]
+        return ConjunctiveQuery(kept, name=self.name)
+
+    def rename_variables(self, mapping: Dict[str, str]) -> "ConjunctiveQuery":
+        """A copy with variables substituted via ``mapping``."""
+        return ConjunctiveQuery(
+            [a.rename(mapping) for a in self.atoms], name=self.name
+        )
+
+    def canonical_signature(self) -> FrozenSet:
+        """Hashable identity: the set of atom signatures plus flags."""
+        return frozenset(
+            (a.relation, a.args, a.exogenous) for a in self.atoms
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self.canonical_signature() == other.canonical_signature()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_signature())
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.atoms)
+        head = self.name or "q"
+        return f"{head}() :- {body}"

@@ -1,0 +1,171 @@
+"""Witness enumeration: evaluating Boolean CQs over databases.
+
+The paper's notion of a *witness* (Section 2) is a valuation ``w`` of all
+existential variables with ``D |= q[w/x]``.  Every witness determines the
+set of at most ``m`` tuples it uses; contingency sets must intersect the
+endogenous part of every witness, which is exactly what the resilience
+solvers consume.
+
+The evaluator is a backtracking join with a greedy bound-variable-first
+atom ordering and per-atom indexes.  This is worst-case exponential in
+``|q|`` (CQ evaluation is NP-complete in combined complexity) but the
+query is fixed in all our uses (data complexity), so enumeration runs in
+polynomial time ``O(n^{|var(q)|})``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Hashable, Iterator, List, Sequence, Set, Tuple
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+Valuation = Dict[str, Hashable]
+
+
+class _AtomIndex:
+    """Hash indexes over one relation, keyed by argument-position subsets.
+
+    For an atom ``R(z1,...,zk)`` evaluated when positions ``B`` are
+    already bound, we probe the index keyed by ``B`` with the bound
+    values and iterate only matching facts.
+    """
+
+    def __init__(self, facts: Sequence[DBTuple]):
+        self.facts = list(facts)
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, List[DBTuple]]] = {}
+
+    def probe(self, positions: Tuple[int, ...], key: Tuple) -> List[DBTuple]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = defaultdict(list)
+            for fact in self.facts:
+                index[tuple(fact.values[p] for p in positions)].append(fact)
+            self._indexes[positions] = dict(index)
+        return index.get(key, [])
+
+
+def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
+    """Greedy join order: repeatedly pick the atom sharing most variables
+    with those already bound (ties: fewer new variables, then body order)."""
+    remaining = list(query.atoms)
+    ordered: List[Atom] = []
+    bound: Set[str] = set()
+    while remaining:
+        def score(atom: Atom) -> Tuple[int, int]:
+            vs = set(atom.args)
+            return (-len(vs & bound), len(vs - bound))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.args)
+    return ordered
+
+
+def witnesses(database: Database, query: ConjunctiveQuery) -> List[Valuation]:
+    """All witnesses of ``D |= q``, as variable valuations.
+
+    Returns a list of dicts mapping every variable of ``q`` to a domain
+    constant.  The list is empty iff ``D`` does not satisfy ``q``.
+    """
+    return list(iter_witnesses(database, query))
+
+
+def iter_witnesses(
+    database: Database, query: ConjunctiveQuery
+) -> Iterator[Valuation]:
+    """Lazily enumerate witnesses of ``D |= q``."""
+    ordered = _order_atoms(query)
+    indexes: Dict[str, _AtomIndex] = {}
+    for atom in ordered:
+        if atom.relation not in indexes:
+            rel = database.relations.get(atom.relation)
+            facts = list(rel) if rel is not None else []
+            indexes[atom.relation] = _AtomIndex(facts)
+
+    valuation: Valuation = {}
+
+    def extend(depth: int) -> Iterator[Valuation]:
+        if depth == len(ordered):
+            yield dict(valuation)
+            return
+        atom = ordered[depth]
+        index = indexes[atom.relation]
+        bound_positions = tuple(
+            i for i, v in enumerate(atom.args) if v in valuation
+        )
+        key = tuple(valuation[atom.args[i]] for i in bound_positions)
+        for fact in index.probe(bound_positions, key):
+            # Check consistency for repeated variables within the atom
+            # and bind the free ones.
+            newly_bound: List[str] = []
+            ok = True
+            for i, var in enumerate(atom.args):
+                val = fact.values[i]
+                if var in valuation:
+                    if valuation[var] != val:
+                        ok = False
+                        break
+                else:
+                    valuation[var] = val
+                    newly_bound.append(var)
+            if ok:
+                yield from extend(depth + 1)
+            for var in newly_bound:
+                del valuation[var]
+
+    yield from extend(0)
+
+
+def satisfies(database: Database, query: ConjunctiveQuery) -> bool:
+    """``D |= q``: does at least one witness exist?"""
+    for _ in iter_witnesses(database, query):
+        return True
+    return False
+
+
+def witness_tuples(
+    query: ConjunctiveQuery, valuation: Valuation
+) -> Set[DBTuple]:
+    """The set of facts a witness uses (at most ``m``, Section 2)."""
+    out: Set[DBTuple] = set()
+    for atom in query.atoms:
+        out.add(DBTuple(atom.relation, tuple(valuation[v] for v in atom.args)))
+    return out
+
+
+def witness_tuple_sets(
+    database: Database, query: ConjunctiveQuery, endogenous_only: bool = True
+) -> List[FrozenSet[DBTuple]]:
+    """The witness structure consumed by resilience solvers.
+
+    For each witness, the frozenset of tuples it uses — restricted to
+    endogenous relations when ``endogenous_only`` (the default), since
+    only those may enter contingency sets.  A relation counts as
+    exogenous if either the query marks it so (``R^x`` atoms) or the
+    database instance does.  A witness whose tuple set is *empty* under
+    the restriction is unbreakable: the query cannot be made false and
+    resilience is undefined (the solvers raise).
+
+    Duplicate tuple sets are collapsed (several valuations may use the
+    same facts, e.g. ``(3, 3, 3)`` for ``qchain``).
+    """
+    flags = dict(query.relation_flags())
+    for name, rel in database.relations.items():
+        if rel.exogenous:
+            flags[name] = True
+    seen: Set[FrozenSet[DBTuple]] = set()
+    out: List[FrozenSet[DBTuple]] = []
+    for valuation in iter_witnesses(database, query):
+        facts = witness_tuples(query, valuation)
+        if endogenous_only:
+            facts = {f for f in facts if not flags.get(f.relation, False)}
+        frozen = frozenset(facts)
+        if frozen not in seen:
+            seen.add(frozen)
+            out.append(frozen)
+    return out

@@ -1,0 +1,120 @@
+"""Homomorphisms, containment, and Chandra–Merlin minimization.
+
+Section 4.1 of the paper restricts attention to *minimal* queries: a CQ
+is minimal iff no equivalent CQ has fewer atoms, and every CQ can be
+minimized by removing atoms (Chandra & Merlin 1977).  Minimization
+matters because hardness patterns hiding in removable atoms are
+irrelevant (Example 22: a self-join variation of a triad query collapses
+to ``R(x, y)``).
+
+Containment ``q1 ⊆ q2`` holds iff there is a homomorphism from ``q2`` to
+``q1`` (a variable mapping sending every atom of ``q2`` onto an atom of
+``q1`` over the same relation).  The *core* of ``q`` — its canonical
+minimal equivalent — is computed by repeatedly removing an atom whose
+deletion preserves equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Dict[str, str]]:
+    """A homomorphism from ``source`` to ``target``, or ``None``.
+
+    A homomorphism is a map ``h`` on variables such that for every atom
+    ``R(z1,...,zk)`` of ``source``, ``R(h(z1),...,h(zk))`` is an atom of
+    ``target``.  Exogenous flags are ignored for the mapping itself (they
+    are a property of relations, not of logical structure); callers that
+    care about flags should compare them separately.
+    """
+    # Index target atoms by relation for quick candidate lookup.
+    by_relation: Dict[str, List[Atom]] = defaultdict(list)
+    for atom in target.atoms:
+        by_relation[atom.relation].append(atom)
+
+    # Order source atoms to bind many variables early.
+    source_atoms = sorted(
+        source.atoms, key=lambda a: -len(a.args)
+    )
+
+    mapping: Dict[str, str] = {}
+
+    def assign(depth: int) -> bool:
+        if depth == len(source_atoms):
+            return True
+        atom = source_atoms[depth]
+        for candidate in by_relation.get(atom.relation, []):
+            if len(candidate.args) != len(atom.args):
+                continue
+            added: List[str] = []
+            ok = True
+            for src_var, dst_var in zip(atom.args, candidate.args):
+                bound = mapping.get(src_var)
+                if bound is None:
+                    mapping[src_var] = dst_var
+                    added.append(src_var)
+                elif bound != dst_var:
+                    ok = False
+                    break
+            if ok and assign(depth + 1):
+                return True
+            for var in added:
+                del mapping[var]
+        return False
+
+    if assign(0):
+        return dict(mapping)
+    return None
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """``q1 ⊆ q2``: every database satisfying q1 satisfies q2.
+
+    By the Chandra–Merlin theorem this holds iff there is a homomorphism
+    ``q2 -> q1``.
+    """
+    return find_homomorphism(q2, q1) is not None
+
+
+def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """``q1 ≡ q2``: mutual containment."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of ``query``: a minimal equivalent subquery.
+
+    Implements the classic fixpoint: while some atom can be dropped with
+    the remainder still equivalent to the original (equivalently: there
+    is a homomorphism from the query into the remainder), drop it.  The
+    result is unique up to isomorphism; we return an actual subquery so
+    exogenous flags and variable names are preserved.
+    """
+    atoms = list(query.atoms)
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        for i in range(len(atoms)):
+            candidate_atoms = atoms[:i] + atoms[i + 1:]
+            candidate = ConjunctiveQuery(candidate_atoms, name=query.name)
+            full = ConjunctiveQuery(atoms, name=query.name)
+            # candidate ⊆ full always fails? No: dropping an atom weakens
+            # the query, so full ⊆ candidate holds trivially.  Equivalence
+            # needs candidate ⊆ full, i.e. a homomorphism full -> candidate.
+            if find_homomorphism(full, candidate) is not None:
+                atoms = candidate_atoms
+                changed = True
+                break
+    return ConjunctiveQuery(atoms, name=query.name)
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """True iff ``query`` equals its core (no atom is redundant)."""
+    return len(minimize(query).atoms) == len(query.atoms)

@@ -1,0 +1,108 @@
+"""The dual hypergraph H(q) of a conjunctive query.
+
+Section 2.1: the dual hypergraph has the *atoms* as vertices; each
+variable ``x`` determines the hyperedge consisting of all atoms in which
+``x`` occurs.  Triads, paths-avoiding-variables, and linearity are all
+phrased over H(q).
+
+Vertices here are atom *positions* (indices into ``query.atoms``), since
+self-joins make distinct atoms over the same relation common.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+
+
+class DualHypergraph:
+    """Dual hypergraph of a CQ: vertices are atoms, hyperedges are variables."""
+
+    def __init__(self, query: ConjunctiveQuery):
+        self.query = query
+        self.vertices: List[int] = list(range(len(query.atoms)))
+        # variable -> set of atom indices containing it
+        self.hyperedges: Dict[str, FrozenSet[int]] = {}
+        edge_map: Dict[str, Set[int]] = defaultdict(set)
+        for i, atom in enumerate(query.atoms):
+            for v in atom.args:
+                edge_map[v].add(i)
+        for var, members in edge_map.items():
+            self.hyperedges[var] = frozenset(members)
+
+    # ------------------------------------------------------------------
+    def neighbors(
+        self, vertex: int, forbidden_vars: Iterable[str] = ()
+    ) -> Set[int]:
+        """Atoms sharing a variable with ``vertex``, skipping forbidden vars."""
+        forbidden = set(forbidden_vars)
+        out: Set[int] = set()
+        for var in self.query.atoms[vertex].args:
+            if var in forbidden:
+                continue
+            out.update(self.hyperedges[var])
+        out.discard(vertex)
+        return out
+
+    def path_avoiding(
+        self, start: int, goal: int, forbidden_vars: Iterable[str]
+    ) -> Optional[List[int]]:
+        """A path in H(q) from ``start`` to ``goal`` using no forbidden variable.
+
+        This is the connectivity notion of Definition 5 (triads): the
+        path may pass through any atoms, but every hyperedge traversed
+        must be a variable not occurring in the forbidden set.  Returns
+        the atom-index path, or ``None``.
+        """
+        forbidden = set(forbidden_vars)
+        if start == goal:
+            return [start]
+        prev: Dict[int, int] = {start: start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for nxt in self.neighbors(current, forbidden):
+                if nxt in prev:
+                    continue
+                prev[nxt] = current
+                if nxt == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(prev[path[-1]])
+                    return list(reversed(path))
+                queue.append(nxt)
+        return None
+
+    def connected(self, start: int, goal: int) -> bool:
+        """Plain connectivity between two atoms in H(q)."""
+        return self.path_avoiding(start, goal, ()) is not None
+
+    # ------------------------------------------------------------------
+    def shared_variables(self, a: int, b: int) -> FrozenSet[str]:
+        """Variables occurring in both atoms ``a`` and ``b``."""
+        return (
+            self.query.atoms[a].variables() & self.query.atoms[b].variables()
+        )
+
+    def vertex_label(self, vertex: int) -> str:
+        """Human-readable label for an atom vertex."""
+        return repr(self.query.atoms[vertex])
+
+    def to_networkx(self):
+        """A bipartite networkx graph (atoms vs variables) for display."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for i in self.vertices:
+            graph.add_node(("atom", i), label=self.vertex_label(i))
+        for var, members in self.hyperedges.items():
+            graph.add_node(("var", var), label=var)
+            for i in members:
+                graph.add_edge(("var", var), ("atom", i))
+        return graph
+
+    def __repr__(self) -> str:
+        edges = {v: sorted(m) for v, m in sorted(self.hyperedges.items())}
+        return f"DualHypergraph(atoms={len(self.vertices)}, hyperedges={edges})"

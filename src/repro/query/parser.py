@@ -1,0 +1,101 @@
+"""Datalog-style surface syntax for Boolean CQs.
+
+The grammar is the one the paper uses informally::
+
+    q() :- R(x, y), R(y, z)
+    qrats() :- Rx(x, y), A(x), Tx(z, x), S(y, z)
+
+* The head is optional (``R(x,y), R(y,z)`` alone is accepted).
+* An atom is exogenous when its relation name carries a trailing ``x``
+  marker written as ``R^x(...)`` or, following the paper's typography,
+  as a lowercase ``x`` suffix on an otherwise-capitalised name
+  (``Tx(...)``, ``Sx(...)``).  To avoid ambiguity with relations whose
+  name genuinely ends in ``x``, prefer the explicit ``^x`` form.
+* Variables are bare identifiers; there are no constants (footnote 3).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+_ATOM_RE = re.compile(
+    r"""
+    (?P<rel>[A-Za-z_][A-Za-z0-9_]*?)        # relation name (lazy)
+    (?P<exo>\^x|x)?                         # optional exogenous marker
+    \s*\(\s*
+    (?P<args>[^()]*?)
+    \s*\)
+    """,
+    re.VERBOSE,
+)
+
+
+def _split_head_body(text: str) -> Tuple[Optional[str], str]:
+    """Split ``"q() :- body"`` into head name and body text."""
+    if ":-" in text:
+        head, body = text.split(":-", 1)
+        head = head.strip()
+        name = head.split("(", 1)[0].strip() or None
+        return name, body.strip()
+    return None, text.strip()
+
+
+def parse_query(text: str, name: Optional[str] = None) -> ConjunctiveQuery:
+    """Parse a Boolean conjunctive query from Datalog-ish text.
+
+    Examples
+    --------
+    >>> q = parse_query("qchain() :- R(x,y), R(y,z)")
+    >>> len(q.atoms)
+    2
+    >>> q = parse_query("A(x), W^x(x,y,z)")
+    >>> q.atoms[1].exogenous
+    True
+
+    The lowercase-``x`` suffix convention of the paper is honoured when
+    the prefix before the suffix is non-empty and starts uppercase, e.g.
+    ``Tx(z,x)`` parses as exogenous relation ``T``.  Single-letter names
+    like ``x(...)`` are never treated as markers.
+    """
+    head_name, body = _split_head_body(text)
+    if name is None:
+        name = head_name
+
+    atoms: List[Atom] = []
+    pos = 0
+    while pos < len(body):
+        match = _ATOM_RE.search(body, pos)
+        if match is None:
+            rest = body[pos:].strip(" ,\t\n")
+            if rest:
+                raise ValueError(f"cannot parse query fragment: {rest!r}")
+            break
+        rel = match.group("rel")
+        exo_marker = match.group("exo")
+        exogenous = False
+        if exo_marker == "^x":
+            exogenous = True
+        elif exo_marker == "x":
+            # Heuristic for the paper's Tx/Sx typography: treat the
+            # trailing x as a marker only when the remaining name is a
+            # plausible relation name (non-empty, starts uppercase).
+            if rel and rel[0].isupper():
+                exogenous = True
+            else:
+                rel = rel + "x"
+        args_text = match.group("args").strip()
+        if not args_text:
+            raise ValueError(f"atom {rel!r} has no arguments")
+        args = tuple(a.strip() for a in args_text.split(","))
+        if any(not a for a in args):
+            raise ValueError(f"bad argument list in atom {rel!r}: {args_text!r}")
+        atoms.append(Atom(rel, args, exogenous=exogenous))
+        pos = match.end()
+
+    if not atoms:
+        raise ValueError(f"no atoms found in query text: {text!r}")
+    return ConjunctiveQuery(atoms, name=name)

@@ -1,0 +1,202 @@
+"""The query zoo: every named query from the paper.
+
+Each query appears under the paper's name, built via the parser so the
+definitions here read exactly like the paper's Datalog notation.
+Exogenous atoms use the ``^x`` marker.
+
+The zoo is the workhorse of the test-suite and of the benchmark
+harnesses: experiment code never re-types query bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+
+
+def _q(name: str, body: str) -> ConjunctiveQuery:
+    return parse_query(body, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Section 2 — background queries (Example 2, Figure 1)
+# ---------------------------------------------------------------------------
+q_triangle = _q("q_triangle", "R(x,y), S(y,z), T(z,x)")
+q_tripod = _q("q_tripod", "A(x), B(y), C(z), W(x,y,z)")
+q_rats = _q("q_rats", "R(x,y), A(x), T(z,x), S(y,z)")
+q_lin = _q("q_lin", "A(x), R(x,y,z), S(y,z)")
+q_brats = _q("q_brats", "B(y), R(x,y), A(x), T(z,x), S(y,z)")
+
+# Normal forms after sj-free domination (Section 2.2)
+q_tripod_norm = _q("q_tripod_norm", "A(x), B(y), C(z), W^x(x,y,z)")
+q_rats_norm = _q("q_rats_norm", "R^x(x,y), A(x), T^x(z,x), S(y,z)")
+
+# ---------------------------------------------------------------------------
+# Section 3 — basic hard self-join queries (Figure 2) and tricky-flow queries
+# ---------------------------------------------------------------------------
+q_vc = _q("q_vc", "R(x), S(x,y), R(y)")
+q_chain = _q("q_chain", "R(x,y), R(y,z)")
+q_ACconf = _q("q_ACconf", "A(x), R(x,y), R(z,y), C(z)")
+q_A3perm_R = _q("q_A3perm_R", "A(x), R(x,y), R(y,z), R(z,y)")
+
+# Example 11 — self-join variation of qrats where domination fails
+q_sj1_rats = _q("q_sj1_rats", "A(x), R(x,y), R(y,z), R(z,x)")
+
+# Example 17 — SJ-domination illustration
+q_dom_ex17_1 = _q("q_dom_ex17_1", "R(x,y), A(y), R(y,z), S(y,z)")
+q_dom_ex17_2 = _q("q_dom_ex17_2", "R(x,y), A(y), R(z,y), S(y,z)")
+
+# ---------------------------------------------------------------------------
+# Section 5 — self-join variations (Example 20, Section 5.1)
+# ---------------------------------------------------------------------------
+q_triangle_sj1 = _q("q_triangle_sj1", "R(x,y), R(y,z), R(z,x)")
+q_triangle_sj2 = _q("q_triangle_sj2", "R(x,y), R(y,z), T(z,x)")
+q_triangle_sj3 = _q("q_triangle_sj3", "R(x,y), S(y,z), R(z,x)")
+q_sj1_brats = _q("q_sj1_brats", "B(y), R(x,y), A(x), R(z,x), R(y,z)")
+
+# Example 22 — a non-minimal self-join variation that collapses
+q_ex22_sjfree = _q("q_ex22_sjfree", "R(x,y), S(z,y), T(z,w), A(x,w)")
+q_ex22_sj = _q("q_ex22_sj", "R(x,y), R(z,y), R(z,w), R(x,w)")
+
+# ---------------------------------------------------------------------------
+# Section 7 — two R-atom patterns (Figure 5, Figure 6)
+# ---------------------------------------------------------------------------
+q_conf = _q("q_conf", "R(x,y), R(z,y)")  # not minimal stand-alone
+q_perm = _q("q_perm", "R(x,y), R(y,x)")
+q_Aperm = _q("q_Aperm", "A(x), R(x,y), R(y,x)")
+q_ABperm = _q("q_ABperm", "A(x), R(x,y), R(y,x), B(y)")
+
+# qconf with an exogenous path (Section 7.2, "cfp")
+q_cfp = _q("q_cfp", "R(x,y), H^x(x,z), R(z,y)")
+
+# Expansions of qchain with unary relations (Section 7.1)
+q_a_chain = _q("q_a_chain", "A(x), R(x,y), R(y,z)")
+q_b_chain = _q("q_b_chain", "R(x,y), B(y), R(y,z)")
+q_c_chain = _q("q_c_chain", "R(x,y), R(y,z), C(z)")
+q_ab_chain = _q("q_ab_chain", "A(x), R(x,y), B(y), R(y,z)")
+q_bc_chain = _q("q_bc_chain", "R(x,y), B(y), R(y,z), C(z)")
+q_ac_chain = _q("q_ac_chain", "A(x), R(x,y), R(y,z), C(z)")
+q_abc_chain = _q("q_abc_chain", "A(x), R(x,y), B(y), R(y,z), C(z)")
+
+# REP queries (Section 7.4)
+q_z1 = _q("q_z1", "R(x,x), S(x,y), R(y,y)")
+q_z2 = _q("q_z2", "R(x,x), S(x,y), R(y,z)")
+q_z3 = _q("q_z3", "R(x,x), R(x,y), A(y)")
+
+# ---------------------------------------------------------------------------
+# Section 8 — three R-atom families
+# ---------------------------------------------------------------------------
+q_3chain = _q("q_3chain", "R(x,y), R(y,z), R(z,w)")
+q_3conf = _q("q_3conf", "R(x,y), R(z,y), R(z,w)")  # not minimal stand-alone
+q_AC3conf = _q("q_AC3conf", "A(x), R(x,y), R(z,y), R(z,w), C(w)")
+q_TS3conf = _q("q_TS3conf", "T^x(x,y), R(x,y), R(z,y), R(z,w), S^x(z,w)")
+q_AS3conf = _q("q_AS3conf", "A(x), R(x,y), R(z,y), R(z,w), S^x(z,w)")  # OPEN
+
+q_AC3cc = _q("q_AC3cc", "A(x), R(x,y), R(y,z), R(w,z), C(w)")
+q_AS3cc = _q("q_AS3cc", "A(x), R(x,y), R(y,z), R(w,z), S(w,z)")
+q_C3cc = _q("q_C3cc", "R(x,y), R(y,z), R(w,z), C(w)")
+q_S3cc = _q("q_S3cc", "R(x,y), R(y,z), R(w,z), S(w,z)")  # OPEN
+
+q_3perm_R = _q("q_3perm_R", "R(x,y), R(y,z), R(z,y)")  # not minimal stand-alone
+q_Swx3perm_R = _q("q_Swx3perm_R", "S(w,x), R(x,y), R(y,z), R(z,y)")
+q_Sxy3perm_R = _q("q_Sxy3perm_R", "S^x(x,y), R(x,y), R(y,z), R(z,y)")
+q_AC3perm_R = _q("q_AC3perm_R", "A(x), R(x,y), R(y,z), R(z,y), C(z)")
+q_AB3perm_R = _q("q_AB3perm_R", "A(x), R(x,y), B(y), R(y,z), R(z,y)")
+q_SxyBC3perm_R = _q(
+    "q_SxyBC3perm_R", "S(x,y), R(x,y), B(y), R(y,z), R(z,y), C(z)"
+)
+q_ASxy3perm_R = _q("q_ASxy3perm_R", "A(x), S(x,y), R(x,y), R(y,z), R(z,y)")  # OPEN
+q_SxyB3perm_R = _q("q_SxyB3perm_R", "S(x,y), R(x,y), B(y), R(y,z), R(z,y)")  # OPEN
+q_SxyC3perm_R = _q("q_SxyC3perm_R", "S(x,y), R(x,y), R(y,z), R(z,y), C(z)")  # OPEN
+
+# Three R-atom REP queries (Section 8.5)
+q_z4 = _q("q_z4", "R(x,x), R(x,y), S(x,y), R(y,y)")
+q_z5 = _q("q_z5", "A(x), R(x,y), R(y,z), R(z,z)")
+q_z6 = _q("q_z6", "A(x), R(x,y), R(y,y), R(y,z), C(z)")  # OPEN
+q_z7 = _q("q_z7", "A(x), R(x,y), R(y,x), R(y,y)")  # OPEN
+
+# ---------------------------------------------------------------------------
+# Section 4.2 — disconnected example
+# ---------------------------------------------------------------------------
+q_comp = _q("q_comp", "A(x), R(x,y), R(z,w), B(w)")
+
+# Appendix C, Example 61 — two repeated relations, fails to form an IJP
+q_ex61 = _q("q_ex61", "A^x(x), R(x), S(x,y), S(z,y), R(z), B^x(z)")
+
+
+ALL_QUERIES: Dict[str, ConjunctiveQuery] = {
+    q.name: q
+    for q in [
+        q_triangle, q_tripod, q_rats, q_lin, q_brats,
+        q_tripod_norm, q_rats_norm,
+        q_vc, q_chain, q_ACconf, q_A3perm_R, q_sj1_rats,
+        q_dom_ex17_1, q_dom_ex17_2,
+        q_triangle_sj1, q_triangle_sj2, q_triangle_sj3, q_sj1_brats,
+        q_ex22_sjfree, q_ex22_sj,
+        q_conf, q_perm, q_Aperm, q_ABperm, q_cfp,
+        q_a_chain, q_b_chain, q_c_chain, q_ab_chain, q_bc_chain,
+        q_ac_chain, q_abc_chain,
+        q_z1, q_z2, q_z3,
+        q_3chain, q_3conf, q_AC3conf, q_TS3conf, q_AS3conf,
+        q_AC3cc, q_AS3cc, q_C3cc, q_S3cc,
+        q_3perm_R, q_Swx3perm_R, q_Sxy3perm_R, q_AC3perm_R, q_AB3perm_R,
+        q_SxyBC3perm_R, q_ASxy3perm_R, q_SxyB3perm_R, q_SxyC3perm_R,
+        q_z4, q_z5, q_z6, q_z7,
+        q_comp, q_ex61,
+    ]
+}
+
+# Paper-claimed complexity verdicts, used by tests and the benchmark
+# harness.  Values: "P", "NPC", or "OPEN".
+PAPER_VERDICTS: Dict[str, str] = {
+    "q_triangle": "NPC",      # Prop 56 / triad
+    "q_tripod": "NPC",        # Prop 57 / triad
+    "q_rats": "P",            # Fig 1 caption
+    "q_lin": "P",             # linear sj-free
+    "q_brats": "P",           # Section 5.1
+    "q_vc": "NPC",            # Prop 9
+    "q_chain": "NPC",         # Prop 10
+    "q_ACconf": "P",          # Prop 12
+    "q_A3perm_R": "P",        # Prop 13
+    "q_sj1_rats": "NPC",      # Prop 23 (triad survives)
+    "q_triangle_sj1": "NPC",  # Lemma 21
+    "q_triangle_sj2": "NPC",
+    "q_triangle_sj3": "NPC",
+    "q_sj1_brats": "NPC",     # Lemma 51
+    "q_perm": "P",            # Prop 33
+    "q_Aperm": "P",           # Prop 33
+    "q_ABperm": "NPC",        # Prop 34
+    "q_cfp": "NPC",           # Section 7.2 (== q_vc)
+    "q_a_chain": "NPC",       # Lemmas 52-54
+    "q_b_chain": "NPC",
+    "q_c_chain": "NPC",
+    "q_ab_chain": "NPC",
+    "q_bc_chain": "NPC",
+    "q_ac_chain": "NPC",
+    "q_abc_chain": "NPC",
+    "q_z1": "NPC",            # binary path (Thm 28)
+    "q_z2": "NPC",            # binary path (Thm 28)
+    "q_z3": "P",              # Prop 36
+    "q_3chain": "NPC",        # Prop 38
+    "q_AC3conf": "NPC",       # Prop 39
+    "q_TS3conf": "P",         # Prop 41
+    "q_AS3conf": "OPEN",
+    "q_AC3cc": "NPC",         # Prop 42
+    "q_AS3cc": "NPC",         # Prop 42
+    "q_C3cc": "NPC",          # Prop 43
+    "q_S3cc": "OPEN",
+    "q_Swx3perm_R": "P",      # Prop 44
+    "q_Sxy3perm_R": "NPC",    # Prop 45
+    "q_AC3perm_R": "NPC",     # Prop 46
+    "q_AB3perm_R": "NPC",     # Prop 46
+    "q_SxyBC3perm_R": "NPC",  # Prop 46
+    "q_ASxy3perm_R": "OPEN",
+    "q_SxyB3perm_R": "OPEN",
+    "q_SxyC3perm_R": "OPEN",
+    "q_z4": "NPC",            # Prop 47
+    "q_z5": "NPC",            # Prop 47
+    "q_z6": "OPEN",
+    "q_z7": "OPEN",
+}

@@ -1,0 +1,33 @@
+"""Executable hardness reductions.
+
+Every NP-completeness proof in the paper is a reduction that maps an
+instance of a known-hard problem to a (database, k) pair for the query
+at hand.  This package makes those reductions executable so the
+benchmark harness can machine-check them:
+
+* :mod:`repro.reductions.vertex_cover` — VC -> RES(q_vc) (Prop 9);
+* :mod:`repro.reductions.chain_gadgets` — 3SAT -> RES(q_chain) and its
+  seven unary expansions (Prop 10, Lemmas 52-54);
+* :mod:`repro.reductions.triangle` — 3SAT -> RES(q_triangle) (Prop 56),
+  RES(q_triangle) -> RES(q_tripod) (Prop 57), and the generic triad
+  reduction of Lemma 6 / Theorem 24;
+* :mod:`repro.reductions.sj_variation` — the Lemma 21 lifting of a
+  database for an sj-free query to its self-join variation;
+* :mod:`repro.reductions.paths` — the generic path reductions
+  RES(q_vc) -> RES(q) of Theorems 27/28;
+* :mod:`repro.reductions.chain_expansion` — RES(q_chain) -> RES(q) for
+  chain expansions (Prop 30);
+* :mod:`repro.reductions.perm_gadgets` — 3SAT -> RES(q_ABperm)
+  (Prop 34) and the bounded-permutation lifting (Prop 35 case 2);
+* :mod:`repro.reductions.rats_gadgets` — the self-join-variation
+  gadgets for q_rats / q_brats (Lemmas 50/51).
+
+Each module's ``*_instance`` function returns a
+:class:`~repro.reductions.base.ReductionInstance` carrying the database,
+the threshold ``k``, and enough metadata to verify the biconditional
+"source instance is a YES iff (D, k) in RES(q)".
+"""
+
+from repro.reductions.base import ReductionInstance
+
+__all__ = ["ReductionInstance"]

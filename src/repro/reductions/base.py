@@ -1,0 +1,47 @@
+"""Shared plumbing for executable reductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+
+
+@dataclass
+class ReductionInstance:
+    """The output of a reduction: a (query, database, threshold) triple.
+
+    Attributes
+    ----------
+    query:
+        The target query ``q`` of ``RES(q)``.
+    database:
+        The constructed database ``D``.
+    k:
+        The threshold: the source instance is a YES instance iff
+        ``(D, k) in RES(q)``, i.e. iff ``rho(q, D) <= k``.
+    source:
+        The source problem instance (a formula, graph, or another
+        :class:`ReductionInstance`), kept for verification.
+    notes:
+        Free-form metadata (gadget sizes, per-gadget thresholds, ...).
+    """
+
+    query: ConjunctiveQuery
+    database: Database
+    k: int
+    source: Any = None
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def verify(self, expected_yes: bool) -> bool:
+        """Machine-check the biconditional against the exact solver.
+
+        Returns True iff ``rho(q, D) <= k`` equals ``expected_yes``.
+        Uses the exact solver — only run on small instances.
+        """
+        from repro.resilience.exact import resilience_exact
+
+        rho = resilience_exact(self.database, self.query).value
+        return (rho <= self.k) == expected_yes

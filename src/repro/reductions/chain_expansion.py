@@ -1,0 +1,105 @@
+"""Proposition 30: RES(q_chain-expansion) -> RES(q) for chain queries.
+
+If a (pseudo-linear, minimal, connected) query ``q`` contains the
+2-chain ``R(x,y), R(y,z)`` as its only self-join, resilience of the
+matching unary expansion of ``q_chain`` reduces to RES(q): map each
+witness ``(a, b, c)`` of the source database to the valuation
+``x -> a, y -> b, z -> c`` and every other variable ``v`` to the
+witness-tagged constant ``<abc>_v``, then add every atom's tuple under
+that valuation.
+
+Pseudo-linearity guarantees no endogenous atom of ``q`` contains both
+``x`` and ``z``, so the mapping preserves minimum contingency sets
+exactly: ``rho(q, D') = rho(q_exp, D)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import iter_witnesses
+from repro.query.zoo import ALL_QUERIES
+from repro.reductions.base import ReductionInstance
+from repro.structure.patterns import CHAIN, two_atom_pattern
+
+
+def chain_endpoint_variables(query: ConjunctiveQuery):
+    """The (x, y, z) variables of the query's 2-chain."""
+    rel = query.self_join_relation()
+    if rel is None:
+        raise ValueError("query has no self-join")
+    first, second = query.occurrences(rel)
+    shared = first.variables() & second.variables()
+    if len(shared) != 1:
+        raise ValueError("self-join is not a 2-chain")
+    (y,) = shared
+    # Orient: the chain goes tail -> y -> head.
+    if first.args[1] == y and second.args[0] == y:
+        x, z = first.args[0], second.args[1]
+    elif second.args[1] == y and first.args[0] == y:
+        x, z = second.args[0], first.args[1]
+    else:
+        raise ValueError("R-atoms join in the same attribute (confluence)")
+    return x, y, z
+
+
+def chain_expansion_instance(
+    query: ConjunctiveQuery,
+    source_db: Database,
+    k: int,
+    source_query: ConjunctiveQuery = None,
+) -> ReductionInstance:
+    """Proposition 30's database ``D'`` for ``query`` from a chain DB.
+
+    ``source_query`` defaults to the unary expansion of ``q_chain``
+    matching the unary relations ``A(x), B(y), C(z)`` present in
+    ``query``.  Resilience is preserved exactly.
+    """
+    if two_atom_pattern(query) != CHAIN:
+        raise ValueError("query's self-join is not a 2-chain")
+    x, y, z = chain_endpoint_variables(query)
+
+    if source_query is None:
+        unaries = ""
+        for atom in query.atoms:
+            if atom.exogenous or atom.arity != 1:
+                continue
+            if atom.args[0] == x:
+                unaries += "a"
+            elif atom.args[0] == y:
+                unaries += "b"
+            elif atom.args[0] == z:
+                unaries += "c"
+        order = {"a": 0, "b": 1, "c": 2}
+        unaries = "".join(sorted(set(unaries), key=order.get))
+        source_query = ALL_QUERIES[f"q_{unaries}_chain" if unaries else "q_chain"]
+
+    out = Database()
+    flags = query.relation_flags()
+    for rel_name, arity in query.relation_arities().items():
+        out.declare(rel_name, arity, exogenous=flags[rel_name])
+
+    for valuation in iter_witnesses(source_db, source_query):
+        # Source chain queries use variables named x, y, z.
+        a, b, c = valuation["x"], valuation["y"], valuation["z"]
+        assignment: Dict[str, object] = {}
+        for v in query.variables():
+            if v == x:
+                assignment[v] = a
+            elif v == y:
+                assignment[v] = b
+            elif v == z:
+                assignment[v] = c
+            else:
+                assignment[v] = ("w", a, b, c, v)
+        for atom in query.atoms:
+            out.add(atom.relation, *(assignment[v] for v in atom.args))
+    return ReductionInstance(
+        query=query,
+        database=out,
+        k=k,
+        source=(source_query, source_db),
+        notes={"endpoints": (x, y, z)},
+    )

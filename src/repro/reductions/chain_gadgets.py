@@ -1,0 +1,226 @@
+"""Proposition 10 / Lemmas 52-54: 3SAT -> RES(q_chain) and expansions.
+
+The constructions (Figures 10-12) map a 3CNF formula ``psi`` with ``n``
+variables and ``m`` clauses to a database of ``R``-tuples; nodes are
+domain constants and each consecutive pair of R-tuples is a witness of
+the chain query.
+
+Common skeleton:
+
+* **variable gadget** — per variable a directed cycle of ``2m`` tuples
+  alternating *blue* ``R(v^j, ~v^j)`` (deleted when the variable is
+  TRUE) and *red* ``R(~v^j, v^{j+1})`` (deleted when FALSE); the two
+  minimum hitting sets of the cycle's 2m consecutive-pair witnesses are
+  exactly the blue set and the red set (m tuples each);
+
+* **clause gadget** — a triangle ``R(a,b), R(b,c), R(c,a)`` with one
+  spoke per literal position; destroying the clause's witnesses costs 5
+  tuples when some literal is true and 6 otherwise;
+
+* **connectors** — link each literal's variable gadget to its spoke so
+  that a *true* literal pre-breaks one connector witness.
+
+The connector shape depends on which unary atoms the expansion has
+(this is the content of Lemmas 52-54):
+
+* no ``A``/``C`` (``q_chain``, ``q_b_chain``): direct connectors from
+  the variable-cycle node entered by the deleted-when-true tuple
+  (Figure 10);
+* ``A`` but no ``C`` (``q_a_chain``, ``q_ab_chain``): a fresh connector
+  node ``u`` with two out-edges — into the spoke tail and into the
+  cycle node *left* by the deleted-when-true tuple (Figure 11); the
+  unary tuple ``A(u)`` is the cheap way to break both connector
+  witnesses of a false literal;
+* ``C`` but no ``A`` (``q_c_chain``, ``q_bc_chain``): the mirror image
+  (all connector edges reversed, hooks on in-tuples);
+* both ``A`` and ``C`` (``q_ac_chain``, ``q_abc_chain``): Figure 12's
+  double-buffered connectors ``R(a', *), R(*, u)`` plus ``R(hook, u)``,
+  where ``C(u)`` breaks both connector witnesses of a false literal.
+
+Unary facts (``A``/``B``/``C`` as the expansion requires) are added for
+every node so no intended witness is lost.
+
+Threshold: ``k = n*m + 5*m`` for every expansion.  (Proposition 10's
+prose states ``(2n+5)m``; the Figure 10 construction as drawn yields
+``(n+5)m``.  We implement the figure and machine-verify the
+biconditional ``psi in 3SAT <=> rho(D) <= k``, which is what the proof
+needs; EXPERIMENTS.md records the constant we measure.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.zoo import (
+    q_a_chain,
+    q_ab_chain,
+    q_abc_chain,
+    q_ac_chain,
+    q_b_chain,
+    q_bc_chain,
+    q_c_chain,
+    q_chain,
+)
+from repro.reductions.base import ReductionInstance
+from repro.workloads.formulas import CNFFormula
+
+CHAIN_EXPANSIONS: Dict[str, ConjunctiveQuery] = {
+    "": q_chain,
+    "a": q_a_chain,
+    "b": q_b_chain,
+    "c": q_c_chain,
+    "ab": q_ab_chain,
+    "bc": q_bc_chain,
+    "ac": q_ac_chain,
+    "abc": q_abc_chain,
+}
+
+
+class _Builder:
+    """Accumulates R-edges and node set."""
+
+    def __init__(self):
+        self.db = Database()
+        self.db.declare("R", 2)
+        self.nodes: Set[str] = set()
+
+    def edge(self, u: str, v: str) -> None:
+        self.db.add("R", u, v)
+        self.nodes.add(u)
+        self.nodes.add(v)
+
+
+def _pos(var: int, j: int) -> str:
+    return f"v{var}_{j}"
+
+
+def _neg(var: int, j: int) -> str:
+    return f"nv{var}_{j}"
+
+
+def _variable_gadgets(b: _Builder, n: int, m: int) -> None:
+    for var in range(1, n + 1):
+        for j in range(m):
+            b.edge(_pos(var, j), _neg(var, j))                 # blue: TRUE
+            b.edge(_neg(var, j), _pos(var, (j + 1) % m))       # red: FALSE
+
+
+def _clause_triangle(b: _Builder, j: int) -> Tuple[List[str], List[str]]:
+    corners = [f"a{j}", f"b{j}", f"c{j}"]
+    b.edge(corners[0], corners[1])
+    b.edge(corners[1], corners[2])
+    b.edge(corners[2], corners[0])
+    return corners, [f"ap{j}", f"bp{j}", f"cp{j}"]
+
+
+def _hook_out(lit: int, j: int, m: int) -> str:
+    """Cycle node *left* by the tuple deleted when ``lit`` is true."""
+    var = abs(lit)
+    return _pos(var, j) if lit > 0 else _neg(var, j)
+
+
+def _hook_in(lit: int, j: int, m: int) -> str:
+    """Cycle node *entered* by the tuple deleted when ``lit`` is true."""
+    var = abs(lit)
+    return _neg(var, j) if lit > 0 else _pos(var, (j + 1) % m)
+
+
+def _build_plain(b: _Builder, formula: CNFFormula) -> None:
+    """Figure 10 connectors: hook-node -> spoke-tail -> corner."""
+    m = formula.num_clauses
+    for j, clause in enumerate(formula.clauses):
+        corners, spokes = _clause_triangle(b, j)
+        for corner, spoke in zip(corners, spokes):
+            b.edge(spoke, corner)
+        for p, lit in enumerate(clause):
+            b.edge(_hook_in(lit, j, m), spokes[p])
+
+
+def _build_a_side(b: _Builder, formula: CNFFormula) -> None:
+    """Figure 11 connectors: fresh node u with u -> spoke-tail, u -> hook."""
+    m = formula.num_clauses
+    for j, clause in enumerate(formula.clauses):
+        corners, spokes = _clause_triangle(b, j)
+        for corner, spoke in zip(corners, spokes):
+            b.edge(spoke, corner)
+        for p, lit in enumerate(clause):
+            u = f"{spokes[p]}u"
+            b.edge(u, spokes[p])
+            b.edge(u, _hook_out(lit, j, m))
+
+
+def _build_c_side(b: _Builder, formula: CNFFormula) -> None:
+    """Mirror of Figure 11: corner -> spoke-head, hook -> u <- spoke-head."""
+    m = formula.num_clauses
+    for j, clause in enumerate(formula.clauses):
+        corners, spokes = _clause_triangle(b, j)
+        for corner, spoke in zip(corners, spokes):
+            b.edge(corner, spoke)
+        for p, lit in enumerate(clause):
+            u = f"{spokes[p]}u"
+            b.edge(spokes[p], u)
+            b.edge(_hook_in(lit, j, m), u)
+
+
+def _build_ac(b: _Builder, formula: CNFFormula) -> None:
+    """Figure 12: spoke-tail -> buffer -> u, hook -> u."""
+    m = formula.num_clauses
+    for j, clause in enumerate(formula.clauses):
+        corners, spokes = _clause_triangle(b, j)
+        for corner, spoke in zip(corners, spokes):
+            b.edge(spoke, corner)
+        for p, lit in enumerate(clause):
+            star = f"{spokes[p]}s"
+            u = f"{spokes[p]}u"
+            b.edge(spokes[p], star)
+            b.edge(star, u)
+            b.edge(_hook_in(lit, j, m), u)
+
+
+def chain_instance(formula: CNFFormula, unaries: str = "") -> ReductionInstance:
+    """Build the gadget database for ``formula`` and expansion ``unaries``.
+
+    ``unaries`` is a subset of ``"abc"`` naming the unary relations of
+    the target expansion (``""`` for plain ``q_chain``).  The instance
+    satisfies ``formula in 3SAT <=> rho(q, D) <= k`` with
+    ``k = n*m + 5*m`` — machine-verified in the test suite.
+    """
+    if unaries not in CHAIN_EXPANSIONS:
+        raise ValueError(f"unknown expansion {unaries!r}")
+    query = CHAIN_EXPANSIONS[unaries]
+    n, m = formula.num_vars, formula.num_clauses
+    if m == 0:
+        raise ValueError("need at least one clause")
+
+    b = _Builder()
+    _variable_gadgets(b, n, m)
+
+    has_a = "a" in unaries
+    has_c = "c" in unaries
+    if has_a and has_c:
+        _build_ac(b, formula)
+    elif has_a:
+        _build_a_side(b, formula)
+    elif has_c:
+        _build_c_side(b, formula)
+    else:
+        _build_plain(b, formula)
+
+    for flag, rel in (("a", "A"), ("b", "B"), ("c", "C")):
+        if flag in unaries:
+            b.db.declare(rel, 1)
+            for node in sorted(b.nodes):
+                b.db.add(rel, node)
+
+    k = n * m + 5 * m
+    return ReductionInstance(
+        query=query,
+        database=b.db,
+        k=k,
+        source=formula,
+        notes={"n": n, "m": m, "k_formula": "n*m + 5*m", "construction": (
+            "ac" if has_a and has_c else "a" if has_a else "c" if has_c else "plain"
+        )},
+    )

@@ -1,0 +1,199 @@
+"""Theorems 27/28: the generic path reductions RES(q_vc) -> RES(q).
+
+Both theorems reduce vertex cover (via ``q_vc``) to RES(q) for any
+minimal connected ssj binary query ``q`` containing a *path*:
+
+* **unary path** (Theorem 27): two distinct unary atoms ``R(x), R(y)``;
+* **binary path** (Theorem 28): two binary atoms ``R(x,y), R(z,w)``
+  with disjoint variables and no all-R path between them.
+
+Construction, for a source graph ``G``: the endpoint variables of the
+path map to graph vertices (``x -> a``, ``y``/``z`` ``-> b`` per edge
+``(a,b)``); in the binary case whole *R-path equivalence classes* of
+variables collapse to ``a`` or ``b``, making every R-tuple diagonal
+``(a, a)`` — R plays the role of q_vc's vertex relation.  Interior
+variables of the connecting path get per-edge constants, and every
+other variable gets per-edge-per-replica fresh constants, with
+``n + 1`` replicas so off-path tuples are never worth deleting.
+
+The result satisfies ``(G, k) in VC <=> (D', k) in RES(q)`` — verified
+against exhaustive vertex cover in the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.db.database import Database
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.reductions.base import ReductionInstance
+from repro.structure.patterns import find_binary_path, find_unary_path
+from repro.workloads.graphs import Graph
+
+
+def _atom_graph_path(
+    query: ConjunctiveQuery, start: Atom, goal: Atom, avoid_relation: str
+) -> List[int]:
+    """Indices of atoms on a path from ``start`` to ``goal`` whose
+    interior atoms avoid ``avoid_relation``."""
+    atoms = query.atoms
+    start_i = next(i for i, a in enumerate(atoms) if a == start)
+    goal_i = next(i for i, a in enumerate(atoms) if a == goal)
+    prev: Dict[int, int] = {start_i: start_i}
+    queue = deque([start_i])
+    while queue:
+        cur = queue.popleft()
+        for i, atom in enumerate(atoms):
+            if i in prev:
+                continue
+            if not (atoms[cur].variables() & atom.variables()):
+                continue
+            if i != goal_i and atom.relation == avoid_relation:
+                continue
+            prev[i] = cur
+            if i == goal_i:
+                path = [i]
+                while path[-1] != start_i:
+                    path.append(prev[path[-1]])
+                return list(reversed(path))
+            queue.append(i)
+    raise ValueError("no connecting path found; query is not connected")
+
+
+def _r_equivalence_classes(query: ConjunctiveQuery, rel: str) -> Dict[str, int]:
+    """Variable partition under "joined by an R-path" (Theorem 28)."""
+    parent: Dict[str, str] = {v: v for v in query.variables()}
+
+    def find(v: str) -> str:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for atom in query.occurrences(rel):
+        vs = list(atom.variables())
+        for other in vs[1:]:
+            ra, rb = find(vs[0]), find(other)
+            if ra != rb:
+                parent[ra] = rb
+    classes: Dict[str, int] = {}
+    roots: Dict[str, int] = {}
+    for v in query.variables():
+        root = find(v)
+        if root not in roots:
+            roots[root] = len(roots)
+        classes[v] = roots[root]
+    return classes
+
+
+def _build(
+    query: ConjunctiveQuery,
+    graph: Graph,
+    k: int,
+    value_of,
+    replicated_vars: Set[str],
+) -> ReductionInstance:
+    """Shared emitter: per graph edge, one core valuation plus replicas."""
+    db = Database()
+    flags = query.relation_flags()
+    for rel_name, arity in query.relation_arities().items():
+        db.declare(rel_name, arity, exogenous=flags[rel_name])
+
+    n_replicas = len(graph.vertices) + 1
+    for (a, b) in sorted(graph.edges):
+        for r in range(n_replicas):
+            valuation = {}
+            for v in query.variables():
+                if v in replicated_vars:
+                    valuation[v] = ("f", a, b, v, r)
+                else:
+                    valuation[v] = value_of(v, a, b)
+            for atom in query.atoms:
+                db.add(atom.relation, *(valuation[v] for v in atom.args))
+    return ReductionInstance(
+        query=query,
+        database=db,
+        k=k,
+        source=graph,
+        notes={"replicas": n_replicas, "edges": len(graph.edges)},
+    )
+
+
+def unary_path_instance(
+    query: ConjunctiveQuery, graph: Graph, k: int
+) -> ReductionInstance:
+    """Theorem 27's reduction for a query with a unary path.
+
+    ``(G, k) in VC <=> (D', k) in RES(query)``.
+    """
+    witness = find_unary_path(query)
+    if witness is None:
+        raise ValueError("query has no unary path")
+    first, second = witness
+    rel = first.relation
+    path = _atom_graph_path(query, first, second, avoid_relation=rel)
+    core_vars: Set[str] = set()
+    for i in path:
+        core_vars.update(query.atoms[i].args)
+    x_var = first.args[0]
+    y_var = second.args[0]
+
+    def value_of(v: str, a, b):
+        if v == x_var:
+            return a
+        if v == y_var:
+            return b
+        return ("i", a, b, v)
+
+    replicated = set(query.variables()) - core_vars
+    return _build(query, graph, k, value_of, replicated)
+
+
+def binary_path_instance(
+    query: ConjunctiveQuery, graph: Graph, k: int
+) -> ReductionInstance:
+    """Theorem 28's reduction for a query with a binary path.
+
+    All variables R-equivalent to ``x`` map to ``a`` and those
+    R-equivalent to ``z`` map to ``b``, so every R-tuple is diagonal and
+    stands for a graph vertex.  ``(G, k) in VC <=> (D', k) in RES(q)``.
+    """
+    witness = find_binary_path(query)
+    if witness is None:
+        raise ValueError("query has no binary path")
+    first, second = witness
+    rel = first.relation
+    classes = _r_equivalence_classes(query, rel)
+    x_class = classes[first.args[0]]
+    z_class = classes[second.args[0]]
+    if x_class == z_class:  # pragma: no cover - find_binary_path prevents this
+        raise ValueError("path endpoints are R-equivalent")
+    path = _atom_graph_path(query, first, second, avoid_relation=rel)
+    core_vars: Set[str] = set()
+    for i in path:
+        core_vars.update(query.atoms[i].args)
+    # Variables in the endpoint classes are always core-valued.
+    class_vars = {
+        v for v in query.variables() if classes[v] in (x_class, z_class)
+    }
+
+    def value_of(v: str, a, b):
+        if classes[v] == x_class:
+            return a
+        if classes[v] == z_class:
+            return b
+        return ("i", a, b, v)
+
+    replicated = set(query.variables()) - core_vars - class_vars
+    return _build(query, graph, k, value_of, replicated)
+
+
+def path_instance(
+    query: ConjunctiveQuery, graph: Graph, k: int
+) -> ReductionInstance:
+    """Dispatch to the unary or binary construction as appropriate."""
+    if find_unary_path(query) is not None:
+        return unary_path_instance(query, graph, k)
+    return binary_path_instance(query, graph, k)

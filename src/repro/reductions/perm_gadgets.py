@@ -1,0 +1,155 @@
+"""Proposition 34/35: bounded permutations are hard.
+
+* :func:`abperm_instance` — the 3SAT -> RES(q_ABperm) gadget of
+  Proposition 34 (Figure 14).  Witnesses of
+  ``q_ABperm :- A(x), R(x,y), R(y,x), B(y)`` are 2-way R-pairs flanked
+  by ``A`` on one side and ``B`` on the other; the gadget builds, per
+  variable, a ring of pairs whose two minimum covers (3m tuples each)
+  encode TRUE and FALSE, and per clause a triangle of pairs costing 5
+  when satisfied and 6 otherwise.  ``k = (3n + 5) m``.
+
+* :func:`bounded_permutation_instance` — Proposition 35 case 2: the
+  generic lifting RES(q_ABperm) -> RES(q) for any pseudo-linear query
+  ``q`` whose only self-join is a *bound* permutation ``R(x,y), R(y,x)``:
+  every variable is "like x" or "like y" (which side of the permutation
+  it lives on), and each q_ABperm witness ``(a, b)`` stamps out one
+  tuple per atom with x-like variables valued ``a`` and y-like ``b``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import iter_witnesses
+from repro.query.zoo import q_ABperm
+from repro.reductions.base import ReductionInstance
+from repro.workloads.formulas import CNFFormula
+
+
+def _pair(db: Database, u, v) -> None:
+    db.add("R", u, v)
+    db.add("R", v, u)
+
+
+def abperm_instance(formula: CNFFormula) -> ReductionInstance:
+    """Proposition 34: ``psi in 3SAT <=> rho(q_ABperm, D) <= (3n+5)m``."""
+    n, m = formula.num_vars, formula.num_clauses
+    if m == 0:
+        raise ValueError("need at least one clause")
+    db = Database()
+    db.declare("A", 1)
+    db.declare("B", 1)
+    db.declare("R", 2)
+
+    def node(tag: str, var: int, j: int) -> str:
+        return f"{tag}{var}_{j}"
+
+    def ab(value: str) -> None:
+        db.add("A", value)
+        db.add("B", value)
+
+    # Variable gadgets (Figure 14): a ring of 2-way pairs
+    #   {v^j, ~v^j} and {~v^j, v^(j+1)}
+    # plus per-slot helper pairs {*^j, v^j} and {~*^j, ~v^j}.  The two
+    # minimum covers are "all positive A/B-tuples + one R per negative
+    # helper pair" (TRUE) and the mirror (FALSE): 3m tuples either way.
+    for var in range(1, n + 1):
+        for j in range(m):
+            pos, neg = node("v", var, j), node("nv", var, j)
+            nxt = node("v", var, (j + 1) % m)
+            star, nstar = node("s", var, j), node("ns", var, j)
+            for value in (pos, neg, star, nstar):
+                ab(value)
+            _pair(db, pos, neg)
+            _pair(db, neg, nxt)
+            _pair(db, star, pos)
+            _pair(db, nstar, neg)
+
+    # Clause gadgets: a triangle of pairs {a,b}, {b,c}, {c,a} with
+    # pendant pairs {a,a'}, {b,b'}, {c,c'}; satisfied costs 5, else 6.
+    for j, clause in enumerate(formula.clauses):
+        corners = [f"ca{j}", f"cb{j}", f"cc{j}"]
+        pendants = [f"ca{j}p", f"cb{j}p", f"cc{j}p"]
+        for value in corners + pendants:
+            ab(value)
+        _pair(db, corners[0], corners[1])
+        _pair(db, corners[1], corners[2])
+        _pair(db, corners[2], corners[0])
+        for corner, pendant in zip(corners, pendants):
+            _pair(db, corner, pendant)
+        # Connections: a 2-way pair between the literal's gadget node
+        # (positive node if the literal is positive) and the corner.
+        for p, lit in enumerate(clause):
+            var = abs(lit)
+            lit_node = node("v" if lit > 0 else "nv", var, j)
+            _pair(db, lit_node, corners[p])
+
+    k = (3 * n + 5) * m
+    return ReductionInstance(
+        query=q_ABperm,
+        database=db,
+        k=k,
+        source=formula,
+        notes={"n": n, "m": m, "k_formula": "(3n+5)m"},
+    )
+
+
+def _sides(query: ConjunctiveQuery) -> Dict[str, str]:
+    """Classify each variable as "x"-like or "y"-like (Prop 35 case 2).
+
+    ``z isLike x`` iff ``z`` occurs in the part of the query reachable
+    from ``x`` without crossing the permutation variable ``y``.
+    """
+    rel = query.self_join_relation()
+    first, _second = query.occurrences(rel)
+    x, y = first.args
+    sides: Dict[str, str] = {x: "x", y: "y"}
+    # BFS over non-R atoms from x, blocking y.
+    frontier = deque([x])
+    seen = {x, y}
+    while frontier:
+        v = frontier.popleft()
+        for atom in query.atoms:
+            if atom.relation == rel:
+                continue
+            vs = atom.variables()
+            if v in vs:
+                for w in vs:
+                    if w not in seen:
+                        seen.add(w)
+                        sides[w] = "x"
+                        frontier.append(w)
+    for v in query.variables():
+        sides.setdefault(v, "y")
+    return sides
+
+
+def bounded_permutation_instance(
+    query: ConjunctiveQuery, abperm_db: Database, k: int
+) -> ReductionInstance:
+    """Proposition 35 case 2: lift a q_ABperm database to ``query``.
+
+    Resilience is preserved exactly; tests verify the equality.
+    """
+    sides = _sides(query)
+    db = Database()
+    flags = query.relation_flags()
+    for rel_name, arity in query.relation_arities().items():
+        db.declare(rel_name, arity, exogenous=flags[rel_name])
+    for w in iter_witnesses(abperm_db, q_ABperm):
+        a, b = w["x"], w["y"]
+        for atom in query.atoms:
+            db.add(
+                atom.relation,
+                *((a if sides[v] == "x" else b) for v in atom.args),
+            )
+    return ReductionInstance(
+        query=query,
+        database=db,
+        k=k,
+        source=abperm_db,
+        notes={"sides": sides},
+    )

@@ -1,0 +1,77 @@
+"""Lemmas 50/51: hardness gadgets for self-join variations of q_rats/q_brats.
+
+These queries (e.g. ``q_sj1_rats :- A(x), R(x,y), R(y,z), R(z,x)``)
+contain triads made of three occurrences of the *same* relation, so the
+generic Lemma 6 reduction does not apply; instead the triangle gadget of
+Proposition 56 is replayed with all three edge relations collapsed into
+``R`` and unary ``A`` (and ``B``) facts on every constant:
+
+* for each witness ``<a,b,c>`` of the triangle database, add
+  ``R(a,b), R(b,c), R(c,a)`` and ``A(a), A(b), A(c)``
+  (plus ``B(...)`` for the brats variant);
+* A-tuples participate in at most 2 witnesses while gadget R-tuples
+  participate in 3 or 6, so minimum contingency sets stay R-only and
+  mirror the triangle gadget's: ``k = 6*m*n`` as in Proposition 56.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import iter_witnesses
+from repro.query.zoo import q_sj1_brats, q_sj1_rats, q_triangle
+from repro.reductions.base import ReductionInstance
+from repro.reductions.triangle import triangle_instance
+from repro.workloads.formulas import CNFFormula
+
+
+def _collapsed_db(triangle_db: Database, with_b: bool) -> Database:
+    db = Database()
+    db.declare("R", 2)
+    db.declare("A", 1)
+    if with_b:
+        db.declare("B", 1)
+    for w in iter_witnesses(triangle_db, q_triangle):
+        a, b, c = w["x"], w["y"], w["z"]
+        db.add("R", a, b)
+        db.add("R", b, c)
+        db.add("R", c, a)
+        for v in (a, b, c):
+            db.add("A", v)
+            if with_b:
+                db.add("B", v)
+    return db
+
+
+def sj1_rats_instance(formula: CNFFormula) -> ReductionInstance:
+    """Lemma 50: 3SAT -> RES(q_sj1_rats) via the collapsed triangle gadget.
+
+    ``psi in 3SAT <=> rho(q_sj1_rats, D) <= 6*m*n``.
+    """
+    tri = triangle_instance(formula)
+    db = _collapsed_db(tri.database, with_b=False)
+    return ReductionInstance(
+        query=q_sj1_rats,
+        database=db,
+        k=tri.k,
+        source=formula,
+        notes={"base": "triangle gadget", "k_formula": "6*m*n"},
+    )
+
+
+def sj1_brats_instance(formula: CNFFormula) -> ReductionInstance:
+    """Lemma 51: 3SAT -> RES(q_sj1_brats), adding B-facts everywhere.
+
+    ``psi in 3SAT <=> rho(q_sj1_brats, D) <= 6*m*n``.
+    """
+    tri = triangle_instance(formula)
+    db = _collapsed_db(tri.database, with_b=True)
+    return ReductionInstance(
+        query=q_sj1_brats,
+        database=db,
+        k=tri.k,
+        source=formula,
+        notes={"base": "triangle gadget", "k_formula": "6*m*n"},
+    )

@@ -1,0 +1,77 @@
+"""Lemma 21: self-join variations can only be harder.
+
+Given an sj-free query ``q``, a *self-join variation* ``q_sj``
+(Definition 19) replaces some atoms ``S_i(v)`` by ``R_i(v)`` where
+``R_i`` occurs elsewhere.  Lemma 21 reduces RES(q) to RES(q_sj) when
+``q_sj`` is minimal, by tagging every constant with the variable it
+instantiates: the witness ``j`` contributes the tuple
+``T(j(v1)^{v1}, ..., j(vk)^{vk})`` for each atom ``T(v)`` of ``q_sj``.
+Tagging makes the new self-joins inert — a tagged tuple "remembers"
+which atom it came from — giving a 1:1 correspondence of contingency
+sets, hence ``rho(q, D) = rho(q_sj, D')``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import iter_witnesses
+from repro.query.homomorphism import is_minimal
+from repro.reductions.base import ReductionInstance
+
+
+def variation_atom_map(
+    sjfree: ConjunctiveQuery, variation: ConjunctiveQuery
+) -> List[int]:
+    """Sanity check that ``variation`` has the same atom argument lists.
+
+    A self-join variation keeps each atom's argument vector and only
+    renames relations, so the i-th atoms must agree on args.
+    """
+    if len(sjfree.atoms) != len(variation.atoms):
+        raise ValueError("variation must have the same number of atoms")
+    for a, b in zip(sjfree.atoms, variation.atoms):
+        if a.args != b.args:
+            raise ValueError(
+                f"atom mismatch: {a!r} vs {b!r} (args must be identical)"
+            )
+    return list(range(len(sjfree.atoms)))
+
+
+def sj_variation_instance(
+    sjfree: ConjunctiveQuery,
+    variation: ConjunctiveQuery,
+    database: Database,
+    k: int,
+    check_minimality: bool = True,
+) -> ReductionInstance:
+    """The Lemma 21 database ``D'`` for ``variation`` from ``(D, q)``.
+
+    ``(D, k) in RES(q) <=> (D', k) in RES(q_sj)`` — in fact resilience
+    values are equal; tests verify that equality.
+    """
+    variation_atom_map(sjfree, variation)
+    if check_minimality and not is_minimal(variation):
+        raise ValueError(
+            "Lemma 21 requires the self-join variation to be minimal "
+            "(see Example 22 for why)"
+        )
+    out = Database()
+    flags = variation.relation_flags()
+    for rel_name, arity in variation.relation_arities().items():
+        out.declare(rel_name, arity, exogenous=flags[rel_name])
+    for valuation in iter_witnesses(database, sjfree):
+        for atom in variation.atoms:
+            out.add(
+                atom.relation,
+                *((valuation[v], v) for v in atom.args),
+            )
+    return ReductionInstance(
+        query=variation,
+        database=out,
+        k=k,
+        source=(sjfree, database),
+        notes={"tagging": "value tagged with variable name"},
+    )

@@ -1,0 +1,272 @@
+"""Triangle and triad reductions (Propositions 56/57, Lemma 6).
+
+* :func:`triangle_instance` — the 3SAT -> RES(q_triangle) gadget of
+  Proposition 56 (Figure 16): per variable a ring of ``2m`` six-node
+  segments whose 12m RGB triangles admit exactly two minimum hitting
+  sets (the ``v``-marked and ``~v``-marked solid edges, 6m each); per
+  clause one extra RGB triangle formed by *identifying vertices* so it
+  borrows one suitably-marked edge from each literal's ring.
+  ``k = 6*m*n``.
+
+* :func:`tripod_instance` — RES(q_triangle) -> RES(q_tripod)
+  (Proposition 57): pair constants ``<ab>`` become unary facts and an
+  all-triples ``W`` glues them.
+
+* :func:`triad_instance` — the generic Lemma 6 reduction
+  RES(q_triangle) -> RES(q) for any query with a triad whose atoms have
+  pairwise-distinct relations (the self-join case is covered separately
+  by :mod:`repro.reductions.rats_gadgets`): variables are partitioned
+  into the seven groups of Eqn. 6 and every witness of the triangle
+  database stamps out one tuple per atom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import iter_witnesses
+from repro.query.zoo import q_triangle, q_tripod
+from repro.reductions.base import ReductionInstance
+from repro.structure.triads import find_triad
+from repro.workloads.formulas import CNFFormula
+
+_RELS = ("R", "S", "T")
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[Hashable, Hashable] = {}
+
+    def find(self, x: Hashable) -> Hashable:
+        self.parent.setdefault(x, x)
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, x: Hashable, y: Hashable) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self.parent[rx] = ry
+
+
+def _ring_edges(var: int, m: int):
+    """The ring of gadget ``G_var``: 12m directed, labelled solid edges.
+
+    Nodes are ``(var, p)`` for positions ``p`` around a 12m-node cycle.
+    Edge ``j`` runs position ``j -> j+1`` with relation R/S/T by
+    ``j mod 3`` and mark "true" (delete when the variable is TRUE) for
+    even ``j``, "false" for odd ``j``.  The dotted closing edges (one
+    per adjacent solid pair) complete the 12m RGB triangles.
+    """
+    size = 12 * m
+    solid = []
+    for j in range(size):
+        u, v = (var, j), (var, (j + 1) % size)
+        solid.append((_RELS[j % 3], u, v, j % 2 == 0))
+    dotted = []
+    for j in range(size):
+        # Pair (edge j, edge j+1) covers nodes j, j+1, j+2; the closing
+        # edge is the remaining relation from node j+2 back to node j.
+        rel = _RELS[(j + 2) % 3]
+        dotted.append((rel, (var, (j + 2) % size), (var, j)))
+    return solid, dotted
+
+
+def triangle_instance(formula: CNFFormula) -> ReductionInstance:
+    """Proposition 56: ``psi in 3SAT <=> rho(q_triangle, D) <= 6*m*n``.
+
+    Clause ``j`` borrows edges from the dedicated segment starting at
+    position ``12*j`` of each of its literals' rings: an R-edge for
+    literal 1, S-edge for literal 2, T-edge for literal 3, marked
+    "true" for positive literals and "false" for negative ones, glued
+    into one RGB triangle by vertex identification.
+    """
+    n, m = formula.num_vars, formula.num_clauses
+    if m == 0:
+        raise ValueError("need at least one clause")
+    uf = _UnionFind()
+    all_solid = {}
+    all_dotted = {}
+    for var in range(1, n + 1):
+        solid, dotted = _ring_edges(var, m)
+        all_solid[var] = solid
+        all_dotted[var] = dotted
+
+    for j, clause in enumerate(formula.clauses):
+        if len(set(abs(l) for l in clause)) != 3:
+            raise ValueError("clause variables must be distinct")
+        # Segment for clause j spans edge indices 12j .. 12j+5 (the
+        # first trio pair of the segment); within it, both marks are
+        # available for each relation:
+        #   R at 12j (true) / 12j+3 (false)
+        #   S at 12j+4 (true) / 12j+1 (false)
+        #   T at 12j+2 (true) / 12j+5 (false)
+        offsets = {
+            ("R", True): 0, ("R", False): 3,
+            ("S", True): 4, ("S", False): 1,
+            ("T", True): 2, ("T", False): 5,
+        }
+        chosen = []
+        for p, lit in enumerate(clause):
+            rel = _RELS[p]
+            want_true_mark = lit > 0
+            idx = 12 * j + offsets[(rel, want_true_mark)]
+            edge = all_solid[abs(lit)][idx]
+            assert edge[0] == rel and edge[3] == want_true_mark
+            chosen.append(edge)
+        # Glue: R(a,b), S(b',c'), T(c'',a'') -> identify b=b', c'=c'', a''=a.
+        (_, ra, rb, _), (_, sb, sc, _), (_, tc, ta, _) = chosen
+        uf.union(rb, sb)
+        uf.union(sc, tc)
+        uf.union(ta, ra)
+
+    db = Database()
+    for rel in _RELS:
+        db.declare(rel, 2)
+    true_marked: Dict[int, Set] = {var: set() for var in range(1, n + 1)}
+    false_marked: Dict[int, Set] = {var: set() for var in range(1, n + 1)}
+    for var in range(1, n + 1):
+        for rel, u, v, is_true in all_solid[var]:
+            fact = db.add(rel, uf.find(u), uf.find(v))
+            (true_marked if is_true else false_marked)[var].add(fact)
+        for rel, u, v in all_dotted[var]:
+            db.add(rel, uf.find(u), uf.find(v))
+
+    k = 6 * m * n
+    return ReductionInstance(
+        query=q_triangle,
+        database=db,
+        k=k,
+        source=formula,
+        notes={
+            "n": n,
+            "m": m,
+            "k_formula": "6*m*n",
+            "true_marked": true_marked,
+            "false_marked": false_marked,
+        },
+    )
+
+
+def tripod_instance(
+    triangle_db: Database, k: int
+) -> ReductionInstance:
+    """Proposition 57: RES(q_triangle) -> RES(q_tripod).
+
+    ``A = {<ab> : R(a,b)}``, ``B = {<bc> : S(b,c)}``,
+    ``C = {<ca> : T(c,a)}``, and ``W`` contains
+    ``(<ab>, <bc>, <ac>)`` for *all* constant triples, so witnesses
+    correspond 1:1 and ``rho`` is preserved (W is dominated by A and
+    never chosen).
+    """
+    db = Database()
+    db.declare("A", 1)
+    db.declare("B", 1)
+    db.declare("C", 1)
+    db.declare("W", 3)
+    dom = sorted(triangle_db.active_domain(), key=repr)
+    for fact in triangle_db.relations["R"]:
+        db.add("A", ("ab",) + fact.values)
+    for fact in triangle_db.relations["S"]:
+        db.add("B", ("bc",) + fact.values)
+    for fact in triangle_db.relations["T"]:
+        db.add("C", ("ca",) + fact.values)
+    for a in dom:
+        for b in dom:
+            for c in dom:
+                db.add("W", ("ab", a, b), ("bc", b, c), ("ca", c, a))
+    return ReductionInstance(
+        query=q_tripod,
+        database=db,
+        k=k,
+        source=triangle_db,
+        notes={"domain": len(dom)},
+    )
+
+
+def _seven_groups(
+    query: ConjunctiveQuery, triad: Tuple[int, int, int]
+) -> Dict[str, str]:
+    """Eqn. 6: assign each variable its group tag.
+
+    Tags: ``ab``, ``bc``, ``ca`` (unshared triad variables), ``abc``
+    (outside the triad), ``a``/``b``/``c`` (pairwise intersections).
+    Variables shared by all three triad atoms are disallowed (the proof
+    sets them to a constant first).
+    """
+    s0, s1, s2 = (query.atoms[i].variables() for i in triad)
+    if s0 & s1 & s2:
+        raise ValueError("triad atoms share a common variable; substitute it first")
+    groups: Dict[str, str] = {}
+    for v in query.variables():
+        in0, in1, in2 = v in s0, v in s1, v in s2
+        if in0 and in1:
+            groups[v] = "b"
+        elif in1 and in2:
+            groups[v] = "c"
+        elif in2 and in0:
+            groups[v] = "a"
+        elif in0:
+            groups[v] = "ab"
+        elif in1:
+            groups[v] = "bc"
+        elif in2:
+            groups[v] = "ca"
+        else:
+            groups[v] = "abc"
+    return groups
+
+
+def triad_instance(
+    query: ConjunctiveQuery,
+    triad: Optional[Tuple[int, int, int]],
+    triangle_db: Database,
+    k: int,
+) -> ReductionInstance:
+    """Lemma 6 (generalised in Theorem 24): RES(q_triangle) -> RES(q).
+
+    For every witness ``(a, b, c)`` of the triangle database, each atom
+    of ``q`` contributes the tuple obtained by valuating its variables
+    through the seven-group partition — e.g. group ``ab`` maps to the
+    pair constant ``<ab>``, group ``a`` maps to ``a`` itself.
+    Resilience is preserved exactly when the triad atoms carry three
+    distinct relations; tests verify the equality.
+    """
+    if triad is None:
+        triad = find_triad(query)
+        if triad is None:
+            raise ValueError("query has no triad")
+    groups = _seven_groups(query, triad)
+
+    def value(group: str, a, b, c):
+        return {
+            "ab": ("ab", a, b),
+            "bc": ("bc", b, c),
+            "ca": ("ca", c, a),
+            "abc": ("abc", a, b, c),
+            "a": a,
+            "b": b,
+            "c": c,
+        }[group]
+
+    db = Database()
+    flags = query.relation_flags()
+    for rel_name, arity in query.relation_arities().items():
+        db.declare(rel_name, arity, exogenous=flags[rel_name])
+    for w in iter_witnesses(triangle_db, q_triangle):
+        a, b, c = w["x"], w["y"], w["z"]
+        for atom in query.atoms:
+            db.add(
+                atom.relation,
+                *(value(groups[v], a, b, c) for v in atom.args),
+            )
+    return ReductionInstance(
+        query=query,
+        database=db,
+        k=k,
+        source=triangle_db,
+        notes={"triad": triad, "groups": groups},
+    )

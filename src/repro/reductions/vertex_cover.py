@@ -1,0 +1,41 @@
+"""Proposition 9: VERTEX COVER -> RES(q_vc).
+
+A directed-graph database over unary ``R`` (vertices) and binary ``S``
+(edges) satisfies ``q_vc :- R(x), S(x,y), R(y)`` exactly when the graph
+has an edge, and contingency sets restricted to ``R`` are vertex covers:
+``(G, k) in VC  <=>  (D_G, k) in RES(q_vc)``.
+
+The reduction in the paper deletes only ``R``-tuples conceptually, but
+``S`` is also endogenous; deleting ``S(u, v)`` breaks only that edge's
+witness while ``R``-tuples can break many, and a contingency set that
+uses ``S(u,v)`` can be exchanged for ``R(u)`` — so minimum contingency
+sets equal minimum vertex covers either way.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.query.zoo import q_vc
+from repro.reductions.base import ReductionInstance
+from repro.workloads.graphs import Graph
+
+
+def vc_instance(graph: Graph, k: int) -> ReductionInstance:
+    """The database ``D_G`` of Proposition 9 with threshold ``k``.
+
+    ``(G, k) in VC <=> (D_G, k) in RES(q_vc)``.
+    """
+    db = Database()
+    db.declare("R", 1)
+    db.declare("S", 2)
+    for v in graph.vertices:
+        db.add("R", v)
+    for (u, v) in graph.edges:
+        db.add("S", u, v)
+    return ReductionInstance(
+        query=q_vc,
+        database=db,
+        k=k,
+        source=graph,
+        notes={"vertices": len(graph.vertices), "edges": len(graph.edges)},
+    )

@@ -1,0 +1,46 @@
+"""Resilience solvers.
+
+Resilience (Definition 1): ``rho(q, D)`` is the size of a minimum set of
+endogenous tuples whose deletion makes ``D`` falsify ``q``.  This package
+provides:
+
+* :mod:`repro.resilience.exact` — exact minimum hitting set over the
+  witness structure, via branch-and-bound and via scipy's ILP solver;
+* :mod:`repro.resilience.flow_linear` — the network-flow algorithm for
+  linear queries ([31]; extended to duplicated relations per
+  Proposition 31);
+* :mod:`repro.resilience.flow_special` — the paper's bespoke
+  polynomial-time algorithms: ``q_perm``/``q_Aperm`` (Proposition 33),
+  ``q_ACconf`` (Proposition 12), ``q_A3perm_R`` (Proposition 13),
+  ``q_Swx3perm_R`` (Proposition 44), ``q_TS3conf`` (Proposition 41), and
+  ``q_z3`` (Proposition 36);
+* :mod:`repro.resilience.solver` — a dispatcher that routes a query to
+  the appropriate algorithm (flow when the classifier says P, exact
+  search otherwise) and can cross-check.
+"""
+
+from repro.resilience.types import (
+    ResilienceResult,
+    UnbreakableQueryError,
+)
+from repro.resilience.exact import (
+    resilience_exact,
+    resilience_ilp,
+    resilience_branch_and_bound,
+    is_contingency_set,
+)
+from repro.resilience.flow_linear import LinearFlowSolver, resilience_linear_flow
+from repro.resilience.solver import solve, resilience
+
+__all__ = [
+    "ResilienceResult",
+    "UnbreakableQueryError",
+    "resilience_exact",
+    "resilience_ilp",
+    "resilience_branch_and_bound",
+    "is_contingency_set",
+    "LinearFlowSolver",
+    "resilience_linear_flow",
+    "solve",
+    "resilience",
+]

@@ -1,0 +1,194 @@
+"""Exact resilience via minimum hitting set.
+
+Resilience equals minimum hitting set over the witness structure: every
+witness of ``D |= q`` contributes the set of endogenous tuples it uses,
+and a contingency set is exactly a set of endogenous tuples intersecting
+every witness (deleting them destroys all witnesses, and destroying all
+witnesses is the only way to falsify the query).
+
+Two exact solvers are provided and cross-checked in tests:
+
+* :func:`resilience_branch_and_bound` — pure-Python branch and bound
+  with greedy seeding and lower-bound pruning via disjoint witnesses;
+* :func:`resilience_ilp` — an integer program solved by scipy's
+  ``milp`` (HiGHS), which scales further.
+
+Both are exponential in the worst case (minimum hitting set is NP-hard,
+which is the point of the paper), but comfortably handle the gadget
+databases used to *verify* the reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import satisfies, witness_tuple_sets
+from repro.resilience.types import ResilienceResult, UnbreakableQueryError
+
+
+def _witness_sets(
+    database: Database, query: ConjunctiveQuery
+) -> List[FrozenSet[DBTuple]]:
+    sets = witness_tuple_sets(database, query, endogenous_only=True)
+    for s in sets:
+        if not s:
+            raise UnbreakableQueryError(
+                "a witness uses only exogenous tuples; the query cannot be "
+                "falsified by endogenous deletions"
+            )
+    return sets
+
+
+def _reduce_witnesses(
+    sets: List[FrozenSet[DBTuple]],
+) -> List[FrozenSet[DBTuple]]:
+    """Drop witnesses that are supersets of others.
+
+    Hitting a subset hits all its supersets, so only inclusion-minimal
+    witness sets matter.  This reduction is crucial for gadget databases
+    where e.g. a single tuple forms a witness on its own.
+    """
+    sets_sorted = sorted(set(sets), key=len)
+    kept: List[FrozenSet[DBTuple]] = []
+    for s in sets_sorted:
+        if not any(k <= s for k in kept):
+            kept.append(s)
+    return kept
+
+
+def is_contingency_set(
+    database: Database, query: ConjunctiveQuery, gamma: Set[DBTuple]
+) -> bool:
+    """Is ``gamma`` a contingency set — ``D - gamma`` falsifies ``q``?"""
+    return not satisfies(database.minus(gamma), query)
+
+
+# ---------------------------------------------------------------------------
+# Branch and bound
+# ---------------------------------------------------------------------------
+
+def _greedy_hitting_set(sets: Sequence[FrozenSet[DBTuple]]) -> Set[DBTuple]:
+    """Greedy upper bound: repeatedly take the tuple hitting most sets."""
+    remaining = list(sets)
+    chosen: Set[DBTuple] = set()
+    while remaining:
+        counts: Dict[DBTuple, int] = {}
+        for s in remaining:
+            for t in s:
+                counts[t] = counts.get(t, 0) + 1
+        best = max(counts, key=lambda t: (counts[t], repr(t)))
+        chosen.add(best)
+        remaining = [s for s in remaining if best not in s]
+    return chosen
+
+
+def _disjoint_lower_bound(sets: Sequence[FrozenSet[DBTuple]]) -> int:
+    """Greedy packing of pairwise-disjoint witnesses: a hitting-set lower bound."""
+    used: Set[DBTuple] = set()
+    count = 0
+    for s in sorted(sets, key=len):
+        if not (s & used):
+            used.update(s)
+            count += 1
+    return count
+
+
+def resilience_branch_and_bound(
+    database: Database, query: ConjunctiveQuery
+) -> ResilienceResult:
+    """Exact resilience via branch and bound on the hitting-set problem.
+
+    Branches on the tuples of a smallest currently-unhit witness; prunes
+    with a disjoint-witness lower bound and the greedy incumbent.
+    """
+    sets = _reduce_witnesses(_witness_sets(database, query))
+    if not sets:
+        return ResilienceResult(0, frozenset(), method="branch-and-bound")
+
+    best_set = _greedy_hitting_set(sets)
+    best = [len(best_set), frozenset(best_set)]
+
+    def search(remaining: List[FrozenSet[DBTuple]], chosen: Set[DBTuple]) -> None:
+        if not remaining:
+            if len(chosen) < best[0]:
+                best[0] = len(chosen)
+                best[1] = frozenset(chosen)
+            return
+        if len(chosen) + _disjoint_lower_bound(remaining) >= best[0]:
+            return
+        target = min(remaining, key=len)
+        # Deterministic branching order for reproducibility.
+        for t in sorted(target):
+            chosen.add(t)
+            nxt = [s for s in remaining if t not in s]
+            search(nxt, chosen)
+            chosen.remove(t)
+
+    search(sets, set())
+    return ResilienceResult(best[0], best[1], method="branch-and-bound")
+
+
+# ---------------------------------------------------------------------------
+# Integer programming (scipy / HiGHS)
+# ---------------------------------------------------------------------------
+
+def resilience_ilp(database: Database, query: ConjunctiveQuery) -> ResilienceResult:
+    """Exact resilience as a 0/1 integer program.
+
+    ``min sum(x_t)`` subject to ``sum_{t in w} x_t >= 1`` for every
+    witness ``w``; solved by scipy's HiGHS-backed ``milp``.
+    """
+    from scipy.optimize import Bounds, LinearConstraint, milp
+    from scipy.sparse import lil_matrix
+
+    sets = _reduce_witnesses(_witness_sets(database, query))
+    if not sets:
+        return ResilienceResult(0, frozenset(), method="ilp")
+
+    universe = sorted({t for s in sets for t in s})
+    index = {t: i for i, t in enumerate(universe)}
+    n = len(universe)
+    m = len(sets)
+    A = lil_matrix((m, n))
+    for row, s in enumerate(sets):
+        for t in s:
+            A[row, index[t]] = 1.0
+    constraint = LinearConstraint(A.tocsr(), lb=np.ones(m), ub=np.full(m, np.inf))
+    result = milp(
+        c=np.ones(n),
+        constraints=[constraint],
+        integrality=np.ones(n),
+        bounds=Bounds(0, 1),
+    )
+    if not result.success:  # pragma: no cover - HiGHS is reliable here
+        raise RuntimeError(f"ILP solver failed: {result.message}")
+    chosen = frozenset(
+        universe[i] for i in range(n) if result.x[i] > 0.5
+    )
+    return ResilienceResult(int(round(result.fun)), chosen, method="ilp")
+
+
+def resilience_exact(
+    database: Database,
+    query: ConjunctiveQuery,
+    prefer: str = "auto",
+) -> ResilienceResult:
+    """Exact resilience, choosing a backend.
+
+    ``prefer`` is ``"auto"`` (ILP for larger witness structures, branch
+    and bound for small), ``"ilp"``, or ``"bnb"``.
+    """
+    if prefer == "ilp":
+        return resilience_ilp(database, query)
+    if prefer == "bnb":
+        return resilience_branch_and_bound(database, query)
+    sets = witness_tuple_sets(database, query, endogenous_only=True)
+    n_tuples = len({t for s in sets for t in s})
+    if len(sets) > 60 or n_tuples > 40:
+        return resilience_ilp(database, query)
+    return resilience_branch_and_bound(database, query)

@@ -1,0 +1,88 @@
+"""A small capacitated-network helper on top of networkx.
+
+The paper's PTIME algorithms all reduce resilience to s-t minimum cut in
+networks where *tuples* are unit-capacity elements and everything else
+has infinite capacity.  :class:`FlowNetwork` wraps networkx's max-flow
+with the two idioms every construction here needs:
+
+* **element edges**: a deletable tuple is modelled as an edge
+  ``u -> v`` of capacity 1 carrying a payload (the tuple);
+* **infinite edges**: structural connections that may never be cut,
+  modelled with a capacity strictly larger than the sum of all unit
+  capacities (so any finite min cut avoids them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+class FlowNetwork:
+    """A directed flow network with payload-carrying unit edges."""
+
+    SOURCE = "__source__"
+    SINK = "__sink__"
+
+    def __init__(self):
+        self.graph = nx.DiGraph()
+        self.graph.add_node(self.SOURCE)
+        self.graph.add_node(self.SINK)
+        self._unit_edges: List[Tuple[Hashable, Hashable]] = []
+
+    # ------------------------------------------------------------------
+    def add_unit_edge(self, u: Hashable, v: Hashable, payload) -> None:
+        """An edge of capacity 1 representing a deletable tuple.
+
+        Parallel unit edges between the same node pair are merged by
+        capacity addition in networkx, which would corrupt payload
+        bookkeeping — constructions must use distinct intermediate nodes
+        for distinct payloads (they all do).
+        """
+        if self.graph.has_edge(u, v):
+            raise ValueError(f"duplicate edge {u!r} -> {v!r}")
+        self.graph.add_edge(u, v, capacity=1.0, payload=payload)
+        self._unit_edges.append((u, v))
+
+    def add_inf_edge(self, u: Hashable, v: Hashable) -> None:
+        """A structural edge that no finite cut uses."""
+        if self.graph.has_edge(u, v):
+            return
+        self.graph.add_edge(u, v, capacity=float("inf"), payload=None)
+
+    def source_edge(self, v: Hashable) -> None:
+        """Infinite edge from the source."""
+        self.add_inf_edge(self.SOURCE, v)
+
+    def sink_edge(self, u: Hashable) -> None:
+        """Infinite edge to the sink."""
+        self.add_inf_edge(u, self.SINK)
+
+    # ------------------------------------------------------------------
+    def min_cut(self) -> Tuple[int, List]:
+        """(cut value, payloads of cut unit edges).
+
+        The cut is the one induced by networkx's max-flow residual
+        partition; like every *minimum* cut it is inclusion-minimal,
+        which is the property Lemma 55 needs when the same tuple
+        appears as several parallel unit edges (callers additionally
+        verify that payload deduplication does not shrink the cut).
+        """
+        if self.graph.out_degree(self.SOURCE) == 0 or self.graph.in_degree(self.SINK) == 0:
+            return 0, []
+        try:
+            value, partition = nx.minimum_cut(
+                self.graph, self.SOURCE, self.SINK, capacity="capacity"
+            )
+        except nx.NetworkXUnbounded as exc:
+            raise RuntimeError("min cut is infinite (all-infinite s-t path)") from exc
+        if value == float("inf"):  # pragma: no cover - constructions forbid this
+            raise RuntimeError("min cut is infinite; construction bug")
+        reachable, _ = partition
+        payloads = []
+        for u, v in self._unit_edges:
+            if u in reachable and v not in reachable:
+                payloads.append(self.graph.edges[u, v]["payload"])
+        # Cut value counts capacities; all cut unit edges have capacity 1.
+        return int(round(value)), payloads

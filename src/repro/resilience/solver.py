@@ -1,0 +1,136 @@
+"""Dispatching resilience solver.
+
+:func:`solve` routes a (query, database) pair to the best available
+algorithm:
+
+1. databases not satisfying the query have resilience 0;
+2. queries that are *signature-identical* to one of the paper's named
+   PTIME queries use the bespoke algorithm proved for them
+   (Propositions 12, 13, 33, 36, 41, 44);
+3. queries the classifier proves in P via flow — linear queries that are
+   self-join-free after normalization, have only exogenous repeats, or
+   whose single self-join is a flow-safe confluence (Proposition 31) —
+   use the linear flow solver;
+4. everything else (NP-complete or open cases, and P cases whose
+   polynomial algorithm the paper only sketches) falls back to the
+   exact hitting-set solvers.
+
+The returned :class:`ResilienceResult` carries the method used, so
+benchmarks can report which algorithm produced each number.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import satisfies
+from repro.query.zoo import ALL_QUERIES
+from repro.resilience.exact import resilience_exact
+from repro.resilience.flow_linear import LinearFlowSolver
+from repro.resilience.flow_special import (
+    solve_qACconf,
+    solve_qAperm,
+    solve_qA3perm_R,
+    solve_qSwx3perm_R,
+    solve_qTS3conf,
+    solve_qperm,
+    solve_qz3,
+)
+from repro.resilience.types import ResilienceResult
+from repro.structure.classifier import Verdict, classify
+from repro.structure.domination import normalize
+from repro.structure.linearity import find_linear_order
+from repro.structure.patterns import CONFLUENCE, two_atom_pattern
+
+
+def _special_solvers() -> Dict[frozenset, Callable]:
+    """Map canonical query signatures to their bespoke algorithms."""
+    table = {}
+
+    def register(name: str, fn: Callable) -> None:
+        table[ALL_QUERIES[name].canonical_signature()] = fn
+
+    register("q_perm", lambda db, q: solve_qperm(db))
+    register("q_Aperm", lambda db, q: solve_qAperm(db))
+    register("q_ACconf", lambda db, q: solve_qACconf(db))
+    register("q_A3perm_R", lambda db, q: solve_qA3perm_R(db))
+    register("q_Swx3perm_R", lambda db, q: solve_qSwx3perm_R(db))
+    register("q_TS3conf", solve_qTS3conf)
+    register("q_z3", lambda db, q: solve_qz3(db))
+    return table
+
+
+_SPECIALS = _special_solvers()
+
+
+def _flow_safe(query: ConjunctiveQuery) -> bool:
+    """May the linear flow solver be used for this query?
+
+    True when the query is linear and its endogenous self-join structure
+    is one the paper proves flow-correct: none at all (sj-free /
+    exogenous repeats), or a single 2-confluence (Proposition 31).
+    """
+    if find_linear_order(query) is None:
+        return False
+    normalized = normalize(query)
+    endo_counts: Dict[str, int] = {}
+    for atom in normalized.endogenous_atoms():
+        endo_counts[atom.relation] = endo_counts.get(atom.relation, 0) + 1
+    repeated = [r for r, c in endo_counts.items() if c >= 2]
+    if not repeated:
+        return True
+    if len(repeated) > 1:
+        return False
+    pattern = two_atom_pattern(normalized)
+    return pattern == CONFLUENCE
+
+
+def solve(
+    database: Database,
+    query: ConjunctiveQuery,
+    method: Optional[str] = None,
+) -> ResilienceResult:
+    """Compute resilience, dispatching to the appropriate algorithm.
+
+    ``method`` forces a backend: ``"exact"``, ``"flow"`` (linear flow),
+    or ``None`` for automatic dispatch.
+    """
+    if method == "exact":
+        return resilience_exact(database, query)
+    if method == "flow":
+        return LinearFlowSolver(query).solve(database)
+    if method is not None:
+        raise ValueError(f"unknown method {method!r}")
+
+    if not satisfies(database, query):
+        return ResilienceResult(0, frozenset(), method="unsatisfied")
+
+    special = _SPECIALS.get(query.canonical_signature())
+    if special is not None:
+        return special(database, query)
+
+    verdict = classify(query)
+    if verdict.verdict == Verdict.P and _flow_safe(query):
+        target = verdict.normalized or query
+        if find_linear_order(target) is not None:
+            return LinearFlowSolver(target).solve(database)
+        return LinearFlowSolver(query).solve(database)
+
+    return resilience_exact(database, query)
+
+
+def resilience(database: Database, query: ConjunctiveQuery) -> int:
+    """``rho(q, D)``: just the minimum contingency-set size."""
+    return solve(database, query).value
+
+
+def in_res(database: Database, query: ConjunctiveQuery, k: int) -> bool:
+    """The decision problem: ``(D, k) ∈ RES(q)`` (Definition 1).
+
+    True iff ``D |= q`` and some contingency set of size <= k exists.
+    """
+    if not satisfies(database, query):
+        return False
+    return solve(database, query).value <= k

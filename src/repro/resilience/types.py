@@ -1,0 +1,44 @@
+"""Shared result types and errors for resilience solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.db.tuples import DBTuple
+
+
+class UnbreakableQueryError(ValueError):
+    """Raised when no contingency set exists.
+
+    This happens when some witness uses only exogenous tuples: no
+    deletion of endogenous tuples can falsify the query, so resilience
+    is undefined (the decision problem answers "no" for every k, and
+    the optimization problem has no finite optimum).
+    """
+
+
+@dataclass(frozen=True)
+class ResilienceResult:
+    """Outcome of a resilience computation.
+
+    Attributes
+    ----------
+    value:
+        ``rho(q, D)`` — the minimum contingency-set size.  Zero when the
+        database does not satisfy the query.
+    contingency_set:
+        A witnessing minimum contingency set (one of possibly many).
+    method:
+        Name of the algorithm that produced the answer, e.g.
+        ``"ilp"``, ``"branch-and-bound"``, ``"linear-flow"``,
+        ``"flow:q_A3perm_R"``.
+    """
+
+    value: int
+    contingency_set: FrozenSet[DBTuple] = field(default_factory=frozenset)
+    method: str = ""
+
+    def __repr__(self) -> str:
+        gamma = "{" + ", ".join(repr(t) for t in sorted(self.contingency_set)) + "}"
+        return f"ResilienceResult(value={self.value}, method={self.method!r}, gamma={gamma})"

@@ -1,0 +1,59 @@
+"""Structural analysis of conjunctive queries.
+
+Implements the paper's structural vocabulary:
+
+* :mod:`repro.structure.domination` — sj-free domination (Definition 3)
+  and SJ-domination (Definition 16), plus normalization (making
+  dominated relations exogenous, Propositions 4/18);
+* :mod:`repro.structure.triads` — triad detection (Definition 5);
+* :mod:`repro.structure.linearity` — linear queries (Section 2.4) and
+  pseudo-linearity (Theorem 25);
+* :mod:`repro.structure.patterns` — unary/binary paths (Theorems 27/28),
+  chains, confluences (+ exogenous-path criterion), permutations
+  (+ boundedness), and REP patterns (Section 7);
+* :mod:`repro.structure.classifier` — the dichotomy decision procedure
+  (Theorem 37) extended with the Section 8 results.
+"""
+
+from repro.structure.domination import (
+    sjfree_dominates,
+    sj_dominates,
+    dominated_relations,
+    normalize,
+)
+from repro.structure.triads import find_triad, has_triad
+from repro.structure.linearity import (
+    find_linear_order,
+    is_linear,
+    is_pseudo_linear,
+)
+from repro.structure.patterns import (
+    find_unary_path,
+    find_binary_path,
+    find_path,
+    two_atom_pattern,
+    confluence_has_exogenous_path,
+    permutation_is_bound,
+)
+from repro.structure.classifier import classify, Classification, Verdict
+
+__all__ = [
+    "sjfree_dominates",
+    "sj_dominates",
+    "dominated_relations",
+    "normalize",
+    "find_triad",
+    "has_triad",
+    "find_linear_order",
+    "is_linear",
+    "is_pseudo_linear",
+    "find_unary_path",
+    "find_binary_path",
+    "find_path",
+    "two_atom_pattern",
+    "confluence_has_exogenous_path",
+    "permutation_is_bound",
+    "classify",
+    "Classification",
+    "Verdict",
+]

@@ -1,0 +1,389 @@
+"""The complexity classifier: Theorem 37's decision procedure, extended.
+
+Theorem 37 promises "a PTIME algorithm that on input q determines which
+case occurs".  :func:`classify` is that algorithm, extended with every
+complexity fact the paper proves:
+
+1. minimize the query (Section 4.1 — hardness patterns inside removable
+   atoms are irrelevant, Example 22);
+2. split into connected components (Lemma 15: NP-complete iff some
+   component is; P iff all are);
+3. normalize via SJ-domination (Proposition 18);
+4. self-join-free queries: the prior dichotomy (Theorem 7);
+5. triad => NP-complete (Theorem 24);
+6. unary/binary path => NP-complete (Theorems 27/28);
+7. exactly two R-atoms: the Figure 5 dichotomy — chain (NPC,
+   Proposition 30), confluence (NPC iff exogenous path, Proposition 32),
+   permutation (NPC iff bound, Proposition 35), REP (P, Proposition 36);
+8. three R-atoms: the Section 8 catalog (isomorphism matching), with the
+   paper's open problems reported as OPEN;
+9. k-chains for any k (NPC, Proposition 38).
+
+Anything the paper leaves open — or outside its fragment (non-binary
+self-joins, multiple repeated relations) — returns OPEN with a reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.homomorphism import minimize
+from repro.query.zoo import ALL_QUERIES, PAPER_VERDICTS
+from repro.structure.domination import normalize
+from repro.structure.isomorphism import are_isomorphic
+from repro.structure.linearity import is_linear
+from repro.structure.patterns import (
+    CHAIN,
+    CONFLUENCE,
+    PERMUTATION,
+    REP,
+    PATH,
+    confluence_has_exogenous_path,
+    find_path,
+    permutation_is_bound,
+    two_atom_pattern,
+)
+from repro.structure.triads import find_triad
+
+
+class Verdict(str, Enum):
+    """Complexity verdict for RES(q)."""
+
+    P = "P"
+    NPC = "NP-complete"
+    OPEN = "OPEN"
+
+
+@dataclass
+class Classification:
+    """Outcome of :func:`classify`.
+
+    Attributes
+    ----------
+    verdict:
+        ``Verdict.P``, ``Verdict.NPC``, or ``Verdict.OPEN``.
+    rule:
+        Short name of the deciding rule (e.g. ``"triad"``,
+        ``"confluence-no-exogenous-path"``).
+    detail:
+        Human-readable elaboration (e.g. the triad's atoms).
+    minimized:
+        The minimized query actually analysed.
+    normalized:
+        The normal form (dominated relations exogenous) analysed.
+    component_results:
+        Per-component classifications when the query is disconnected.
+    """
+
+    verdict: Verdict
+    rule: str
+    detail: str = ""
+    minimized: Optional[ConjunctiveQuery] = None
+    normalized: Optional[ConjunctiveQuery] = None
+    component_results: List["Classification"] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"Classification({self.verdict.value}, rule={self.rule!r})"
+
+
+# Zoo entries with three R-atoms used as the Section 8 catalog.
+_SECTION8_CATALOG = [
+    "q_3chain",
+    "q_AC3conf",
+    "q_TS3conf",
+    "q_AS3conf",
+    "q_AC3cc",
+    "q_AS3cc",
+    "q_C3cc",
+    "q_S3cc",
+    "q_A3perm_R",
+    "q_Swx3perm_R",
+    "q_Sxy3perm_R",
+    "q_AC3perm_R",
+    "q_AB3perm_R",
+    "q_SxyBC3perm_R",
+    "q_ASxy3perm_R",
+    "q_SxyB3perm_R",
+    "q_SxyC3perm_R",
+    "q_z4",
+    "q_z5",
+    "q_z6",
+    "q_z7",
+]
+# q_A3perm_R is in the zoo without a PAPER_VERDICTS entry conflict: Prop 13.
+_CATALOG_VERDICTS = dict(PAPER_VERDICTS)
+_CATALOG_VERDICTS.setdefault("q_A3perm_R", "P")
+
+_NORMALIZED_CACHE: dict = {}
+
+
+def _normalized_reference(name: str) -> ConjunctiveQuery:
+    """The catalog query in normal form (memoised)."""
+    if name not in _NORMALIZED_CACHE:
+        _NORMALIZED_CACHE[name] = normalize(ALL_QUERIES[name])
+    return _NORMALIZED_CACHE[name]
+
+
+def _is_k_chain(query: ConjunctiveQuery, rel: str) -> bool:
+    """Do the R-atoms form a simple k-chain R(v0,v1), ..., R(vk-1,vk)?
+
+    All endpoints distinct (no repeated variables, no cycles back).
+    """
+    occs = query.occurrences(rel)
+    if any(a.arity != 2 or a.has_repeated_variable() for a in occs):
+        return False
+    successors = {}
+    indegree = {}
+    for a in occs:
+        src, dst = a.args
+        if src in successors:
+            return False
+        successors[src] = dst
+        indegree[dst] = indegree.get(dst, 0) + 1
+        if indegree[dst] > 1:
+            return False
+    starts = [a.args[0] for a in occs if indegree.get(a.args[0], 0) == 0]
+    if len(starts) != 1:
+        return False
+    # Walk the chain; it must visit every atom without revisiting a node.
+    node = starts[0]
+    visited = {node}
+    steps = 0
+    while node in successors:
+        node = successors[node]
+        if node in visited:
+            return False
+        visited.add(node)
+        steps += 1
+    return steps == len(occs)
+
+
+def _classify_connected(query: ConjunctiveQuery) -> Classification:
+    """Classify a minimal, connected query."""
+    normalized = normalize(query)
+    endo = normalized.endogenous_atoms()
+    if not endo:
+        return Classification(
+            Verdict.P,
+            rule="no-endogenous-atoms",
+            detail="every relation is exogenous; resilience is trivial",
+            minimized=query,
+            normalized=normalized,
+        )
+
+    triad = find_triad(normalized)
+    if triad is not None:
+        atoms = ", ".join(repr(normalized.atoms[i]) for i in triad)
+        return Classification(
+            Verdict.NPC,
+            rule="triad",
+            detail=f"triad {{{atoms}}} (Theorem 24)",
+            minimized=query,
+            normalized=normalized,
+        )
+
+    if normalized.is_self_join_free():
+        return Classification(
+            Verdict.P,
+            rule="sj-free-no-triad",
+            detail="self-join-free without triad (Theorem 7)",
+            minimized=query,
+            normalized=normalized,
+        )
+
+    # Self-joins among *endogenous* atoms?
+    endo_counts = {}
+    for atom in endo:
+        endo_counts[atom.relation] = endo_counts.get(atom.relation, 0) + 1
+    endo_sj = sorted(r for r, c in endo_counts.items() if c >= 2)
+
+    if not endo_sj:
+        # Repeated relations are all exogenous.  Triad-free; if the
+        # query is linear, standard flow applies (exogenous repeats are
+        # infinite-capacity and never cut).  Otherwise Conjecture 26
+        # territory.
+        if is_linear(normalized):
+            return Classification(
+                Verdict.P,
+                rule="linear-exogenous-self-joins",
+                detail="only exogenous relations repeat; linear => network flow",
+                minimized=query,
+                normalized=normalized,
+            )
+        return Classification(
+            Verdict.OPEN,
+            rule="pseudo-linear-conjecture",
+            detail="no triad, repeats exogenous, not linear (Conjecture 26)",
+            minimized=query,
+            normalized=normalized,
+        )
+
+    if len(endo_sj) > 1 or not normalized.is_binary():
+        return Classification(
+            Verdict.OPEN,
+            rule="outside-fragment",
+            detail="not a single-self-join binary query; beyond the paper",
+            minimized=query,
+            normalized=normalized,
+        )
+
+    rel = endo_sj[0]
+    path = find_path(normalized)
+    if path is not None:
+        a, b = path
+        kind = "unary" if a.arity == 1 else "binary"
+        return Classification(
+            Verdict.NPC,
+            rule=f"{kind}-path",
+            detail=f"path between {a!r} and {b!r} (Theorems 27/28)",
+            minimized=query,
+            normalized=normalized,
+        )
+
+    occs = normalized.occurrences(rel)
+    if len(occs) == 2:
+        return _classify_two_atoms(query, normalized)
+    if _is_k_chain(normalized, rel):
+        return Classification(
+            Verdict.NPC,
+            rule="k-chain",
+            detail=f"{len(occs)}-chain of {rel} atoms (Proposition 38)",
+            minimized=query,
+            normalized=normalized,
+        )
+    if len(occs) == 3:
+        return _classify_three_atoms(query, normalized)
+    return Classification(
+        Verdict.OPEN,
+        rule="many-R-atoms",
+        detail=f"{len(occs)} R-atoms; beyond the paper's case analysis",
+        minimized=query,
+        normalized=normalized,
+    )
+
+
+def _classify_two_atoms(
+    original: ConjunctiveQuery, normalized: ConjunctiveQuery
+) -> Classification:
+    pattern = two_atom_pattern(normalized)
+    if pattern == CHAIN:
+        return Classification(
+            Verdict.NPC,
+            rule="chain",
+            detail="2-chain (Proposition 30)",
+            minimized=original,
+            normalized=normalized,
+        )
+    if pattern == CONFLUENCE:
+        if confluence_has_exogenous_path(normalized):
+            return Classification(
+                Verdict.NPC,
+                rule="confluence-exogenous-path",
+                detail="confluence with exogenous path (Proposition 32)",
+                minimized=original,
+                normalized=normalized,
+            )
+        return Classification(
+            Verdict.P,
+            rule="confluence-no-exogenous-path",
+            detail="confluence, flow-solvable (Propositions 31/32)",
+            minimized=original,
+            normalized=normalized,
+        )
+    if pattern == PERMUTATION:
+        if permutation_is_bound(normalized):
+            return Classification(
+                Verdict.NPC,
+                rule="bound-permutation",
+                detail="bound permutation (Proposition 35)",
+                minimized=original,
+                normalized=normalized,
+            )
+        return Classification(
+            Verdict.P,
+            rule="unbound-permutation",
+            detail="unbound permutation, flow-solvable (Proposition 35)",
+            minimized=original,
+            normalized=normalized,
+        )
+    if pattern == REP:
+        return Classification(
+            Verdict.P,
+            rule="rep-shared-variable",
+            detail="REP atoms sharing a variable (Proposition 36)",
+            minimized=original,
+            normalized=normalized,
+        )
+    return Classification(  # pragma: no cover - paths were handled earlier
+        Verdict.OPEN,
+        rule="unrecognized-two-atom-pattern",
+        detail=f"pattern={pattern!r}",
+        minimized=original,
+        normalized=normalized,
+    )
+
+
+def _classify_three_atoms(
+    original: ConjunctiveQuery, normalized: ConjunctiveQuery
+) -> Classification:
+    for name in _SECTION8_CATALOG:
+        # Compare normal form to normal form: the input query has been
+        # normalized, so the catalog reference must be too (e.g. in
+        # q_AS3cc the R-atoms dominate S, which becomes exogenous).
+        reference = _normalized_reference(name)
+        if are_isomorphic(normalized, reference):
+            raw = _CATALOG_VERDICTS.get(name, "OPEN")
+            verdict = {
+                "P": Verdict.P,
+                "NPC": Verdict.NPC,
+                "OPEN": Verdict.OPEN,
+            }[raw]
+            return Classification(
+                verdict,
+                rule=f"section8-catalog:{name}",
+                detail=f"isomorphic to {name} (Section 8)",
+                minimized=original,
+                normalized=normalized,
+            )
+    return Classification(
+        Verdict.OPEN,
+        rule="three-R-atoms-uncataloged",
+        detail="three R-atoms; no Section 8 result matches",
+        minimized=original,
+        normalized=normalized,
+    )
+
+
+def classify(query: ConjunctiveQuery) -> Classification:
+    """Classify the complexity of RES(q).
+
+    Returns a :class:`Classification` whose ``verdict`` is ``P``,
+    ``NP-complete``, or ``OPEN``, together with the deciding rule.
+    """
+    minimal = minimize(query)
+    components = minimal.components()
+    if len(components) == 1:
+        result = _classify_connected(minimal)
+        result.minimized = minimal
+        return result
+
+    sub_results = [_classify_connected(c) for c in components]
+    if any(r.verdict == Verdict.NPC for r in sub_results):
+        verdict, rule = Verdict.NPC, "component-np-complete"
+        detail = "some component is NP-complete (Lemma 15)"
+    elif any(r.verdict == Verdict.OPEN for r in sub_results):
+        verdict, rule = Verdict.OPEN, "component-open"
+        detail = "no component is NP-complete but some are unresolved"
+    else:
+        verdict, rule = Verdict.P, "all-components-p"
+        detail = "every component is in P (Lemma 15)"
+    return Classification(
+        verdict,
+        rule=rule,
+        detail=detail,
+        minimized=minimal,
+        component_results=sub_results,
+    )

@@ -1,0 +1,121 @@
+"""Domination: when an endogenous relation is implicitly exogenous.
+
+Two notions coexist in the paper:
+
+* **SJ-free domination** (Definition 3): atom ``A`` dominates atom ``B``
+  when ``var(A) ⊂ var(B)``.  Sound for sj-free queries (Proposition 4)
+  but *unsound* with self-joins — Example 11 exhibits a database where
+  the "dominated" relation is the better contingency choice.
+
+* **SJ-domination** (Definition 16): relation ``A`` dominates relation
+  ``B`` when there is a positional map ``f : [arity(A)] -> [arity(B)]``
+  such that *every* ``B``-atom has a matching ``A``-atom whose i-th
+  position equals the B-atom's ``f(i)``-th position.  Sound for all CQs
+  (Proposition 18).
+
+Normalization (making every dominated relation exogenous, iterated to a
+fixpoint) is the preprocessing step every complexity argument in the
+paper assumes.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Optional, Tuple
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+
+def sjfree_dominates(a: Atom, b: Atom) -> bool:
+    """Definition 3: ``A`` dominates ``B`` iff ``var(A)`` is a *proper*
+    subset of ``var(B)`` (both atoms endogenous).
+
+    Only meaningful for self-join-free queries; retained for the E4
+    experiment demonstrating its failure under self-joins.
+    """
+    if a.exogenous or b.exogenous:
+        return False
+    return a.variables() < b.variables()
+
+
+def _position_maps(arity_a: int, arity_b: int):
+    """All functions [arity_a] -> [arity_b], as index tuples."""
+    return product(range(arity_b), repeat=arity_a)
+
+
+def sj_dominates(query: ConjunctiveQuery, rel_a: str, rel_b: str) -> bool:
+    """Definition 16: does relation ``rel_a`` dominate ``rel_b`` in ``query``?
+
+    Requires a single positional map ``f`` such that for each ``B``-atom
+    ``g_B`` there exists an ``A``-atom ``h_A`` with
+    ``pos_{h_A}(i) = pos_{g_B}(f(i))`` for all ``i``.  Both relations
+    must be endogenous and distinct.
+    """
+    if rel_a == rel_b:
+        return False
+    flags = query.relation_flags()
+    if flags.get(rel_a, False) or flags.get(rel_b, False):
+        return False
+    a_atoms = query.occurrences(rel_a)
+    b_atoms = query.occurrences(rel_b)
+    if not a_atoms or not b_atoms:
+        return False
+    arity_a = a_atoms[0].arity
+    arity_b = b_atoms[0].arity
+
+    for f in _position_maps(arity_a, arity_b):
+        ok = True
+        for g_b in b_atoms:
+            projected = tuple(g_b.args[f[i]] for i in range(arity_a))
+            if not any(h_a.args == projected for h_a in a_atoms):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def dominated_relations(query: ConjunctiveQuery) -> List[Tuple[str, str]]:
+    """All SJ-domination pairs ``(dominator, dominated)`` in ``query``."""
+    names = sorted(query.relation_names())
+    out: List[Tuple[str, str]] = []
+    for rel_a in names:
+        for rel_b in names:
+            if rel_a != rel_b and sj_dominates(query, rel_a, rel_b):
+                out.append((rel_a, rel_b))
+    return out
+
+
+def normalize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The normal form: iteratively mark SJ-dominated relations exogenous.
+
+    Proposition 18 guarantees ``RES(q) ≡ RES(normalize(q))``.  Iteration
+    is needed because marking one relation exogenous can stop it from
+    dominating others (exogenous relations neither dominate nor are
+    usefully dominated — they are already undeletable).
+
+    Mutual domination (two relations each dominating the other — only
+    possible with identical variable vectors up to the map) is broken by
+    name order so at least one relation stays endogenous.
+    """
+    current = query
+    while True:
+        pairs = dominated_relations(current)
+        if not pairs:
+            return current
+        dominators = {a for a, _ in pairs}
+        # Pick a dominated relation that is not itself needed as a
+        # dominator of something else this round, if possible.
+        candidates = sorted({b for _, b in pairs})
+        pick = None
+        for cand in candidates:
+            if cand not in dominators:
+                pick = cand
+                break
+        if pick is None:
+            # Mutual domination cycle: keep the lexicographically first
+            # dominator endogenous, mark its partner.
+            first = sorted(pairs)[0]
+            pick = first[1]
+        current = current.with_atoms_exogenous([pick])

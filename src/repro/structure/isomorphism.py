@@ -1,0 +1,112 @@
+"""Query isomorphism up to renaming and column symmetry.
+
+The Section 8 results are stated for concrete queries (``qAC3conf``,
+``qSxy3perm-R``, ...).  To apply them, the classifier must recognise a
+user's query as *the same query* up to:
+
+* renaming of variables (bijective),
+* renaming of relation symbols (bijective, preserving arity, exogenous
+  flag, and occurrence structure),
+* globally swapping the two columns of any binary relation — resilience
+  is invariant under replacing ``R`` by its transpose everywhere in the
+  query and database, so e.g. ``R(x,y), R(x,z)`` is the mirror image of
+  the confluence ``R(y,x), R(z,x)``.
+
+Queries here are tiny (<= 6 atoms), so brute-force search over relation
+bijections, column-swap masks, and variable bijections is instant.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+
+def _relation_profile(query: ConjunctiveQuery, rel: str) -> Tuple[int, bool, int]:
+    """(arity, exogenous, occurrence count) — invariants a relation
+    bijection must preserve."""
+    occ = query.occurrences(rel)
+    return (occ[0].arity, occ[0].exogenous, len(occ))
+
+
+def _atom_multiset(
+    query: ConjunctiveQuery,
+    rel_map: Dict[str, str],
+    swapped: Dict[str, bool],
+    var_map: Dict[str, str],
+) -> frozenset:
+    atoms = set()
+    for atom in query.atoms:
+        args = tuple(var_map[a] for a in atom.args)
+        if swapped.get(atom.relation, False) and len(args) == 2:
+            args = (args[1], args[0])
+        atoms.add((rel_map[atom.relation], args))
+    return frozenset(atoms)
+
+
+def _target_set(query: ConjunctiveQuery) -> frozenset:
+    return frozenset((a.relation, a.args) for a in query.atoms)
+
+
+def find_isomorphism(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, allow_column_swap: bool = True
+) -> Optional[Dict[str, str]]:
+    """A variable bijection witnessing ``q1 ≅ q2``, or ``None``.
+
+    Searches relation bijections compatible with profiles, column-swap
+    masks over q1's binary relations (when ``allow_column_swap``), and
+    variable bijections.
+    """
+    if len(q1.atoms) != len(q2.atoms):
+        return None
+    v1 = sorted(q1.variables())
+    v2 = sorted(q2.variables())
+    if len(v1) != len(v2):
+        return None
+    rels1 = sorted(q1.relation_names())
+    rels2 = sorted(q2.relation_names())
+    if len(rels1) != len(rels2):
+        return None
+
+    profiles2: Dict[str, List[str]] = {}
+    for r in rels2:
+        profiles2.setdefault(str(_relation_profile(q2, r)), []).append(r)
+
+    target = _target_set(q2)
+
+    # Candidate images per q1 relation.
+    candidates = []
+    for r in rels1:
+        images = profiles2.get(str(_relation_profile(q1, r)), [])
+        if not images:
+            return None
+        candidates.append(images)
+
+    binary_rels = [r for r in rels1 if q1.occurrences(r)[0].arity == 2]
+
+    for images in product(*candidates):
+        if len(set(images)) != len(images):
+            continue
+        rel_map = dict(zip(rels1, images))
+        swap_space = (
+            product([False, True], repeat=len(binary_rels))
+            if allow_column_swap
+            else [tuple(False for _ in binary_rels)]
+        )
+        for mask in swap_space:
+            swapped = dict(zip(binary_rels, mask))
+            for perm in permutations(v2):
+                var_map = dict(zip(v1, perm))
+                if _atom_multiset(q1, rel_map, swapped, var_map) == target:
+                    return var_map
+    return None
+
+
+def are_isomorphic(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, allow_column_swap: bool = True
+) -> bool:
+    """True iff the two queries are isomorphic (see module docstring)."""
+    return find_isomorphism(q1, q2, allow_column_swap) is not None

@@ -1,0 +1,228 @@
+"""Self-join patterns: paths, chains, confluences, permutations, REP.
+
+Section 6 and 7 of the paper classify how the repeated relation ``R`` of
+a single-self-join (ssj) binary query can interact with itself:
+
+* **unary path** (Theorem 27): unary ``R`` occurring in two distinct
+  atoms ``R(x), R(y)`` — always NP-complete;
+* **binary path** (Theorem 28): two binary ``R``-atoms with disjoint
+  variables and no all-R path between them — always NP-complete;
+* with exactly two binary ``R``-atoms sharing variables (Figure 5):
+
+  - **chain** ``R(x,y), R(y,z)`` — shares one variable, different
+    attribute positions; always NP-complete (Proposition 30);
+  - **confluence** ``R(x,y), R(z,y)`` — shares one variable in the same
+    attribute position; NP-complete iff an exogenous path connects the
+    non-shared endpoints avoiding the shared variable (Proposition 32);
+  - **permutation** ``R(x,y), R(y,x)`` — shares both variables in
+    swapped positions; NP-complete iff *bound* (Proposition 35);
+  - **REP** — a repeated variable in some ``R``-atom; in P when the
+    atoms share a variable (Proposition 36), otherwise it is a binary
+    path and hard.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+
+# ---------------------------------------------------------------------------
+# Paths (Theorems 27 / 28)
+# ---------------------------------------------------------------------------
+
+def find_unary_path(query: ConjunctiveQuery) -> Optional[Tuple[Atom, Atom]]:
+    """Two distinct unary atoms over the same (endogenous) relation.
+
+    Theorem 27 applies to minimal ssj CQs; the classifier checks those
+    side conditions.  Returns the witnessing atom pair or ``None``.
+    """
+    for rel in query.self_join_relations():
+        occs = query.occurrences(rel)
+        if occs and occs[0].arity == 1 and not occs[0].exogenous:
+            distinct = {a.args for a in occs}
+            if len(distinct) >= 2:
+                return occs[0], occs[1]
+    return None
+
+
+def _r_sharing_components(occs: List[Atom]) -> List[Set[int]]:
+    """Connected components of R-atoms under variable sharing."""
+    n = len(occs)
+    seen: Set[int] = set()
+    comps: List[Set[int]] = []
+    for start in range(n):
+        if start in seen:
+            continue
+        comp = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            cur = queue.popleft()
+            for other in range(n):
+                if other in seen:
+                    continue
+                if occs[cur].variables() & occs[other].variables():
+                    seen.add(other)
+                    comp.add(other)
+                    queue.append(other)
+        comps.append(comp)
+    return comps
+
+
+def find_binary_path(query: ConjunctiveQuery) -> Optional[Tuple[Atom, Atom]]:
+    """Two binary ``R``-atoms with disjoint variables and no all-R path.
+
+    Theorem 28: the atoms must be "consecutive", i.e. there is no path of
+    R-atoms between them — equivalently they lie in different connected
+    components of the R-atoms' variable-sharing graph.  Returns a
+    witnessing pair from two different components, or ``None``.
+    """
+    for rel in query.self_join_relations():
+        occs = query.occurrences(rel)
+        if not occs or occs[0].arity != 2 or occs[0].exogenous:
+            continue
+        comps = _r_sharing_components(occs)
+        if len(comps) >= 2:
+            a = occs[min(comps[0])]
+            b = occs[min(comps[1])]
+            return a, b
+    return None
+
+
+def find_path(query: ConjunctiveQuery) -> Optional[Tuple[Atom, Atom]]:
+    """A unary or binary path witness, or ``None``."""
+    return find_unary_path(query) or find_binary_path(query)
+
+
+# ---------------------------------------------------------------------------
+# Two-R-atom patterns (Section 7)
+# ---------------------------------------------------------------------------
+
+CHAIN = "chain"
+CONFLUENCE = "confluence"
+PERMUTATION = "permutation"
+REP = "rep"
+PATH = "path"
+
+
+def two_atom_pattern(query: ConjunctiveQuery) -> Optional[str]:
+    """The Figure 5 pattern of an ssj binary query with exactly 2 R-atoms.
+
+    Returns one of ``"chain" | "confluence" | "permutation" | "rep" |
+    "path"`` or ``None`` when the query is not an ssj binary query with
+    exactly two occurrences of its repeated relation.
+
+    REP takes precedence (the Figure 5 taxonomy treats any repeated
+    variable in an R-atom as the REP row); for REP atoms with disjoint
+    variables the verdict is ``"path"`` (Theorem 28 applies, cf. z1/z2).
+    """
+    rel = query.self_join_relation()
+    if rel is None or not query.is_binary():
+        return None
+    occs = query.occurrences(rel)
+    if len(occs) != 2:
+        return None
+    a, b = occs
+    if a.arity == 1:
+        return PATH if a.args != b.args else None
+    if a.has_repeated_variable() or b.has_repeated_variable():
+        return REP if (a.variables() & b.variables()) else PATH
+    shared = a.variables() & b.variables()
+    if not shared:
+        return PATH
+    if len(shared) == 2:
+        # Both variables shared; identical atoms are impossible (the CQ
+        # constructor deduplicates), so positions must be swapped.
+        return PERMUTATION
+    # Exactly one shared variable: same attribute position on both atoms
+    # (or, symmetrically, first position on both) is a confluence;
+    # different positions is a chain.
+    (v,) = shared
+    pos_a = a.args.index(v)
+    pos_b = b.args.index(v)
+    return CONFLUENCE if pos_a == pos_b else CHAIN
+
+
+# ---------------------------------------------------------------------------
+# Confluence criterion (Proposition 32)
+# ---------------------------------------------------------------------------
+
+def confluence_endpoints(query: ConjunctiveQuery) -> Tuple[str, str, str]:
+    """For a 2-confluence query return ``(x, z, y)``: the two free
+    endpoints and the shared join variable of the R-atoms."""
+    rel = query.self_join_relation()
+    if rel is None:
+        raise ValueError("query has no self-join")
+    a, b = query.occurrences(rel)
+    shared = a.variables() & b.variables()
+    if len(shared) != 1:
+        raise ValueError("not a 2-confluence")
+    (y,) = shared
+    x = next(v for v in a.args if v != y)
+    z = next(v for v in b.args if v != y)
+    return x, z, y
+
+
+def confluence_has_exogenous_path(query: ConjunctiveQuery) -> bool:
+    """Proposition 32's criterion: is there an exogenous path from ``x``
+    to ``z`` avoiding ``y``?
+
+    The path walks variable-to-variable through *exogenous* atoms none of
+    which contains ``y``.  If such a path exists the confluence behaves
+    like ``q_vc`` and is NP-complete; otherwise network flow solves it.
+    """
+    x, z, y = confluence_endpoints(query)
+    if x == z:
+        return False
+    adjacency: Dict[str, Set[str]] = {}
+    for atom in query.atoms:
+        if not atom.exogenous:
+            continue
+        vs = atom.variables()
+        if y in vs:
+            continue
+        for v in vs:
+            adjacency.setdefault(v, set()).update(vs - {v})
+    seen = {x}
+    queue = deque([x])
+    while queue:
+        cur = queue.popleft()
+        if cur == z:
+            return True
+        for nxt in adjacency.get(cur, ()):  # pragma: no branch
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return z in seen
+
+
+# ---------------------------------------------------------------------------
+# Permutation criterion (Proposition 35)
+# ---------------------------------------------------------------------------
+
+def permutation_is_bound(query: ConjunctiveQuery) -> bool:
+    """Is the 2-permutation *bound* (Proposition 35)?
+
+    Bound means: some endogenous relation ``S`` contains ``x`` but not
+    ``y``, and some endogenous relation ``T`` contains ``y`` but not
+    ``x``, where ``R(x,y), R(y,x)`` are the permutation atoms.
+    """
+    rel = query.self_join_relation()
+    if rel is None:
+        raise ValueError("query has no self-join")
+    a, _b = query.occurrences(rel)
+    x, y = a.args
+    left = right = False
+    for atom in query.atoms:
+        if atom.relation == rel or atom.exogenous:
+            continue
+        vs = atom.variables()
+        if x in vs and y not in vs:
+            left = True
+        if y in vs and x not in vs:
+            right = True
+    return left and right

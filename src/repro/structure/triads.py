@@ -1,0 +1,57 @@
+"""Triad detection (Definition 5).
+
+A *triad* is a set of three endogenous atoms ``{S0, S1, S2}`` such that
+for every pair ``i, j`` there is a path from ``Si`` to ``Sj`` in the dual
+hypergraph ``H(q)`` that uses no variable occurring in the third atom.
+
+Triads characterize hardness for sj-free CQs (Lemma 6) and — the paper's
+Theorem 24 — remain a hardness criterion for arbitrary CQs with
+self-joins.  Detection must be run on the *normal form* (dominated
+relations exogenous) for the sj-free dichotomy; the classifier handles
+that sequencing.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import DualHypergraph
+
+
+def find_triad(query: ConjunctiveQuery) -> Optional[Tuple[int, int, int]]:
+    """The first triad of ``query`` as atom indices, or ``None``.
+
+    Checks all triples of endogenous atoms; for each ordered pair inside
+    a triple, searches for a connecting path avoiding the third atom's
+    variables (paths may pass through exogenous atoms).
+    """
+    hyper = DualHypergraph(query)
+    endo = [i for i, a in enumerate(query.atoms) if not a.exogenous]
+    for triple in combinations(endo, 3):
+        if _is_triad(hyper, triple):
+            return triple
+    return None
+
+
+def _is_triad(hyper: DualHypergraph, triple: Tuple[int, int, int]) -> bool:
+    atoms = hyper.query.atoms
+    for i, j in combinations(range(3), 2):
+        k = 3 - i - j
+        forbidden = atoms[triple[k]].variables()
+        if hyper.path_avoiding(triple[i], triple[j], forbidden) is None:
+            return False
+    return True
+
+
+def has_triad(query: ConjunctiveQuery) -> bool:
+    """True iff ``query`` contains a triad."""
+    return find_triad(query) is not None
+
+
+def all_triads(query: ConjunctiveQuery) -> List[Tuple[int, int, int]]:
+    """Every triad of ``query`` (used by diagnostics and tests)."""
+    hyper = DualHypergraph(query)
+    endo = [i for i, a in enumerate(query.atoms) if not a.exogenous]
+    return [t for t in combinations(endo, 3) if _is_triad(hyper, t)]

@@ -1,0 +1,29 @@
+"""Synthetic workload generators for tests and benchmarks."""
+
+from repro.workloads.random_db import (
+    random_database_for_query,
+    random_binary_relation,
+    random_unary_relation,
+)
+from repro.workloads.formulas import (
+    CNFFormula,
+    random_3cnf,
+    random_2cnf,
+    exhaustive_assignments,
+)
+from repro.workloads.graphs import random_graph, Graph
+from repro.workloads.random_queries import random_sjfree_cq, random_ssj_binary_cq
+
+__all__ = [
+    "random_sjfree_cq",
+    "random_ssj_binary_cq",
+    "random_database_for_query",
+    "random_binary_relation",
+    "random_unary_relation",
+    "CNFFormula",
+    "random_3cnf",
+    "random_2cnf",
+    "exhaustive_assignments",
+    "random_graph",
+    "Graph",
+]

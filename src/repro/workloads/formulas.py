@@ -1,0 +1,116 @@
+"""CNF formulas: instances for the 3SAT / Max 2SAT reductions.
+
+Literals are non-zero integers (DIMACS style): ``+i`` is variable ``i``,
+``-i`` its negation.  Variables are numbered from 1.
+
+The exact solvers here (exhaustive satisfiability / max-sat) are used as
+ground truth when machine-checking the paper's gadget constructions on
+small formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """A CNF formula over variables ``1..num_vars``."""
+
+    num_vars: int
+    clauses: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        for clause in self.clauses:
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.num_vars:
+                    raise ValueError(f"bad literal {lit} in clause {clause}")
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    # ------------------------------------------------------------------
+    def clause_satisfied(self, clause: Tuple[int, ...], assignment: Dict[int, bool]) -> bool:
+        return any(
+            assignment[abs(lit)] == (lit > 0) for lit in clause
+        )
+
+    def satisfied_count(self, assignment: Dict[int, bool]) -> int:
+        """Number of clauses the assignment satisfies."""
+        return sum(
+            1 for clause in self.clauses if self.clause_satisfied(clause, assignment)
+        )
+
+    def is_satisfied(self, assignment: Dict[int, bool]) -> bool:
+        return self.satisfied_count(assignment) == self.num_clauses
+
+    # ------------------------------------------------------------------
+    def is_satisfiable(self) -> bool:
+        """Exhaustive satisfiability check (ground truth for small n)."""
+        for assignment in exhaustive_assignments(self.num_vars):
+            if self.is_satisfied(assignment):
+                return True
+        return False
+
+    def max_satisfiable(self) -> int:
+        """The Max-SAT optimum by exhaustive search."""
+        return max(
+            self.satisfied_count(a) for a in exhaustive_assignments(self.num_vars)
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for clause in self.clauses:
+            lits = " v ".join(
+                (f"x{lit}" if lit > 0 else f"~x{-lit}") for lit in clause
+            )
+            parts.append(f"({lits})")
+        return " & ".join(parts) or "true"
+
+
+def exhaustive_assignments(num_vars: int) -> Iterator[Dict[int, bool]]:
+    """All 2^n assignments over variables 1..n."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        yield {i + 1: bits[i] for i in range(num_vars)}
+
+
+def random_3cnf(
+    num_vars: int, num_clauses: int, seed: Optional[int] = None
+) -> CNFFormula:
+    """A random 3CNF formula with distinct variables per clause."""
+    rng = random.Random(seed)
+    if num_vars < 3:
+        raise ValueError("need at least 3 variables for 3CNF")
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clause = tuple(
+            v if rng.random() < 0.5 else -v for v in variables
+        )
+        clauses.append(clause)
+    return CNFFormula(num_vars, tuple(clauses))
+
+
+def random_2cnf(
+    num_vars: int, num_clauses: int, seed: Optional[int] = None,
+    allow_unit: bool = True,
+) -> CNFFormula:
+    """A random 2CNF formula (clauses of size 1 or 2, as in Prop 39)."""
+    rng = random.Random(seed)
+    if num_vars < 2:
+        raise ValueError("need at least 2 variables for 2CNF")
+    clauses = []
+    for _ in range(num_clauses):
+        if allow_unit and rng.random() < 0.25:
+            v = rng.randrange(1, num_vars + 1)
+            clauses.append((v if rng.random() < 0.5 else -v,))
+        else:
+            variables = rng.sample(range(1, num_vars + 1), 2)
+            clauses.append(
+                tuple(v if rng.random() < 0.5 else -v for v in variables)
+            )
+    return CNFFormula(num_vars, tuple(clauses))

@@ -1,0 +1,64 @@
+"""Simple graphs for the vertex-cover reductions.
+
+Vertex cover is the root of the paper's IJP template (Figure 8) and of
+the reductions to ``q_vc`` and the path queries.  The exhaustive
+:meth:`Graph.minimum_vertex_cover` is ground truth on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An undirected graph on integer vertices."""
+
+    vertices: FrozenSet[int]
+    edges: FrozenSet[Tuple[int, int]]
+
+    def __post_init__(self):
+        for (u, v) in self.edges:
+            if u not in self.vertices or v not in self.vertices:
+                raise ValueError(f"edge ({u},{v}) uses unknown vertex")
+
+    @staticmethod
+    def make(vertices, edges) -> "Graph":
+        """Normalize edges to ordered tuples and build a graph."""
+        norm = frozenset(
+            (min(u, v), max(u, v)) for (u, v) in edges
+        )
+        return Graph(frozenset(vertices), norm)
+
+    def is_vertex_cover(self, cover: Set[int]) -> bool:
+        return all(u in cover or v in cover for (u, v) in self.edges)
+
+    def minimum_vertex_cover(self) -> Set[int]:
+        """Exhaustive minimum vertex cover (small graphs only)."""
+        vs = sorted(self.vertices)
+        for k in range(len(vs) + 1):
+            for combo in itertools.combinations(vs, k):
+                if self.is_vertex_cover(set(combo)):
+                    return set(combo)
+        return set(vs)  # pragma: no cover
+
+    def vertex_cover_number(self) -> int:
+        return len(self.minimum_vertex_cover())
+
+
+def random_graph(
+    num_vertices: int, edge_probability: float, seed: Optional[int] = None
+) -> Graph:
+    """An Erdős–Rényi random graph G(n, p)."""
+    rng = random.Random(seed)
+    vertices = range(num_vertices)
+    edges = [
+        (u, v)
+        for u in vertices
+        for v in vertices
+        if u < v and rng.random() < edge_probability
+    ]
+    return Graph.make(vertices, edges)

@@ -1,0 +1,77 @@
+"""Random conjunctive-query generation.
+
+Used by property tests to exercise the structural machinery on queries
+beyond the paper's zoo: random binary ssj queries (the paper's
+fragment) and random sj-free queries.  Generators are seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+_VARS = ["x", "y", "z", "w", "u", "v"]
+
+
+def random_ssj_binary_cq(
+    seed: Optional[int] = None,
+    max_r_atoms: int = 3,
+    max_extra_atoms: int = 3,
+    num_vars: int = 4,
+    allow_exogenous: bool = True,
+) -> ConjunctiveQuery:
+    """A random single-self-join binary CQ over variables x, y, z, ...
+
+    The repeated relation is always ``R`` (binary); extra atoms draw
+    fresh unary/binary relation names (``A``, ``B``, ...) so the query
+    stays ssj.  Generated queries may be disconnected or non-minimal —
+    callers exercising Theorem 37 should minimize/normalize first, as
+    the paper prescribes.
+    """
+    rng = random.Random(seed)
+    variables = _VARS[:num_vars]
+    atoms: List[Atom] = []
+    n_r = rng.randint(1, max_r_atoms)
+    for _ in range(n_r):
+        args = (rng.choice(variables), rng.choice(variables))
+        atoms.append(Atom("R", args))
+    extra_names = iter("ABCDEFG")
+    for _ in range(rng.randint(0, max_extra_atoms)):
+        name = next(extra_names)
+        exogenous = allow_exogenous and rng.random() < 0.25
+        if rng.random() < 0.5:
+            atoms.append(Atom(name, (rng.choice(variables),), exogenous=exogenous))
+        else:
+            atoms.append(
+                Atom(
+                    name,
+                    (rng.choice(variables), rng.choice(variables)),
+                    exogenous=exogenous,
+                )
+            )
+    return ConjunctiveQuery(atoms, name=f"rand_ssj_{seed}")
+
+
+def random_sjfree_cq(
+    seed: Optional[int] = None,
+    max_atoms: int = 4,
+    num_vars: int = 4,
+) -> ConjunctiveQuery:
+    """A random self-join-free CQ with unary/binary relations."""
+    rng = random.Random(seed)
+    variables = _VARS[:num_vars]
+    atoms: List[Atom] = []
+    names = iter("RSTUVW")
+    for _ in range(rng.randint(1, max_atoms)):
+        name = next(names)
+        if rng.random() < 0.4:
+            atoms.append(Atom(name, (rng.choice(variables),)))
+        else:
+            atoms.append(
+                Atom(name, (rng.choice(variables), rng.choice(variables)))
+            )
+    return ConjunctiveQuery(atoms, name=f"rand_sjfree_{seed}")

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture
+def chain_db():
+    """The Section 2 example database for q_chain:
+    {t1: R(1,2), t2: R(2,3), t3: R(3,3)}."""
+    db = Database()
+    db.add_all("R", [(1, 2), (2, 3), (3, 3)])
+    return db
+
+
+@pytest.fixture
+def example_11_db():
+    """The Example 11 database showing sj-free domination fails."""
+    db = Database()
+    db.add_all("A", [(1,), (5,)])
+    db.add_all("R", [(1, 2), (2, 3), (3, 1), (5, 1), (2, 5)])
+    return db

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_database, main
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    spec = {
+        "relations": {
+            "R": {"arity": 2, "tuples": [[1, 2], [2, 3], [3, 3]]},
+        }
+    }
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+class TestLoadDatabase:
+    def test_basic(self, db_file):
+        db = load_database(db_file)
+        assert len(db) == 3
+        assert db.relation("R").arity == 2
+
+    def test_exogenous_flag(self, tmp_path):
+        spec = {"relations": {"H": {"arity": 1, "exogenous": True, "tuples": [[7]]}}}
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(spec))
+        db = load_database(str(path))
+        assert db.relation("H").exogenous
+
+    def test_arity_mismatch(self, tmp_path):
+        spec = {"relations": {"R": {"arity": 2, "tuples": [[1]]}}}
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(spec))
+        with pytest.raises(ValueError):
+            load_database(str(path))
+
+    def test_scalar_rows_for_unary(self, tmp_path):
+        spec = {"relations": {"A": {"arity": 1, "tuples": [1, 2]}}}
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(spec))
+        assert len(load_database(str(path))) == 2
+
+
+class TestCommands:
+    def test_classify_hard(self, capsys):
+        assert main(["classify", "R(x,y), R(y,z)"]) == 0
+        out = capsys.readouterr().out
+        assert "NP-complete" in out and "chain" in out
+
+    def test_classify_easy(self, capsys):
+        assert main(["classify", "A(x), R(x,y), R(z,y), C(z)"]) == 0
+        out = capsys.readouterr().out
+        assert "is P" in out
+
+    def test_solve(self, capsys, db_file):
+        assert main(["solve", "R(x,y), R(y,z)", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "rho = 2" in out
+
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "q_chain" in out and "q_AC3conf" in out
+
+    def test_ijp_found(self, capsys):
+        assert main(["ijp", "R(x), S(x,y), R(y)", "--max-joins", "1"]) == 0
+        assert "IJP found" in capsys.readouterr().out
+
+    def test_ijp_not_found(self, capsys):
+        assert main(["ijp", "R(x,y), R(y,x)", "--budget", "3000"]) == 1
+        assert "no IJP" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Tests for the high-level API: analyzer and deletion propagation."""
+
+import pytest
+
+from repro.core import (
+    ResilienceAnalyzer,
+    ViewQuery,
+    deletion_propagation,
+    parse_view,
+)
+from repro.db import Database, DBTuple
+from repro.query import parse_query
+from repro.resilience.exact import resilience_exact
+from repro.structure import Verdict
+
+
+class TestAnalyzer:
+    def test_report_on_chain(self):
+        analyzer = ResilienceAnalyzer("R(x,y), R(y,z)")
+        report = analyzer.report()
+        assert report.verdict == Verdict.NPC
+        assert report.pattern == "chain"
+        assert report.triad is None
+        assert report.pseudo_linear
+
+    def test_report_on_triangle(self):
+        analyzer = ResilienceAnalyzer("R(x,y), S(y,z), T(z,x)")
+        report = analyzer.report()
+        assert report.verdict == Verdict.NPC
+        assert report.triad is not None
+        assert report.linear_order is None
+
+    def test_report_caches(self):
+        analyzer = ResilienceAnalyzer("R(x,y), R(y,z)")
+        assert analyzer.report() is analyzer.report()
+
+    def test_domination_reported(self):
+        analyzer = ResilienceAnalyzer("R(x,y), A(x), T(z,x), S(y,z)")
+        report = analyzer.report()
+        assert ("A", "R") in report.dominated
+        assert ("A", "T") in report.dominated
+
+    def test_explain_mentions_rule(self):
+        text = ResilienceAnalyzer("A(x), R(x,y), R(z,y), C(z)").explain()
+        assert "confluence" in text
+        assert "P" in text
+
+    def test_explain_mentions_triad(self):
+        text = ResilienceAnalyzer("R(x,y), S(y,z), T(z,x)").explain()
+        assert "triad" in text
+
+    def test_solve_via_analyzer(self, chain_db):
+        analyzer = ResilienceAnalyzer("R(x,y), R(y,z)")
+        assert analyzer.solve(chain_db).value == 2
+
+    def test_accepts_query_object(self):
+        q = parse_query("R(x,y), R(y,x)")
+        assert ResilienceAnalyzer(q).report().pattern == "permutation"
+
+
+class TestViewQuery:
+    def test_parse_view(self):
+        v = parse_view("pairs(x, z) :- R(x,y), R(y,z)")
+        assert v.head == ("x", "z")
+        assert v.name == "pairs"
+
+    def test_head_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            parse_view("q(w) :- R(x,y)")
+
+    def test_headless_rejected(self):
+        with pytest.raises(ValueError):
+            parse_view("R(x,y)")
+
+    def test_evaluate(self, chain_db):
+        v = parse_view("q(x, z) :- R(x,y), R(y,z)")
+        assert v.evaluate(chain_db) == {(1, 3), (2, 3), (3, 3)}
+
+
+class TestDeletionPropagation:
+    def test_basic(self, chain_db):
+        """Removing (1,3) from the 2-hop view needs one deletion."""
+        v = parse_view("q(x, z) :- R(x,y), R(y,z)")
+        res = deletion_propagation(v, chain_db, (1, 3))
+        assert res.value == 1
+        # Deleting the returned set indeed removes the output tuple.
+        after = chain_db.minus(res.contingency_set)
+        assert (1, 3) not in v.evaluate(after)
+
+    def test_tuple_not_in_view(self, chain_db):
+        v = parse_view("q(x, z) :- R(x,y), R(y,z)")
+        assert deletion_propagation(v, chain_db, (9, 9)).value == 0
+
+    def test_shared_infrastructure_costs_more(self):
+        """An output tuple derivable two ways needs two deletions."""
+        db = Database()
+        db.add_all("R", [(1, 2), (1, 3), (2, 4), (3, 4)])
+        v = parse_view("q(x, z) :- R(x,y), R(y,z)")
+        res = deletion_propagation(v, db, (1, 4))
+        assert res.value == 2
+
+    def test_exogenous_sources_respected(self):
+        db = Database()
+        db.declare("R", 2, exogenous=True)
+        db.add("R", 1, 2)
+        db.add("S", 2, 3)
+        v = parse_view("q(x, z) :- R(x,y), S(y,z)")
+        res = deletion_propagation(v, db, (1, 3))
+        assert res.value == 1
+        assert res.contingency_set == frozenset({DBTuple("S", (2, 3))})
+
+    def test_arity_mismatch_rejected(self, chain_db):
+        v = parse_view("q(x) :- R(x,y)")
+        with pytest.raises(ValueError):
+            deletion_propagation(v, chain_db, (1, 2))
+
+    def test_matches_direct_resilience(self, chain_db):
+        """Specialization equals resilience of the manually-built query."""
+        v = parse_view("q(x) :- R(x,y), R(y,z)")
+        res = deletion_propagation(v, chain_db, (1,))
+        # Manual: pin x = 1 by keeping only witnesses with x = 1.
+        from repro.query.evaluation import witness_tuple_sets
+
+        boolean = parse_query("R(x,y), R(y,z), __s^x(x)")
+        db = chain_db.copy()
+        db.declare("__s", 1, exogenous=True)
+        db.add("__s", 1)
+        assert res.value == resilience_exact(db, boolean).value

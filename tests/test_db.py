@@ -1,0 +1,129 @@
+"""Unit tests for the database substrate (repro.db)."""
+
+import pytest
+
+from repro.db import Database, DBTuple, Relation
+
+
+class TestDBTuple:
+    def test_identity_includes_relation(self):
+        assert DBTuple("R", (1, 2)) == DBTuple("R", (1, 2))
+        assert DBTuple("R", (1, 2)) != DBTuple("S", (1, 2))
+
+    def test_hashable_and_usable_in_sets(self):
+        s = {DBTuple("R", (1, 2)), DBTuple("R", (1, 2)), DBTuple("R", (2, 1))}
+        assert len(s) == 2
+
+    def test_immutable(self):
+        t = DBTuple("R", (1, 2))
+        with pytest.raises(AttributeError):
+            t.values = (3, 4)
+
+    def test_arity(self):
+        assert DBTuple("R", (1,)).arity == 1
+        assert DBTuple("W", (1, 2, 3)).arity == 3
+
+    def test_repr(self):
+        assert repr(DBTuple("R", (1, 2))) == "R(1, 2)"
+
+    def test_ordering_is_total_on_mixed_values(self):
+        ts = [DBTuple("R", (("a", 1),)), DBTuple("R", (2,)), DBTuple("R", ("x",))]
+        assert sorted(ts)  # must not raise
+
+
+class TestRelation:
+    def test_arity_enforced(self):
+        rel = Relation("R", 2)
+        with pytest.raises(ValueError):
+            rel.add(1)
+
+    def test_set_semantics(self):
+        rel = Relation("R", 2)
+        rel.add(1, 2)
+        rel.add(1, 2)
+        assert len(rel) == 1
+
+    def test_contains_by_tuple_or_values(self):
+        rel = Relation("R", 2, tuples=[(1, 2)])
+        assert DBTuple("R", (1, 2)) in rel
+        assert (1, 2) in rel
+        assert (2, 1) not in rel
+
+    def test_copy_is_independent(self):
+        rel = Relation("R", 1, tuples=[(1,)])
+        clone = rel.copy()
+        clone.add(2)
+        assert len(rel) == 1 and len(clone) == 2
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            Relation("R", 0)
+
+
+class TestDatabase:
+    def test_add_declares_relation(self):
+        db = Database()
+        db.add("R", 1, 2)
+        assert db.relation("R").arity == 2
+
+    def test_declare_conflicting_arity(self):
+        db = Database()
+        db.declare("R", 2)
+        with pytest.raises(ValueError):
+            db.declare("R", 3)
+
+    def test_size_counts_tuples(self, chain_db):
+        assert len(chain_db) == 3
+
+    def test_active_domain(self, chain_db):
+        assert chain_db.active_domain() == {1, 2, 3}
+
+    def test_minus_removes_facts(self, chain_db):
+        t = DBTuple("R", (1, 2))
+        smaller = chain_db.minus({t})
+        assert t not in smaller
+        assert t in chain_db  # original untouched
+
+    def test_minus_rejects_exogenous(self):
+        db = Database()
+        db.declare("R", 2, exogenous=True)
+        t = db.add("R", 1, 2)
+        with pytest.raises(ValueError):
+            db.minus({t})
+
+    def test_minus_rejects_unknown_fact(self, chain_db):
+        with pytest.raises(ValueError):
+            chain_db.minus({DBTuple("R", (9, 9))})
+
+    def test_endogenous_tuples_excludes_exogenous(self):
+        db = Database()
+        db.declare("H", 2, exogenous=True)
+        db.add("H", 1, 2)
+        db.add("R", 1, 2)
+        endo = db.endogenous_tuples()
+        assert endo == {DBTuple("R", (1, 2))}
+
+    def test_equality_is_structural(self, chain_db):
+        other = Database()
+        other.add_all("R", [(3, 3), (2, 3), (1, 2)])
+        assert chain_db == other
+        assert hash(chain_db) == hash(other)
+
+    def test_set_exogenous(self, chain_db):
+        chain_db.set_exogenous("R")
+        assert chain_db.relation("R").exogenous
+
+    def test_set_exogenous_unknown(self, chain_db):
+        with pytest.raises(KeyError):
+            chain_db.set_exogenous("Z")
+
+    def test_add_all_unary_scalars(self):
+        db = Database()
+        db.add_all("A", [1, 2, 3])
+        assert len(db.relation("A")) == 3
+
+    def test_iteration_is_disjoint_union(self):
+        db = Database()
+        db.add("R", 1, 2)
+        db.add("S", 1, 2)
+        assert len(set(db)) == 2

@@ -1,0 +1,162 @@
+"""Tests for Independent Join Paths (Section 9, Appendix C)."""
+
+import pytest
+
+from repro.db import Database, DBTuple
+from repro.ijp import (
+    canonical_database,
+    check_ijp,
+    example_58_qvc,
+    example_59_triangle,
+    example_60_z5,
+    example_60_z5_corrected,
+    example_61_failed,
+    find_ijp_pair,
+    ijp_search,
+    set_partitions,
+)
+from repro.query.zoo import q_Aperm, q_chain, q_perm, q_triangle, q_vc
+
+
+class TestChecker:
+    def test_example_58_is_ijp(self):
+        q, db, pair = example_58_qvc()
+        report = check_ijp(db, q, *pair)
+        assert report.is_ijp
+        assert report.resilience == 1
+
+    def test_example_59_is_ijp(self):
+        q, db, pair = example_59_triangle()
+        report = check_ijp(db, q, *pair)
+        assert report.is_ijp
+        assert report.resilience == 2
+
+    def test_example_60_as_printed_fails_condition_5(self):
+        """Erratum: the printed database has the extra witness (5,2,3);
+        removing A(13) leaves resilience 4, so condition 5 fails."""
+        q, db, pair = example_60_z5()
+        report = check_ijp(db, q, *pair)
+        assert not report.is_ijp
+        assert report.conditions[:4] == [True, True, True, True]
+        assert report.conditions[4] is False
+        assert report.resilience == 4  # matches the paper's rho
+
+    def test_example_60_corrected_is_ijp(self):
+        q, db, pair = example_60_z5_corrected()
+        report = check_ijp(db, q, *pair)
+        assert report.is_ijp
+        assert report.resilience is not None
+
+    def test_example_61_fails_condition_4(self):
+        """Example 61: exogenous A holds a subvector of one endpoint only."""
+        q, db, pair = example_61_failed()
+        report = check_ijp(db, q, *pair)
+        assert not report.is_ijp
+        assert report.conditions[3] is False
+
+    def test_comparable_endpoints_fail_condition_1(self):
+        q, db, _ = example_58_qvc()
+        t = DBTuple("R", (1,))
+        report = check_ijp(db, q, t, t)
+        assert not report.conditions[0]
+
+    def test_find_ijp_pair(self):
+        q, db, pair = example_59_triangle()
+        report = find_ijp_pair(db, q)
+        assert report is not None
+        assert set(report.pair) == set(pair)
+
+    def test_condition_2_requires_single_witness(self):
+        # R(1) sits in two witnesses once we add a second edge.
+        db = Database()
+        db.add_all("R", [1, 2, 3])
+        db.add_all("S", [(1, 2), (1, 3)])
+        report = check_ijp(
+            db, q_vc, DBTuple("R", (1,)), DBTuple("R", (2,))
+        )
+        assert not report.conditions[1]
+
+
+class TestSearch:
+    def test_canonical_database(self):
+        db = canonical_database(q_chain)
+        assert len(db) == 2
+
+    def test_set_partitions_bell_numbers(self):
+        assert len(list(set_partitions([1]))) == 1
+        assert len(list(set_partitions([1, 2]))) == 2
+        assert len(list(set_partitions([1, 2, 3]))) == 5
+        assert len(list(set_partitions(list(range(5))))) == 52
+
+    def test_search_finds_qvc_ijp(self):
+        report = ijp_search(q_vc, max_joins=1)
+        assert report is not None
+
+    def test_search_finds_qchain_ijp(self):
+        report = ijp_search(q_chain, max_joins=2)
+        assert report is not None
+
+    def test_search_empty_for_easy_qperm(self):
+        """PTIME queries should not admit IJPs (Conjecture 49 converse)."""
+        assert ijp_search(q_perm, max_joins=2, partition_budget=5000) is None
+
+    def test_search_empty_for_easy_qAperm(self):
+        assert ijp_search(q_Aperm, max_joins=1) is None
+
+
+class TestSearchOnHardQueries:
+    """Positive evidence: the search certifies the NP-complete queries."""
+
+    def test_abperm_ijp_found(self):
+        from repro.query.zoo import q_ABperm
+
+        assert ijp_search(q_ABperm, max_joins=3, partition_budget=50000) is not None
+
+    def test_cfp_ijp_found(self):
+        from repro.query.zoo import q_cfp
+
+        assert ijp_search(q_cfp, max_joins=2, partition_budget=20000) is not None
+
+    def test_ac3conf_ijp_found(self):
+        from repro.query.zoo import q_AC3conf
+
+        assert ijp_search(q_AC3conf, max_joins=2, partition_budget=20000) is not None
+
+
+class TestDefinition48Gaps:
+    """Reproduction finding: Definition 48 as printed is satisfiable by
+    PTIME queries, so Conjecture 49 needs extra (gluing) conditions.
+
+    These tests pin the behaviour so the finding stays visible; if a
+    future refinement of the checker rejects these databases, the
+    assertions should flip.
+    """
+
+    def test_qACconf_admits_degenerate_ijp(self):
+        from repro.query.zoo import q_ACconf
+
+        report = ijp_search(q_ACconf, max_joins=2, partition_budget=20000)
+        assert report is not None  # despite q_ACconf being PTIME (Prop 12)
+
+    def test_qSwx3perm_admits_degenerate_ijp(self):
+        from repro.query.zoo import q_Swx3perm_R
+
+        report = ijp_search(q_Swx3perm_R, max_joins=1)
+        assert report is not None  # despite q_Swx3perm_R being PTIME (Prop 44)
+
+    def test_other_ptime_queries_stay_empty(self):
+        from repro.query.zoo import q_A3perm_R, q_TS3conf, q_z3
+
+        assert ijp_search(q_z3, max_joins=2, partition_budget=20000) is None
+        assert ijp_search(q_TS3conf, max_joins=1) is None
+        assert ijp_search(q_A3perm_R, max_joins=1) is None
+
+
+class TestSearchRediscoversTrianglePartition:
+    def test_triangle_ijp_found_with_three_joins(self):
+        """Example 62: the Bell enumeration over 3 canonical copies of
+        q_triangle rediscovers an IJP (21147 partitions for 9 constants)."""
+        report = ijp_search(q_triangle, max_joins=3, partition_budget=30000)
+        assert report is not None
+        a, b = report.pair
+        assert a.relation == b.relation

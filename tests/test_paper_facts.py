@@ -1,0 +1,137 @@
+"""Section-by-section checks of concrete facts stated in the paper.
+
+Every test here cites the paper location it reproduces.
+"""
+
+import pytest
+
+from repro.db import Database, DBTuple
+from repro.query import parse_query, satisfies, witnesses
+from repro.query.zoo import (
+    ALL_QUERIES,
+    q_Aperm,
+    q_chain,
+    q_cfp,
+    q_perm,
+    q_sj1_rats,
+    q_vc,
+)
+from repro.resilience import resilience_exact, solve
+from repro.structure import Verdict, classify, normalize
+from repro.workloads import random_database_for_query
+
+
+class TestSection2:
+    def test_witness_example(self, chain_db):
+        """Section 2: qchain over {R(1,2), R(2,3), R(3,3)} has witnesses
+        (1,2,3), (2,3,3), (3,3,3)."""
+        ws = {tuple(w[v] for v in "xyz") for w in witnesses(chain_db, q_chain)}
+        assert ws == {(1, 2, 3), (2, 3, 3), (3, 3, 3)}
+
+
+class TestSection3:
+    def test_example_11_domination_failure(self, example_11_db):
+        """Example 11: with R endogenous the minimum contingency set is
+        {R(1,2)} (size 1); making R exogenous forces {A(1), A(5)}."""
+        assert resilience_exact(example_11_db, q_sj1_rats).value == 1
+        frozen = example_11_db.copy()
+        frozen.set_exogenous("R")
+        assert resilience_exact(frozen, q_sj1_rats).value == 2
+
+    def test_example_11_witnesses(self, example_11_db):
+        """Example 11: the query has 3 witnesses: (1,2,3), (1,2,5), (5,1,2)."""
+        ws = {tuple(w[v] for v in "xyz") for w in witnesses(example_11_db, q_sj1_rats)}
+        assert ws == {(1, 2, 3), (1, 2, 5), (5, 1, 2)}
+
+
+class TestSection7:
+    def test_qperm_resilience_counts_witness_pairs(self):
+        """Prop 33: for qperm each witness pair is disjoint from others."""
+        db = Database()
+        db.add_all("R", [(1, 2), (2, 1), (3, 4), (4, 3), (5, 5)])
+        assert solve(db, q_perm).value == 3  # pairs {1,2}, {3,4}, loop {5}
+
+    def test_cfp_equivalent_to_qvc(self):
+        """Section 7.2: RES(cfp) == RES(qvc) — check on a mapped instance."""
+        # graph: edges (1,2), (2,3); VC = 1 (vertex 2)
+        db_vc = Database()
+        db_vc.add_all("R", [1, 2, 3])
+        db_vc.add_all("S", [(1, 2), (2, 3)])
+        rho_vc = resilience_exact(db_vc, q_vc).value
+        # cfp :- R(x,y), H^x(x,z), R(z,y): encode vertices as R(v, 0),
+        # edges as H(u, v).
+        db_cfp = Database()
+        db_cfp.declare("H", 2, exogenous=True)
+        for v in (1, 2, 3):
+            db_cfp.add("R", v, 0)
+        for (u, v) in [(1, 2), (2, 3)]:
+            db_cfp.add("H", u, v)
+        rho_cfp = resilience_exact(db_cfp, q_cfp).value
+        assert rho_vc == rho_cfp == 1
+
+    def test_rep_z3_off_diagonal_never_needed(self):
+        """Prop 36's key observation on a concrete database."""
+        from repro.query.zoo import q_z3
+
+        db = Database()
+        db.add_all("R", [(1, 1), (1, 2)])
+        db.add_all("A", [1, 2])
+        res = resilience_exact(db, q_z3)
+        assert res.value == 1
+        assert res.contingency_set == frozenset({DBTuple("R", (1, 1))})
+
+
+class TestSection8:
+    def test_ac3conf_vs_ts3conf(self):
+        """Section 8.2: 'These queries are very similar but one of them is
+        hard, while the other one is easy.'"""
+        assert classify(ALL_QUERIES["q_AC3conf"]).verdict == Verdict.NPC
+        assert classify(ALL_QUERIES["q_TS3conf"]).verdict == Verdict.P
+
+    def test_sxy_variation_changes_complexity(self):
+        """Section 8.4: qSwx3perm-R is in P but qSxy3perm-R is NP-complete —
+        'surprising that such a small difference can change complexity'."""
+        assert classify(ALL_QUERIES["q_Swx3perm_R"]).verdict == Verdict.P
+        assert classify(ALL_QUERIES["q_Sxy3perm_R"]).verdict == Verdict.NPC
+
+    def test_open_problems_reported_open(self):
+        for name in ("q_AS3conf", "q_S3cc", "q_ASxy3perm_R", "q_SxyB3perm_R",
+                     "q_SxyC3perm_R", "q_z6", "q_z7"):
+            assert classify(ALL_QUERIES[name]).verdict == Verdict.OPEN, name
+
+
+class TestSection5:
+    def test_lemma_21_direction(self):
+        """Self-join variations can only be harder: on lifted databases the
+        resilience matches the sj-free source exactly (Lemma 21)."""
+        from repro.query.zoo import q_triangle, q_triangle_sj3
+        from repro.reductions.sj_variation import sj_variation_instance
+
+        db = random_database_for_query(q_triangle, domain_size=3, density=0.6, seed=5)
+        base = resilience_exact(db, q_triangle).value
+        inst = sj_variation_instance(q_triangle, q_triangle_sj3, db, base)
+        assert resilience_exact(inst.database, q_triangle_sj3).value == base
+
+    def test_all_triangle_variations_hard(self):
+        """Example 20 + Lemma 21: all self-join variations of q_triangle
+        are NP-complete."""
+        for name in ("q_triangle_sj1", "q_triangle_sj2", "q_triangle_sj3"):
+            assert classify(ALL_QUERIES[name]).verdict == Verdict.NPC
+
+
+class TestTable1Annotations:
+    """Table 1's query classes are well-defined on our zoo."""
+
+    def test_ssj_binary_fragment(self):
+        two_atom = ["q_chain", "q_perm", "q_Aperm", "q_ABperm", "q_ACconf"]
+        for name in two_atom:
+            q = ALL_QUERIES[name]
+            assert q.is_binary() and q.is_single_self_join()
+            rel = q.self_join_relation()
+            assert len(q.occurrences(rel)) == 2
+
+    def test_three_atom_fragment(self):
+        for name in ("q_3chain", "q_AC3conf", "q_A3perm_R", "q_z5"):
+            q = ALL_QUERIES[name]
+            rel = q.self_join_relation()
+            assert len(q.occurrences(rel)) == 3

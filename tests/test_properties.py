@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These check laws the paper relies on implicitly:
+
+* resilience is the minimum hitting set of the witness structure;
+* deleting a contingency set falsifies the query; deleting fewer than
+  rho tuples cannot;
+* resilience is monotone under tuple insertion (more tuples, more
+  witnesses, never smaller rho);
+* the component rule rho(q, D) = min_i rho(q_i, D) (Lemma 14);
+* solvers agree pairwise.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.db import Database, DBTuple
+from repro.query import parse_query, satisfies
+from repro.query.zoo import q_ACconf, q_Aperm, q_chain, q_comp, q_perm, q_vc
+from repro.resilience import (
+    resilience_branch_and_bound,
+    resilience_exact,
+    resilience_ilp,
+)
+from repro.resilience.flow_special import solve_qACconf, solve_qAperm, solve_qperm
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Strategy: small edge sets over a 5-element domain.
+edges = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)),
+    min_size=0,
+    max_size=12,
+    unique=True,
+)
+nodes = st.lists(st.integers(0, 4), min_size=0, max_size=5, unique=True)
+
+
+def chain_db(edge_list):
+    db = Database()
+    db.declare("R", 2)
+    for (u, v) in edge_list:
+        db.add("R", u, v)
+    return db
+
+
+class TestHittingSetSemantics:
+    @given(edges)
+    @SETTINGS
+    def test_gamma_falsifies_query(self, edge_list):
+        db = chain_db(edge_list)
+        res = resilience_branch_and_bound(db, q_chain)
+        assert not satisfies(db.minus(res.contingency_set), q_chain)
+
+    @given(edges)
+    @SETTINGS
+    def test_zero_iff_unsatisfied(self, edge_list):
+        db = chain_db(edge_list)
+        res = resilience_branch_and_bound(db, q_chain)
+        assert (res.value == 0) == (not satisfies(db, q_chain))
+
+    @given(edges)
+    @SETTINGS
+    def test_backends_agree(self, edge_list):
+        db = chain_db(edge_list)
+        assert (
+            resilience_branch_and_bound(db, q_chain).value
+            == resilience_ilp(db, q_chain).value
+        )
+
+
+class TestMonotonicity:
+    @given(edges, st.tuples(st.integers(0, 4), st.integers(0, 4)))
+    @SETTINGS
+    def test_adding_tuples_never_decreases_resilience(self, edge_list, extra):
+        db = chain_db(edge_list)
+        before = resilience_branch_and_bound(db, q_chain).value
+        db.add("R", *extra)
+        after = resilience_branch_and_bound(db, q_chain).value
+        assert after >= before
+
+    @given(edges)
+    @SETTINGS
+    def test_resilience_bounded_by_endogenous_size(self, edge_list):
+        db = chain_db(edge_list)
+        res = resilience_branch_and_bound(db, q_chain)
+        assert res.value <= len(db.endogenous_tuples())
+
+
+class TestComponentRule:
+    @given(edges, nodes, nodes)
+    @SETTINGS
+    def test_lemma_14_min_rule(self, edge_list, a_nodes, b_nodes):
+        """rho(q_comp, D) = min(rho(q1, D), rho(q2, D)) for the
+        disconnected q_comp :- A(x), R(x,y), R(z,w), B(w)."""
+        db = Database()
+        db.declare("A", 1)
+        db.declare("B", 1)
+        db.declare("R", 2)
+        for (u, v) in edge_list:
+            db.add("R", u, v)
+        for a in a_nodes:
+            db.add("A", a)
+        for b in b_nodes:
+            db.add("B", b)
+        q1 = parse_query("A(x), R(x,y)")
+        q2 = parse_query("R(z,w), B(w)")
+        whole = resilience_branch_and_bound(db, q_comp).value
+        parts = []
+        for q in (q1, q2):
+            if satisfies(db, q):
+                parts.append(resilience_branch_and_bound(db, q).value)
+        if satisfies(db, q_comp):
+            assert whole == min(parts)
+        else:
+            assert whole == 0
+
+
+class TestSpecialSolversRandomized:
+    @given(edges)
+    @SETTINGS
+    def test_qperm_counting(self, edge_list):
+        db = chain_db(edge_list)
+        assert (
+            solve_qperm(db).value
+            == resilience_branch_and_bound(db, q_perm).value
+        )
+
+    @given(edges, nodes)
+    @SETTINGS
+    def test_qAperm_flow(self, edge_list, a_nodes):
+        db = chain_db(edge_list)
+        db.declare("A", 1)
+        for a in a_nodes:
+            db.add("A", a)
+        assert (
+            solve_qAperm(db).value
+            == resilience_branch_and_bound(db, q_Aperm).value
+        )
+
+    @given(edges, nodes, nodes)
+    @SETTINGS
+    def test_qACconf_flow(self, edge_list, a_nodes, c_nodes):
+        db = chain_db(edge_list)
+        db.declare("A", 1)
+        db.declare("C", 1)
+        for a in a_nodes:
+            db.add("A", a)
+        for c in c_nodes:
+            db.add("C", c)
+        assert (
+            solve_qACconf(db).value
+            == resilience_branch_and_bound(db, q_ACconf).value
+        )
+
+
+class TestVCCorrespondence:
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(lambda e: e[0] != e[1]), max_size=8, unique=True))
+    @SETTINGS
+    def test_qvc_resilience_is_vertex_cover(self, edge_list):
+        """Proposition 9 as a law: rho(q_vc, D_G) == VC(G)."""
+        from repro.workloads import Graph
+
+        vertices = {v for e in edge_list for v in e}
+        graph = Graph.make(vertices, edge_list)
+        db = Database()
+        db.declare("R", 1)
+        db.declare("S", 2)
+        for v in graph.vertices:
+            db.add("R", v)
+        for (u, v) in graph.edges:
+            db.add("S", u, v)
+        rho = resilience_branch_and_bound(db, q_vc).value
+        assert rho == (graph.vertex_cover_number() if graph.edges else 0)

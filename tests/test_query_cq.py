@@ -1,0 +1,80 @@
+"""Tests for ConjunctiveQuery structure (repro.query.cq)."""
+
+import pytest
+
+from repro.query import Atom, ConjunctiveQuery, parse_query
+from repro.query.zoo import q_chain, q_comp, q_rats, q_triangle, q_vc
+
+
+class TestBasics:
+    def test_variables(self):
+        assert q_chain.variables() == {"x", "y", "z"}
+
+    def test_occurrence_counts(self):
+        assert q_chain.occurrence_counts() == {"R": 2}
+        assert q_triangle.occurrence_counts() == {"R": 1, "S": 1, "T": 1}
+
+    def test_self_join_free(self):
+        assert q_triangle.is_self_join_free()
+        assert not q_chain.is_self_join_free()
+
+    def test_single_self_join(self):
+        assert q_chain.is_single_self_join()
+        assert q_chain.self_join_relation() == "R"
+        assert q_triangle.self_join_relation() is None
+
+    def test_is_binary(self):
+        assert q_chain.is_binary()
+        assert not parse_query("W(x,y,z)").is_binary()
+
+    def test_inconsistent_exogenous_flags_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(
+                [Atom("R", ("x", "y")), Atom("R", ("y", "z"), exogenous=True)]
+            )
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([Atom("R", ("x",)), Atom("R", ("y", "z"))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([])
+
+
+class TestComponents:
+    def test_connected_query(self):
+        assert q_chain.is_connected()
+        assert len(q_chain.components()) == 1
+
+    def test_disconnected_query(self):
+        comps = q_comp.components()
+        assert len(comps) == 2
+        sizes = sorted(len(c.atoms) for c in comps)
+        assert sizes == [2, 2]
+
+    def test_component_atoms_partition_body(self):
+        comps = q_comp.components()
+        all_atoms = [a for c in comps for a in c.atoms]
+        assert len(all_atoms) == len(q_comp.atoms)
+
+
+class TestDerivation:
+    def test_with_atoms_exogenous(self):
+        q2 = q_rats.with_atoms_exogenous(["R", "T"])
+        flags = q2.relation_flags()
+        assert flags["R"] and flags["T"] and not flags["A"]
+
+    def test_drop_atoms(self):
+        q2 = q_vc.drop_atoms([1])
+        assert len(q2.atoms) == 2
+
+    def test_rename_variables(self):
+        q2 = q_chain.rename_variables({"x": "u"})
+        assert q2.atoms[0].args == ("u", "y")
+
+    def test_equality_is_structural(self):
+        a = parse_query("R(x,y), S(y,z)")
+        b = parse_query("S(y,z), R(x,y)")
+        assert a == b
+        assert hash(a) == hash(b)

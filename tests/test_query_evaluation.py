@@ -1,0 +1,98 @@
+"""Tests for witness enumeration (repro.query.evaluation)."""
+
+import pytest
+
+from repro.db import Database, DBTuple
+from repro.query import parse_query, satisfies, witness_tuple_sets, witnesses
+from repro.query.evaluation import witness_tuples
+from repro.query.zoo import q_chain, q_triangle, q_vc
+
+
+class TestWitnesses:
+    def test_paper_chain_example(self, chain_db):
+        """Section 2: witnesses(D, qchain) = {(1,2,3), (2,3,3), (3,3,3)}."""
+        ws = {tuple(w[v] for v in ("x", "y", "z")) for w in witnesses(chain_db, q_chain)}
+        assert ws == {(1, 2, 3), (2, 3, 3), (3, 3, 3)}
+
+    def test_paper_chain_tuple_sets(self, chain_db):
+        """Their tuple sets are {t1,t2}, {t2,t3}, {t3} (Section 2)."""
+        t1, t2, t3 = DBTuple("R", (1, 2)), DBTuple("R", (2, 3)), DBTuple("R", (3, 3))
+        sets = set(witness_tuple_sets(chain_db, q_chain))
+        assert sets == {frozenset({t1, t2}), frozenset({t2, t3}), frozenset({t3})}
+
+    def test_satisfies(self, chain_db):
+        assert satisfies(chain_db, q_chain)
+        empty = Database()
+        empty.declare("R", 2)
+        assert not satisfies(empty, q_chain)
+
+    def test_missing_relation_means_unsatisfied(self):
+        db = Database()
+        db.add("R", 1)
+        assert not satisfies(db, q_vc)  # S missing entirely
+
+    def test_repeated_variable_constrains(self):
+        q = parse_query("R(x,x)")
+        db = Database()
+        db.add("R", 1, 2)
+        assert not satisfies(db, q)
+        db.add("R", 2, 2)
+        assert satisfies(db, q)
+
+    def test_triangle_witness(self):
+        db = Database()
+        db.add("R", 1, 2)
+        db.add("S", 2, 3)
+        db.add("T", 3, 1)
+        ws = witnesses(db, q_triangle)
+        assert len(ws) == 1
+        assert ws[0] == {"x": 1, "y": 2, "z": 3}
+
+    def test_exogenous_tuples_excluded_from_sets(self):
+        q = parse_query("A(x), H^x(x,y), B(y)")
+        db = Database()
+        db.add("A", 1)
+        db.declare("H", 2, exogenous=True)
+        db.add("H", 1, 2)
+        db.add("B", 2)
+        (s,) = witness_tuple_sets(db, q)
+        assert s == frozenset({DBTuple("A", (1,)), DBTuple("B", (2,))})
+
+    def test_db_exogenous_flag_also_respected(self):
+        q = parse_query("A(x), H(x,y), B(y)")
+        db = Database()
+        db.add("A", 1)
+        db.declare("H", 2, exogenous=True)
+        db.add("H", 1, 2)
+        db.add("B", 2)
+        (s,) = witness_tuple_sets(db, q)
+        assert DBTuple("H", (1, 2)) not in s
+
+    def test_duplicate_tuple_sets_collapsed(self):
+        # qperm witnesses (a,b) and (b,a) use the same two tuples.
+        q = parse_query("R(x,y), R(y,x)")
+        db = Database()
+        db.add_all("R", [(1, 2), (2, 1)])
+        sets = witness_tuple_sets(db, q)
+        assert len(sets) == 1
+
+    def test_witness_tuples_helper(self, chain_db):
+        w = {"x": 1, "y": 2, "z": 3}
+        assert witness_tuples(q_chain, w) == {
+            DBTuple("R", (1, 2)),
+            DBTuple("R", (2, 3)),
+        }
+
+    def test_self_join_same_tuple_both_atoms(self):
+        """A loop R(3,3) satisfies both chain atoms at once."""
+        db = Database()
+        db.add("R", 3, 3)
+        ws = witnesses(db, q_chain)
+        assert len(ws) == 1
+
+    def test_witness_count_on_cross_product(self):
+        q = parse_query("R(x,y), S(u,v)")
+        db = Database()
+        db.add_all("R", [(1, 2), (3, 4)])
+        db.add_all("S", [(5, 6), (7, 8), (9, 10)])
+        assert len(witnesses(db, q)) == 6

@@ -1,0 +1,76 @@
+"""Tests for the dual hypergraph and binary graph representations."""
+
+import pytest
+
+from repro.query import BinaryGraph, DualHypergraph, parse_query
+from repro.query.zoo import q_chain, q_lin, q_rats, q_triangle, q_vc
+
+
+class TestDualHypergraph:
+    def test_hyperedges_are_variables(self):
+        h = DualHypergraph(q_triangle)
+        assert set(h.hyperedges) == {"x", "y", "z"}
+        # y joins atoms R(x,y) and S(y,z): indices 0 and 1.
+        assert h.hyperedges["y"] == frozenset({0, 1})
+
+    def test_path_avoiding_blocks(self):
+        h = DualHypergraph(q_triangle)
+        # R -> S via y avoiding var(T) = {z, x}: allowed.
+        assert h.path_avoiding(0, 1, {"z", "x"}) is not None
+        # R -> S avoiding y as well: impossible.
+        assert h.path_avoiding(0, 1, {"x", "y", "z"}) is None
+
+    def test_path_through_intermediate_atom(self):
+        h = DualHypergraph(q_rats)
+        # R(x,y) to S(y,z) directly via y.
+        r_idx = 0
+        s_idx = 3
+        path = h.path_avoiding(r_idx, s_idx, ())
+        assert path is not None
+
+    def test_connected(self):
+        h = DualHypergraph(q_chain)
+        assert h.connected(0, 1)
+
+    def test_to_networkx_bipartite(self):
+        g = DualHypergraph(q_vc).to_networkx()
+        atom_nodes = [n for n in g.nodes if n[0] == "atom"]
+        var_nodes = [n for n in g.nodes if n[0] == "var"]
+        assert len(atom_nodes) == 3 and len(var_nodes) == 2
+
+
+class TestBinaryGraph:
+    def test_vc_binary_graph(self):
+        """Figure 2b: q_vc has loops at x and y plus an S edge."""
+        g = BinaryGraph(q_vc)
+        assert ("x", "R") in g.unary_loops
+        assert ("y", "R") in g.unary_loops
+        assert ("x", "y", "S", False) in g.edges
+
+    def test_chain_binary_graph(self):
+        """Figure 2d: x -R-> y -R-> z."""
+        g = BinaryGraph(q_chain)
+        assert ("x", "y", "R", False) in g.edges
+        assert ("y", "z", "R", False) in g.edges
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryGraph(q_lin)  # R(x,y,z) is ternary
+
+    def test_exogenous_flag_in_edges(self):
+        q = parse_query("R(x,y), H^x(x,z), R(z,y)")
+        g = BinaryGraph(q)
+        assert ("x", "z", "H", True) in g.edges
+
+    def test_degree_profile(self):
+        g = BinaryGraph(q_chain)
+        assert g.degree_profile()["y"] == (1, 1)
+        assert g.degree_profile()["x"] == (0, 1)
+
+    def test_ascii_render_mentions_all_atoms(self):
+        text = BinaryGraph(q_chain).ascii_render()
+        assert text.count("-R->") == 2
+
+    def test_to_networkx_multidigraph(self):
+        g = BinaryGraph(q_chain).to_networkx()
+        assert g.number_of_edges() == 2

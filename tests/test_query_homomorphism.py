@@ -1,0 +1,85 @@
+"""Tests for containment and Chandra-Merlin minimization."""
+
+import pytest
+
+from repro.query import (
+    are_equivalent,
+    find_homomorphism,
+    is_contained_in,
+    is_minimal,
+    minimize,
+    parse_query,
+)
+from repro.query.zoo import q_chain, q_ex22_sj, q_perm, q_triangle, q_vc
+
+
+class TestHomomorphism:
+    def test_identity(self):
+        h = find_homomorphism(q_chain, q_chain)
+        assert h is not None
+
+    def test_chain_into_loop(self):
+        loop = parse_query("R(x,x)")
+        h = find_homomorphism(q_chain, loop)
+        assert h is not None
+        assert h["x"] == h["y"] == h["z"] == "x"
+
+    def test_no_hom_when_relation_missing(self):
+        assert find_homomorphism(q_triangle, q_chain) is None
+
+    def test_containment_direction(self):
+        # loop => chain: every database with R(a,a) satisfies qchain.
+        loop = parse_query("R(x,x)")
+        assert is_contained_in(loop, q_chain)
+        assert not is_contained_in(q_chain, loop)
+
+    def test_equivalence_of_renamings(self):
+        a = parse_query("R(x,y), R(y,z)")
+        b = parse_query("R(u,v), R(v,w)")
+        assert are_equivalent(a, b)
+
+
+class TestMinimization:
+    def test_chain_is_minimal(self):
+        assert is_minimal(q_chain)
+
+    def test_perm_is_minimal(self):
+        assert is_minimal(q_perm)
+
+    def test_vc_is_minimal(self):
+        assert is_minimal(q_vc)
+
+    def test_example_22_collapses(self):
+        """q :- R(x,y), R(z,y), R(z,w), R(x,w) is equivalent to R(x,y)."""
+        core = minimize(q_ex22_sj)
+        assert len(core.atoms) == 1
+        assert core.atoms[0].relation == "R"
+
+    def test_redundant_atom_removed(self):
+        q = parse_query("R(x,y), R(x,z)")  # hom z -> y collapses
+        core = minimize(q)
+        assert len(core.atoms) == 1
+
+    def test_minimize_preserves_equivalence(self):
+        core = minimize(q_ex22_sj)
+        assert are_equivalent(core, q_ex22_sj)
+
+    def test_minimize_idempotent(self):
+        once = minimize(q_ex22_sj)
+        twice = minimize(once)
+        assert once == twice
+
+    def test_confluence_alone_not_minimal(self):
+        """Section 7.2: stand-alone qconf is not minimal."""
+        q = parse_query("R(x,y), R(z,y)")
+        assert not is_minimal(q)
+
+    def test_3perm_alone_not_minimal(self):
+        """Section 8.4: q3perm-R alone is not minimal."""
+        q = parse_query("R(x,y), R(y,z), R(z,y)")
+        assert not is_minimal(q)
+
+    def test_3conf_alone_not_minimal(self):
+        """Section 8.2: q3conf alone is not minimal."""
+        q = parse_query("R(x,y), R(z,y), R(z,w)")
+        assert not is_minimal(q)

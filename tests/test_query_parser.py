@@ -1,0 +1,59 @@
+"""Tests for the Datalog-style query parser."""
+
+import pytest
+
+from repro.query import parse_query
+
+
+class TestParser:
+    def test_basic_chain(self):
+        q = parse_query("qchain() :- R(x,y), R(y,z)")
+        assert q.name == "qchain"
+        assert [a.relation for a in q.atoms] == ["R", "R"]
+        assert q.atoms[0].args == ("x", "y")
+
+    def test_headless(self):
+        q = parse_query("R(x), S(x,y), R(y)")
+        assert len(q.atoms) == 3
+
+    def test_explicit_exogenous_marker(self):
+        q = parse_query("A(x), W^x(x,y,z)")
+        assert not q.atoms[0].exogenous
+        assert q.atoms[1].exogenous
+        assert q.atoms[1].relation == "W"
+
+    def test_paper_typography_marker(self):
+        q = parse_query("Rx(x,y), A(x), Tx(z,x), S(y,z)")
+        flags = q.relation_flags()
+        assert flags["R"] and flags["T"]
+        assert not flags["A"] and not flags["S"]
+
+    def test_unary_atoms(self):
+        q = parse_query("A(x), B(y), C(z), W(x,y,z)")
+        assert q.atoms[0].arity == 1
+        assert q.atoms[3].arity == 3
+
+    def test_repeated_variables(self):
+        q = parse_query("R(x,x), R(x,y), A(y)")
+        assert q.atoms[0].has_repeated_variable()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("this is not a query")
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("R()")
+
+    def test_name_override(self):
+        q = parse_query("R(x,y)", name="custom")
+        assert q.name == "custom"
+
+    def test_whitespace_tolerance(self):
+        q = parse_query("  R( x , y ) ,   S(y , z)  ")
+        assert q.atoms[0].args == ("x", "y")
+        assert q.atoms[1].args == ("y", "z")
+
+    def test_duplicate_atoms_deduplicated(self):
+        q = parse_query("R(x,y), R(x,y)")
+        assert len(q.atoms) == 1

@@ -1,0 +1,66 @@
+"""Sanity tests for the query zoo: the paper's queries parsed correctly."""
+
+import pytest
+
+from repro.query.homomorphism import is_minimal
+from repro.query.zoo import (
+    ALL_QUERIES,
+    PAPER_VERDICTS,
+    q_AC3conf,
+    q_TS3conf,
+    q_chain,
+    q_cfp,
+    q_rats,
+    q_sj1_rats,
+    q_tripod,
+    q_vc,
+)
+
+
+class TestZooShape:
+    def test_every_query_named(self):
+        for name, q in ALL_QUERIES.items():
+            assert q.name == name
+
+    def test_verdicts_reference_real_queries(self):
+        for name in PAPER_VERDICTS:
+            assert name in ALL_QUERIES, name
+
+    def test_exogenous_markers(self):
+        flags = q_TS3conf.relation_flags()
+        assert flags["T"] and flags["S"] and not flags["R"]
+        assert q_cfp.relation_flags()["H"]
+
+    def test_binary_fragment(self):
+        """Every ssj query in the dichotomy fragment is binary."""
+        for name in ("q_chain", "q_vc", "q_ABperm", "q_AC3conf", "q_z5"):
+            assert ALL_QUERIES[name].is_binary()
+
+    def test_tripod_is_not_binary(self):
+        assert not q_tripod.is_binary()
+
+    def test_ssj_flags(self):
+        assert q_chain.is_single_self_join()
+        assert q_sj1_rats.self_join_relation() == "R"
+        assert q_rats.is_self_join_free()
+
+
+class TestZooMinimality:
+    """The paper's analysis assumes minimal queries (Section 4.1)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "q_triangle", "q_tripod", "q_rats", "q_lin", "q_brats",
+            "q_vc", "q_chain", "q_ACconf", "q_A3perm_R", "q_sj1_rats",
+            "q_perm", "q_Aperm", "q_ABperm", "q_cfp",
+            "q_a_chain", "q_abc_chain", "q_z3", "q_z5",
+            "q_3chain", "q_AC3conf", "q_TS3conf", "q_AS3conf",
+            "q_Sxy3perm_R", "q_AC3perm_R",
+        ],
+    )
+    def test_named_query_is_minimal(self, name):
+        assert is_minimal(ALL_QUERIES[name]), name
+
+    def test_ex22_variation_is_not_minimal(self):
+        assert not is_minimal(ALL_QUERIES["q_ex22_sj"])

@@ -1,0 +1,100 @@
+"""Property tests over randomly generated queries.
+
+The zoo covers the paper's named queries; these tests sweep hundreds of
+random queries through the structural machinery, checking internal
+consistency laws:
+
+* the classifier never crashes and always returns a rule;
+* a P verdict is trustworthy: the dispatching solver equals exact
+  search on random databases (soundness of the PTIME side end-to-end);
+* minimization preserves equivalence and is idempotent;
+* normalization preserves resilience (Proposition 18) on random data;
+* Theorem 25 (no triad => pseudo-linear) holds.
+"""
+
+import pytest
+
+from repro.query.homomorphism import are_equivalent, minimize
+from repro.resilience import resilience_exact, solve
+from repro.resilience.types import UnbreakableQueryError
+from repro.structure import Verdict, classify, normalize
+from repro.structure.linearity import no_triad_implies_pseudo_linear
+from repro.workloads import random_database_for_query
+from repro.workloads.random_queries import random_sjfree_cq, random_ssj_binary_cq
+
+SSJ_SEEDS = list(range(60))
+SJFREE_SEEDS = list(range(30))
+
+
+class TestClassifierTotality:
+    @pytest.mark.parametrize("seed", SSJ_SEEDS)
+    def test_classifier_total_on_ssj(self, seed):
+        q = random_ssj_binary_cq(seed=seed)
+        result = classify(q)
+        assert result.verdict in (Verdict.P, Verdict.NPC, Verdict.OPEN)
+        assert result.rule
+
+    @pytest.mark.parametrize("seed", SJFREE_SEEDS)
+    def test_sjfree_never_open(self, seed):
+        """Theorem 7 is a full dichotomy: sj-free queries are never OPEN."""
+        q = random_sjfree_cq(seed=seed)
+        result = classify(q)
+        assert result.verdict in (Verdict.P, Verdict.NPC), (q, result)
+
+
+class TestPSideSoundness:
+    @pytest.mark.parametrize("seed", SSJ_SEEDS)
+    def test_p_verdict_solver_agrees_with_exact(self, seed):
+        q = random_ssj_binary_cq(seed=seed)
+        if classify(q).verdict != Verdict.P:
+            return
+        for db_seed in range(3):
+            db = random_database_for_query(q, domain_size=4, density=0.4, seed=db_seed)
+            try:
+                fast = solve(db, q).value
+                slow = resilience_exact(db, q).value
+            except UnbreakableQueryError:
+                continue
+            assert fast == slow, (q, db_seed)
+
+
+class TestMinimization:
+    @pytest.mark.parametrize("seed", SSJ_SEEDS[:30])
+    def test_minimize_preserves_equivalence(self, seed):
+        q = random_ssj_binary_cq(seed=seed)
+        core = minimize(q)
+        assert are_equivalent(q, core)
+
+    @pytest.mark.parametrize("seed", SSJ_SEEDS[:30])
+    def test_minimize_idempotent(self, seed):
+        q = random_ssj_binary_cq(seed=seed)
+        once = minimize(q)
+        assert minimize(once) == once
+
+
+class TestNormalizationSoundness:
+    @pytest.mark.parametrize("seed", SSJ_SEEDS[:25])
+    def test_proposition_18_on_random_queries(self, seed):
+        q = random_ssj_binary_cq(seed=seed, allow_exogenous=False)
+        norm = normalize(q)
+        if norm == q:
+            return
+        for db_seed in range(2):
+            db = random_database_for_query(q, domain_size=3, density=0.5, seed=db_seed)
+            try:
+                assert (
+                    resilience_exact(db, q).value
+                    == resilience_exact(db, norm).value
+                )
+            except UnbreakableQueryError:
+                continue
+
+
+class TestTheorem25:
+    @pytest.mark.parametrize("seed", SSJ_SEEDS)
+    def test_no_triad_implies_pseudo_linear(self, seed):
+        q = random_ssj_binary_cq(seed=seed)
+        # The theorem concerns minimal connected queries in normal form.
+        norm = normalize(minimize(q))
+        for comp in norm.components():
+            assert no_triad_implies_pseudo_linear(comp)

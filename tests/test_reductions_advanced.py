@@ -1,0 +1,218 @@
+"""Tests for the path, sj-variation, chain-expansion, triangle, triad,
+rats, and permutation reductions."""
+
+import itertools
+
+import pytest
+
+from repro.db import Database
+from repro.query import parse_query
+from repro.query.zoo import (
+    q_ABperm,
+    q_AC3perm_R,
+    q_chain,
+    q_rats,
+    q_triangle,
+    q_triangle_sj2,
+    q_tripod,
+    q_vc,
+    q_z1,
+)
+from repro.reductions.chain_expansion import chain_expansion_instance
+from repro.reductions.chain_gadgets import chain_instance
+from repro.reductions.paths import (
+    binary_path_instance,
+    path_instance,
+    unary_path_instance,
+)
+from repro.reductions.perm_gadgets import (
+    abperm_instance,
+    bounded_permutation_instance,
+)
+from repro.reductions.rats_gadgets import sj1_brats_instance, sj1_rats_instance
+from repro.reductions.sj_variation import sj_variation_instance
+from repro.reductions.triangle import triangle_instance, triad_instance, tripod_instance
+from repro.resilience.exact import resilience_exact, resilience_ilp
+from repro.workloads import CNFFormula, random_3cnf, random_database_for_query, random_graph
+
+UNSAT_3 = CNFFormula(
+    3,
+    tuple(
+        tuple(s * (i + 1) for i, s in enumerate(signs))
+        for signs in itertools.product([1, -1], repeat=3)
+    ),
+)
+
+
+class TestPathReductions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unary_path_preserves_vc(self, seed):
+        q = parse_query("R(x), S(x,y), R(y), B(y)")
+        graph = random_graph(5, 0.5, seed=seed)
+        if not graph.edges:
+            return
+        vc = graph.vertex_cover_number()
+        inst = unary_path_instance(q, graph, vc)
+        assert resilience_ilp(inst.database, q).value == vc
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_binary_path_preserves_vc_z1(self, seed):
+        graph = random_graph(5, 0.5, seed=seed)
+        if not graph.edges:
+            return
+        vc = graph.vertex_cover_number()
+        inst = binary_path_instance(q_z1, graph, vc)
+        assert resilience_ilp(inst.database, q_z1).value == vc
+
+    def test_binary_path_with_longer_query(self):
+        q = parse_query("R(x,y), S(y,u), T(u,z), R(z,w)")
+        graph = random_graph(5, 0.5, seed=2)
+        vc = graph.vertex_cover_number()
+        inst = binary_path_instance(q, graph, vc)
+        assert resilience_ilp(inst.database, q).value == vc
+
+    def test_dispatch(self):
+        graph = random_graph(4, 0.6, seed=0)
+        inst = path_instance(q_z1, graph, 1)
+        assert inst.query is q_z1
+
+    def test_no_path_raises(self):
+        graph = random_graph(4, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            unary_path_instance(q_chain, graph, 1)
+
+
+class TestSJVariation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lemma_21_preserves_resilience(self, seed):
+        """rho(q_triangle, D) == rho(q_triangle_sj2, D') exactly."""
+        db = random_database_for_query(q_triangle, domain_size=4, density=0.5, seed=seed)
+        base = resilience_exact(db, q_triangle).value
+        inst = sj_variation_instance(q_triangle, q_triangle_sj2, db, base)
+        lifted = resilience_exact(inst.database, q_triangle_sj2).value
+        assert lifted == base
+
+    def test_non_minimal_variation_rejected(self):
+        from repro.query.zoo import q_ex22_sj, q_ex22_sjfree
+
+        db = random_database_for_query(q_ex22_sjfree, domain_size=3, density=0.5, seed=0)
+        with pytest.raises(ValueError):
+            sj_variation_instance(q_ex22_sjfree, q_ex22_sj, db, 1)
+
+    def test_atom_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sj_variation_instance(q_triangle, q_chain, Database(), 0)
+
+
+class TestChainExpansionReduction:
+    def test_prop_30_preserves_resilience(self):
+        """Map a small chain-gadget DB through Prop 30 into a bigger query."""
+        f = random_3cnf(3, 1, seed=0)
+        src = chain_instance(f)
+        target = parse_query("A(x), R(x,y), R(y,z), D^x(z,w)")
+        inst = chain_expansion_instance(
+            target, src.database, src.k,
+            source_query=parse_query("A(x), R(x,y), R(y,z)", name="q_a_chain"),
+        )
+        rho_src = resilience_ilp(src.database, chain_instance(f, "a").query).value
+        # Build the matching source db with A facts for a fair comparison:
+        src_a = chain_instance(f, "a")
+        rho_a = resilience_ilp(src_a.database, src_a.query).value
+        rho_tgt = resilience_ilp(inst.database, target).value
+        # The reduction maps the plain-R database; its witnesses carry over.
+        assert rho_tgt <= rho_a
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_prop_30_on_random_dbs(self, seed):
+        """Resilience preserved exactly on random chain databases."""
+        from repro.query.zoo import q_chain as src_q
+
+        target = parse_query("R(x,y), R(y,z), D^x(z,w)")
+        db = random_database_for_query(src_q, domain_size=4, density=0.4, seed=seed)
+        base = resilience_exact(db, src_q).value
+        inst = chain_expansion_instance(target, db, base, source_query=src_q)
+        assert resilience_exact(inst.database, target).value == base
+
+
+class TestTriangleFamily:
+    def test_triangle_gadget_satisfiable(self):
+        f = random_3cnf(3, 1, seed=0)
+        inst = triangle_instance(f)
+        assert resilience_ilp(inst.database, q_triangle).value == inst.k
+
+    def test_triangle_gadget_unsatisfiable(self):
+        inst = triangle_instance(UNSAT_3)
+        assert resilience_ilp(inst.database, q_triangle).value == inst.k + 1
+
+    def test_tripod_reduction_preserves_resilience(self):
+        db = Database()
+        db.add_all("R", [(1, 2), (4, 2)])
+        db.add_all("S", [(2, 3)])
+        db.add_all("T", [(3, 1), (3, 4)])
+        base = resilience_exact(db, q_triangle).value
+        inst = tripod_instance(db, base)
+        assert resilience_exact(inst.database, q_tripod).value == base
+
+    def test_generic_triad_reduction_tripod(self):
+        """Lemma 6 via the 7-group partition, applied to q_tripod."""
+        db = Database()
+        db.add_all("R", [(1, 2), (4, 2), (4, 5)])
+        db.add_all("S", [(2, 3), (5, 3)])
+        db.add_all("T", [(3, 1), (3, 4)])
+        base = resilience_exact(db, q_triangle).value
+        from repro.structure import normalize
+
+        norm = normalize(q_tripod)
+        inst = triad_instance(norm, None, db, base)
+        assert resilience_exact(inst.database, norm).value == base
+
+    def test_generic_triad_reduction_custom_query(self):
+        """A triad with shared variables (Case 2 of Lemma 6)."""
+        q = parse_query("R(x,y), S(y,z), T(z,x), U^x(x,y,z)")
+        db = Database()
+        db.add_all("R", [(1, 2), (4, 2)])
+        db.add_all("S", [(2, 3)])
+        db.add_all("T", [(3, 1), (3, 4)])
+        base = resilience_exact(db, q_triangle).value
+        inst = triad_instance(q, (0, 1, 2), db, base)
+        assert resilience_exact(inst.database, q).value == base
+
+
+class TestRatsGadgets:
+    def test_sj1_rats_satisfiable(self):
+        f = random_3cnf(3, 1, seed=1)
+        inst = sj1_rats_instance(f)
+        assert resilience_ilp(inst.database, inst.query).value == inst.k
+
+    def test_sj1_brats_satisfiable(self):
+        f = random_3cnf(3, 1, seed=2)
+        inst = sj1_brats_instance(f)
+        assert resilience_ilp(inst.database, inst.query).value == inst.k
+
+
+class TestPermGadgets:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_abperm_satisfiable(self, seed):
+        f = random_3cnf(3, 2, seed=seed)
+        inst = abperm_instance(f)
+        rho = resilience_ilp(inst.database, inst.query).value
+        assert (rho <= inst.k) == f.is_satisfiable()
+
+    def test_abperm_unsatisfiable(self):
+        inst = abperm_instance(UNSAT_3)
+        assert resilience_ilp(inst.database, inst.query).value == inst.k + 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounded_permutation_lifting(self, seed):
+        """Prop 35 case 2: resilience carried from q_ABperm to a bound query."""
+        q = parse_query("S(u,x), R(x,y), R(y,x), T(y,v)")
+        db = random_database_for_query(q_ABperm, domain_size=4, density=0.5, seed=seed)
+        base = resilience_exact(db, q_ABperm).value
+        inst = bounded_permutation_instance(q, db, base)
+        assert resilience_exact(inst.database, q).value == base
+
+    def test_abperm_to_ac3perm_r(self):
+        """Prop 46's reduction exists structurally: q_AC3perm_R classified hard."""
+        from repro.structure import Verdict, classify
+
+        assert classify(q_AC3perm_R).verdict == Verdict.NPC

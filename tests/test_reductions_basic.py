@@ -1,0 +1,88 @@
+"""Tests for the VC and chain-gadget reductions (Props 9/10, Lemmas 52-54)."""
+
+import itertools
+
+import pytest
+
+from repro.query.zoo import q_vc
+from repro.reductions.chain_gadgets import CHAIN_EXPANSIONS, chain_instance
+from repro.reductions.vertex_cover import vc_instance
+from repro.resilience.exact import resilience_exact, resilience_ilp
+from repro.workloads import CNFFormula, random_3cnf, random_graph
+
+UNSAT_3 = CNFFormula(
+    3,
+    tuple(
+        tuple(s * (i + 1) for i, s in enumerate(signs))
+        for signs in itertools.product([1, -1], repeat=3)
+    ),
+)
+
+
+class TestVCReduction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_resilience_equals_vertex_cover(self, seed):
+        graph = random_graph(6, 0.45, seed=seed)
+        if not graph.edges:
+            return
+        vc = graph.vertex_cover_number()
+        inst = vc_instance(graph, vc)
+        assert resilience_exact(inst.database, q_vc).value == vc
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_biconditional(self, seed):
+        graph = random_graph(5, 0.5, seed=seed)
+        if not graph.edges:
+            return
+        vc = graph.vertex_cover_number()
+        assert vc_instance(graph, vc).verify(expected_yes=True)
+        assert vc_instance(graph, vc - 1).verify(expected_yes=False)
+
+
+class TestChainGadgets:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_satisfiable_formula_hits_threshold(self, seed):
+        f = random_3cnf(3, 2, seed=seed)
+        inst = chain_instance(f)
+        rho = resilience_ilp(inst.database, inst.query).value
+        assert (rho <= inst.k) == f.is_satisfiable()
+
+    def test_unsatisfiable_formula_exceeds_threshold(self):
+        inst = chain_instance(UNSAT_3)
+        rho = resilience_ilp(inst.database, inst.query).value
+        assert rho == inst.k + 1
+
+    def test_threshold_formula(self):
+        f = random_3cnf(4, 3, seed=0)
+        inst = chain_instance(f)
+        assert inst.k == 4 * 3 + 5 * 3
+
+    @pytest.mark.parametrize("unaries", sorted(CHAIN_EXPANSIONS))
+    def test_expansion_biconditional_satisfiable(self, unaries):
+        f = random_3cnf(3, 2, seed=11)
+        assert f.is_satisfiable()
+        inst = chain_instance(f, unaries)
+        rho = resilience_ilp(inst.database, inst.query).value
+        assert rho <= inst.k
+
+    @pytest.mark.parametrize("unaries", sorted(CHAIN_EXPANSIONS))
+    def test_expansion_biconditional_unsatisfiable(self, unaries):
+        inst = chain_instance(UNSAT_3, unaries)
+        rho = resilience_ilp(inst.database, inst.query).value
+        assert rho > inst.k
+
+    def test_unknown_expansion_rejected(self):
+        with pytest.raises(ValueError):
+            chain_instance(random_3cnf(3, 1, seed=0), "xyz")
+
+    def test_zero_clauses_rejected(self):
+        with pytest.raises(ValueError):
+            chain_instance(CNFFormula(3, ()))
+
+    def test_variable_gadget_minimum_is_m_per_variable(self):
+        """A lone variable cycle (no clauses touching it) costs exactly m."""
+        f = random_3cnf(4, 2, seed=1)  # at least one variable unused per clause
+        inst = chain_instance(f)
+        # The full instance achieves k when satisfiable; the per-variable
+        # share of k is m.
+        assert inst.k == (f.num_vars + 5) * f.num_clauses

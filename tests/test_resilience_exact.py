@@ -1,0 +1,113 @@
+"""Tests for the exact resilience solvers."""
+
+import pytest
+
+from repro.db import Database, DBTuple
+from repro.query import parse_query
+from repro.query.zoo import q_chain, q_sj1_rats, q_triangle, q_vc
+from repro.resilience import (
+    UnbreakableQueryError,
+    is_contingency_set,
+    resilience_branch_and_bound,
+    resilience_exact,
+    resilience_ilp,
+)
+from repro.workloads import random_database_for_query
+
+
+class TestExactBasics:
+    def test_chain_example(self, chain_db):
+        """{t2, t3} is a minimum contingency set: rho = 2."""
+        res = resilience_exact(chain_db, q_chain)
+        assert res.value == 2
+        assert is_contingency_set(chain_db, q_chain, set(res.contingency_set))
+
+    def test_unsatisfied_database(self):
+        db = Database()
+        db.add("R", 1, 2)  # no consecutive pair
+        db.add("R", 3, 4)
+        assert resilience_exact(db, q_chain).value == 0
+
+    def test_example_11(self, example_11_db):
+        """Example 11: rho = 1 via R(1,2), beating {A(1), A(5)}."""
+        res = resilience_exact(example_11_db, q_sj1_rats)
+        assert res.value == 1
+        assert res.contingency_set == frozenset({DBTuple("R", (1, 2))})
+
+    def test_example_11_with_r_exogenous_needs_two(self, example_11_db):
+        """Making R exogenous (as naive domination would) forces {A(1), A(5)}."""
+        example_11_db.set_exogenous("R")
+        res = resilience_exact(example_11_db, q_sj1_rats)
+        assert res.value == 2
+
+    def test_unbreakable_raises(self):
+        q = parse_query("R^x(x,y)")
+        db = Database()
+        db.declare("R", 2, exogenous=True)
+        db.add("R", 1, 2)
+        with pytest.raises(UnbreakableQueryError):
+            resilience_exact(db, q)
+
+    def test_single_atom_query(self):
+        q = parse_query("R(x,y)")
+        db = Database()
+        db.add_all("R", [(1, 2), (3, 4)])
+        assert resilience_exact(db, q).value == 2
+
+    def test_contingency_set_is_minimum(self, chain_db):
+        res = resilience_exact(chain_db, q_chain)
+        assert len(res.contingency_set) == res.value
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bnb_equals_ilp_on_random_chain_dbs(self, seed):
+        db = random_database_for_query(q_chain, domain_size=5, density=0.4, seed=seed)
+        assert (
+            resilience_branch_and_bound(db, q_chain).value
+            == resilience_ilp(db, q_chain).value
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bnb_equals_ilp_on_random_triangle_dbs(self, seed):
+        db = random_database_for_query(
+            q_triangle, domain_size=4, density=0.5, seed=seed
+        )
+        assert (
+            resilience_branch_and_bound(db, q_triangle).value
+            == resilience_ilp(db, q_triangle).value
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bnb_equals_ilp_on_random_vc_dbs(self, seed):
+        db = random_database_for_query(q_vc, domain_size=6, density=0.4, seed=seed)
+        assert (
+            resilience_branch_and_bound(db, q_vc).value
+            == resilience_ilp(db, q_vc).value
+        )
+
+    def test_both_produce_valid_contingency_sets(self, chain_db):
+        for solver in (resilience_branch_and_bound, resilience_ilp):
+            res = solver(chain_db, q_chain)
+            assert is_contingency_set(chain_db, q_chain, set(res.contingency_set))
+
+
+class TestResilienceSemantics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_deletion_of_gamma_falsifies(self, seed):
+        db = random_database_for_query(q_vc, domain_size=5, density=0.5, seed=seed)
+        res = resilience_exact(db, q_vc)
+        assert is_contingency_set(db, q_vc, set(res.contingency_set))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_smaller_contingency_set_exists(self, seed):
+        """Exhaustively verify minimality on small instances."""
+        import itertools
+
+        db = random_database_for_query(q_chain, domain_size=4, density=0.4, seed=seed)
+        res = resilience_exact(db, q_chain)
+        if res.value == 0:
+            return
+        endo = sorted(db.endogenous_tuples())
+        for combo in itertools.combinations(endo, res.value - 1):
+            assert not is_contingency_set(db, q_chain, set(combo))

@@ -1,0 +1,150 @@
+"""Tests for the linear-flow solver and the bespoke flow algorithms."""
+
+import pytest
+
+from repro.db import Database
+from repro.query import parse_query
+from repro.query.zoo import (
+    q_A3perm_R,
+    q_ACconf,
+    q_Aperm,
+    q_Swx3perm_R,
+    q_TS3conf,
+    q_lin,
+    q_perm,
+    q_rats,
+    q_z3,
+)
+from repro.resilience import (
+    LinearFlowSolver,
+    resilience_exact,
+    resilience_linear_flow,
+)
+from repro.resilience.flow_special import (
+    solve_qACconf,
+    solve_qAperm,
+    solve_qA3perm_R,
+    solve_qSwx3perm_R,
+    solve_qTS3conf,
+    solve_qperm,
+    solve_qz3,
+)
+from repro.workloads import random_database_for_query
+
+SEEDS = range(25)
+
+
+class TestLinearFlow:
+    def test_rejects_nonlinear_query(self):
+        from repro.query.zoo import q_triangle
+
+        with pytest.raises(ValueError):
+            LinearFlowSolver(q_triangle)
+
+    def test_unsatisfied_gives_zero(self):
+        db = Database()
+        db.declare("A", 1)
+        db.declare("R", 3)
+        db.declare("S", 2)
+        assert resilience_linear_flow(db, q_lin).value == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qlin_flow_equals_exact(self, seed):
+        db = random_database_for_query(q_lin, domain_size=4, density=0.4, seed=seed)
+        flow = resilience_linear_flow(db, q_lin)
+        exact = resilience_exact(db, q_lin)
+        assert flow.value == exact.value
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_linear_sjfree_with_exogenous(self, seed):
+        q = parse_query("A(x), H^x(x,y), B(y)")
+        db = random_database_for_query(q, domain_size=5, density=0.5, seed=seed)
+        from repro.query.evaluation import witness_tuple_sets
+
+        if any(not s for s in witness_tuple_sets(db, q)):
+            return  # unbreakable instance
+        assert (
+            resilience_linear_flow(db, q).value == resilience_exact(db, q).value
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_confluence_duplicated_layers(self, seed):
+        """Proposition 31: standard flow handles the 2-confluence."""
+        db = random_database_for_query(
+            q_ACconf, domain_size=5, density=0.4, seed=seed
+        )
+        flow = resilience_linear_flow(db, q_ACconf)
+        exact = resilience_exact(db, q_ACconf)
+        assert flow.value == exact.value
+
+    def test_flow_contingency_set_valid(self):
+        db = random_database_for_query(q_ACconf, domain_size=5, density=0.5, seed=3)
+        from repro.resilience import is_contingency_set
+
+        res = resilience_linear_flow(db, q_ACconf)
+        if res.value:
+            assert is_contingency_set(db, q_ACconf, set(res.contingency_set))
+
+
+class TestSpecialFlows:
+    """Every bespoke PTIME algorithm agrees with exact search."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qperm(self, seed):
+        db = random_database_for_query(q_perm, domain_size=5, density=0.4, seed=seed)
+        assert solve_qperm(db).value == resilience_exact(db, q_perm).value
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qAperm(self, seed):
+        db = random_database_for_query(q_Aperm, domain_size=5, density=0.4, seed=seed)
+        assert solve_qAperm(db).value == resilience_exact(db, q_Aperm).value
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qACconf(self, seed):
+        db = random_database_for_query(q_ACconf, domain_size=5, density=0.4, seed=seed)
+        assert solve_qACconf(db).value == resilience_exact(db, q_ACconf).value
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qA3perm_R(self, seed):
+        db = random_database_for_query(
+            q_A3perm_R, domain_size=5, density=0.35, seed=seed
+        )
+        assert solve_qA3perm_R(db).value == resilience_exact(db, q_A3perm_R).value
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qSwx3perm_R(self, seed):
+        db = random_database_for_query(
+            q_Swx3perm_R, domain_size=5, density=0.3, seed=seed
+        )
+        assert (
+            solve_qSwx3perm_R(db).value
+            == resilience_exact(db, q_Swx3perm_R).value
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qz3(self, seed):
+        db = random_database_for_query(q_z3, domain_size=5, density=0.45, seed=seed)
+        assert solve_qz3(db).value == resilience_exact(db, q_z3).value
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_qTS3conf(self, seed):
+        db = random_database_for_query(
+            q_TS3conf, domain_size=4, density=0.4, seed=seed
+        )
+        assert (
+            solve_qTS3conf(db, q_TS3conf).value
+            == resilience_exact(db, q_TS3conf).value
+        )
+
+    def test_special_contingency_sets_valid(self):
+        from repro.resilience import is_contingency_set
+
+        for q, solver in [
+            (q_perm, lambda db: solve_qperm(db)),
+            (q_Aperm, lambda db: solve_qAperm(db)),
+            (q_A3perm_R, lambda db: solve_qA3perm_R(db)),
+        ]:
+            db = random_database_for_query(q, domain_size=5, density=0.5, seed=7)
+            res = solver(db)
+            if res.value:
+                assert is_contingency_set(db, q, set(res.contingency_set)), q.name

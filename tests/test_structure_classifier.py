@@ -1,0 +1,98 @@
+"""Tests for the dichotomy classifier (Theorem 37 + Section 8)."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.query.zoo import ALL_QUERIES, PAPER_VERDICTS
+from repro.structure import Verdict, classify
+from repro.structure.isomorphism import are_isomorphic
+
+_VERDICT_MAP = {"P": Verdict.P, "NPC": Verdict.NPC, "OPEN": Verdict.OPEN}
+
+
+class TestPaperVerdicts:
+    """The classifier reproduces every complexity verdict the paper states."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    def test_verdict_matches_paper(self, name):
+        result = classify(ALL_QUERIES[name])
+        assert result.verdict == _VERDICT_MAP[PAPER_VERDICTS[name]], (
+            f"{name}: classifier says {result.verdict} via {result.rule}, "
+            f"paper says {PAPER_VERDICTS[name]}"
+        )
+
+
+class TestRules:
+    def test_triangle_via_triad(self):
+        assert classify(ALL_QUERIES["q_triangle"]).rule == "triad"
+
+    def test_vc_via_unary_path(self):
+        assert classify(ALL_QUERIES["q_vc"]).rule == "unary-path"
+
+    def test_z1_via_binary_path(self):
+        assert classify(ALL_QUERIES["q_z1"]).rule == "binary-path"
+
+    def test_chain_rule(self):
+        assert classify(ALL_QUERIES["q_chain"]).rule == "chain"
+
+    def test_confluence_rules(self):
+        assert classify(ALL_QUERIES["q_ACconf"]).rule == "confluence-no-exogenous-path"
+        assert classify(ALL_QUERIES["q_cfp"]).rule == "confluence-exogenous-path"
+
+    def test_permutation_rules(self):
+        assert classify(ALL_QUERIES["q_Aperm"]).rule == "unbound-permutation"
+        assert classify(ALL_QUERIES["q_ABperm"]).rule == "bound-permutation"
+
+    def test_rep_rule(self):
+        assert classify(ALL_QUERIES["q_z3"]).rule == "rep-shared-variable"
+
+    def test_k_chain_rule(self):
+        assert classify(ALL_QUERIES["q_3chain"]).rule == "k-chain"
+        q4 = parse_query("R(x,y), R(y,z), R(z,w), R(w,v)")
+        assert classify(q4).rule == "k-chain"
+
+    def test_section8_catalog_rule(self):
+        res = classify(ALL_QUERIES["q_AC3conf"])
+        assert res.rule.startswith("section8-catalog")
+
+    def test_minimization_applied_first(self):
+        """Example 22: the non-minimal self-join variation is trivially P."""
+        res = classify(ALL_QUERIES["q_ex22_sj"])
+        assert res.verdict == Verdict.P
+        assert len(res.minimized.atoms) == 1
+
+    def test_components_rule(self):
+        res = classify(ALL_QUERIES["q_comp"])
+        assert res.verdict == Verdict.P
+        assert res.rule == "all-components-p"
+        assert len(res.component_results) == 2
+
+    def test_disconnected_with_hard_component(self):
+        q = parse_query("R(x,y), R(y,z), S(u,v), A(u)")
+        res = classify(q)
+        assert res.verdict == Verdict.NPC
+        assert res.rule == "component-np-complete"
+
+    def test_all_exogenous_is_trivial(self):
+        q = parse_query("R^x(x,y), S^x(y,z)")
+        assert classify(q).verdict == Verdict.P
+
+    def test_renamed_queries_classified_alike(self):
+        """The catalog matches up to variable/relation renaming."""
+        renamed = parse_query("P(a), Q(a,b), Q(c,b), Q(c,d), M(d)")
+        original = ALL_QUERIES["q_AC3conf"]
+        assert are_isomorphic(renamed, original)
+        assert classify(renamed).verdict == Verdict.NPC
+
+    def test_column_swapped_confluence(self):
+        """Resilience is invariant under transposing a relation."""
+        mirrored = parse_query("A(x), R(y,x), R(y,z), C(z)")
+        assert classify(mirrored).verdict == Verdict.P
+
+
+class TestSoundnessSpotChecks:
+    def test_every_verdict_carries_rule_and_detail(self):
+        for name in PAPER_VERDICTS:
+            res = classify(ALL_QUERIES[name])
+            assert res.rule
+            assert res.detail

@@ -1,0 +1,113 @@
+"""Tests for sj-free and SJ-domination (Definitions 3 and 16)."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.query.zoo import (
+    q_AS3cc,
+    q_brats,
+    q_dom_ex17_1,
+    q_dom_ex17_2,
+    q_rats,
+    q_sj1_rats,
+    q_tripod,
+)
+from repro.resilience import resilience_exact
+from repro.structure import (
+    dominated_relations,
+    normalize,
+    sj_dominates,
+    sjfree_dominates,
+)
+from repro.workloads import random_database_for_query
+
+
+class TestSjFreeDomination:
+    def test_a_dominates_w_in_tripod(self):
+        a = q_tripod.atoms[0]
+        w = q_tripod.atoms[3]
+        assert sjfree_dominates(a, w)
+        assert not sjfree_dominates(w, a)
+
+    def test_requires_proper_subset(self):
+        q = parse_query("R(x,y), S(x,y)")
+        assert not sjfree_dominates(q.atoms[0], q.atoms[1])
+
+    def test_exogenous_never_dominates(self):
+        q = parse_query("A^x(x), W(x,y)")
+        assert not sjfree_dominates(q.atoms[0], q.atoms[1])
+
+
+class TestSJDomination:
+    def test_example_17_q1_not_dominated(self):
+        """Example 17: A does not dominate R in q1."""
+        assert not sj_dominates(q_dom_ex17_1, "A", "R")
+
+    def test_example_17_q2_dominated(self):
+        """Example 17: A dominates R in q2."""
+        assert sj_dominates(q_dom_ex17_2, "A", "R")
+
+    def test_example_17_s_dominated_in_both(self):
+        assert sj_dominates(q_dom_ex17_1, "A", "S")
+        assert sj_dominates(q_dom_ex17_2, "A", "S")
+
+    def test_example_11_a_does_not_dominate_r(self):
+        """Section 3.2 / 4.3: in q_sj1_rats A must NOT dominate R."""
+        assert not sj_dominates(q_sj1_rats, "A", "R")
+
+    def test_rats_single_occurrence_matches_sjfree(self):
+        assert sj_dominates(q_rats, "A", "R")
+        assert sj_dominates(q_rats, "A", "T")
+        assert not sj_dominates(q_rats, "A", "S")
+
+    def test_r_dominates_s_in_as3cc(self):
+        """q_AS3cc: S(w,z) always joins with R(w,z) -> R dominates S."""
+        assert sj_dominates(q_AS3cc, "R", "S")
+
+    def test_self_domination_excluded(self):
+        assert not sj_dominates(q_rats, "A", "A")
+
+
+class TestNormalize:
+    def test_rats_normal_form(self):
+        norm = normalize(q_rats)
+        flags = norm.relation_flags()
+        assert flags["R"] and flags["T"]
+        assert not flags["A"] and not flags["S"]
+
+    def test_brats_normal_form(self):
+        norm = normalize(q_brats)
+        flags = norm.relation_flags()
+        assert flags["R"] and flags["S"] and flags["T"]
+        assert not flags["A"] and not flags["B"]
+
+    def test_sj1_rats_unchanged(self):
+        """Example 11's query is already in normal form: nothing dominates."""
+        norm = normalize(q_sj1_rats)
+        assert not any(norm.relation_flags().values())
+
+    def test_normalize_reaches_fixpoint(self):
+        norm = normalize(q_brats)
+        assert dominated_relations(norm) == []
+
+
+class TestDominationSoundness:
+    """Proposition 18: RES(q) = RES(normal form of q), checked empirically."""
+
+    @pytest.mark.parametrize("name_seed", range(8))
+    def test_normalization_preserves_resilience_q2(self, name_seed):
+        q = q_dom_ex17_2
+        norm = normalize(q)
+        db = random_database_for_query(q, domain_size=4, density=0.45, seed=name_seed)
+        assert (
+            resilience_exact(db, q).value == resilience_exact(db, norm).value
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_normalization_preserves_resilience_rats(self, seed):
+        norm = normalize(q_rats)
+        db = random_database_for_query(q_rats, domain_size=4, density=0.45, seed=seed)
+        assert (
+            resilience_exact(db, q_rats).value
+            == resilience_exact(db, norm).value
+        )

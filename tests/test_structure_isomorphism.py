@@ -1,0 +1,65 @@
+"""Tests for query isomorphism (catalog matching machinery)."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.query.zoo import q_AC3cc, q_AC3conf, q_chain, q_conf
+from repro.structure.isomorphism import are_isomorphic, find_isomorphism
+
+
+class TestIsomorphism:
+    def test_reflexive(self):
+        assert are_isomorphic(q_chain, q_chain)
+
+    def test_variable_renaming(self):
+        a = parse_query("R(x,y), R(y,z)")
+        b = parse_query("R(u,v), R(v,w)")
+        mapping = find_isomorphism(a, b)
+        assert mapping is not None
+        assert mapping["y"] == "v"
+
+    def test_relation_renaming(self):
+        a = parse_query("A(x), R(x,y)")
+        b = parse_query("B(u), Q(u,v)")
+        assert are_isomorphic(a, b)
+
+    def test_column_swap(self):
+        """R and its transpose are the same query up to column swap."""
+        a = parse_query("A(x), R(x,y), R(z,y), C(z)")
+        b = parse_query("A(x), R(y,x), R(y,z), C(z)")
+        assert are_isomorphic(a, b)
+        assert not are_isomorphic(a, b, allow_column_swap=False)
+
+    def test_exogenous_flags_must_match(self):
+        a = parse_query("S(x,y), R(x,y), R(y,z), R(z,y)")
+        b = parse_query("S^x(x,y), R(x,y), R(y,z), R(z,y)")
+        assert not are_isomorphic(a, b)
+
+    def test_relation_renaming_with_reversal(self):
+        """R,R,S along a chain matches R,S,S: reverse and rename R<->S."""
+        a = parse_query("R(x,y), R(y,z), S(z,w)")
+        b = parse_query("R(x,y), S(y,z), S(z,w)")
+        assert are_isomorphic(a, b)
+
+    def test_occurrence_counts_must_match(self):
+        a = parse_query("R(x,y), R(y,z), S(z,w)")
+        b = parse_query("R(x,y), S(y,z), R(z,w)")  # R,S,R is palindromic
+        assert not are_isomorphic(a, b)
+
+    def test_chain_not_isomorphic_to_confluence(self):
+        assert not are_isomorphic(q_chain, q_conf)
+
+    def test_ac3conf_not_isomorphic_to_ac3cc(self):
+        """The two Section 8 families must stay distinguishable."""
+        assert not are_isomorphic(q_AC3conf, q_AC3cc)
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(q_chain, parse_query("R(x,y)"))
+
+    def test_swapping_both_r_atoms_globally(self):
+        """The swap applies to ALL occurrences of a relation at once:
+        a chain stays a chain under a global transpose, and never
+        becomes a confluence."""
+        chain_t = parse_query("R(y,x), R(z,y)")  # global transpose of qchain
+        assert are_isomorphic(q_chain, chain_t)
+        assert not are_isomorphic(q_conf, q_chain)

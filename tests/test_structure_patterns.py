@@ -1,0 +1,115 @@
+"""Tests for path/chain/confluence/permutation/REP pattern detection."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.query.zoo import (
+    q_ABperm,
+    q_ACconf,
+    q_Aperm,
+    q_cfp,
+    q_chain,
+    q_conf,
+    q_perm,
+    q_vc,
+    q_z1,
+    q_z2,
+    q_z3,
+)
+from repro.structure import (
+    confluence_has_exogenous_path,
+    find_binary_path,
+    find_path,
+    find_unary_path,
+    permutation_is_bound,
+    two_atom_pattern,
+)
+
+
+class TestPaths:
+    def test_vc_has_unary_path(self):
+        pair = find_unary_path(q_vc)
+        assert pair is not None
+        assert {a.args for a in pair} == {("x",), ("y",)}
+
+    def test_z1_has_binary_path(self):
+        """z1 :- R(x,x), S(x,y), R(y,y): R-atoms have disjoint variables."""
+        assert find_binary_path(q_z1) is not None
+
+    def test_z2_has_binary_path(self):
+        assert find_binary_path(q_z2) is not None
+
+    def test_chain_has_no_path(self):
+        assert find_path(q_chain) is None
+
+    def test_connected_r_atoms_no_binary_path(self):
+        # Three R-atoms chained through shared variables: one component.
+        q = parse_query("R(x,y), R(y,z), R(z,w)")
+        assert find_binary_path(q) is None
+
+    def test_transitively_connected_r_atoms(self):
+        # R(x,y) and R(z,w) disjoint but bridged by R(y,z): not a path.
+        q = parse_query("R(x,y), R(y,z), R(z,w), A(x)")
+        assert find_binary_path(q) is None
+
+
+class TestTwoAtomPatterns:
+    def test_chain_pattern(self):
+        assert two_atom_pattern(q_chain) == "chain"
+
+    def test_confluence_pattern(self):
+        assert two_atom_pattern(q_conf) == "confluence"
+
+    def test_mirror_confluence(self):
+        """R(x,y), R(x,z) joins in the first attribute: also a confluence."""
+        q = parse_query("A(y), R(x,y), R(x,z), C(z)")
+        assert two_atom_pattern(q) == "confluence"
+
+    def test_permutation_pattern(self):
+        assert two_atom_pattern(q_perm) == "permutation"
+
+    def test_rep_pattern(self):
+        assert two_atom_pattern(q_z3) == "rep"
+
+    def test_rep_disjoint_is_path(self):
+        assert two_atom_pattern(q_z1) == "path"
+
+    def test_not_two_atoms_returns_none(self):
+        q = parse_query("R(x,y), R(y,z), R(z,w)")
+        assert two_atom_pattern(q) is None
+
+
+class TestConfluenceCriterion:
+    def test_acconf_no_exogenous_path(self):
+        assert not confluence_has_exogenous_path(q_ACconf)
+
+    def test_cfp_has_exogenous_path(self):
+        """Section 7.2: cfp :- R(x,y), H^x(x,z), R(z,y) is like q_vc."""
+        assert confluence_has_exogenous_path(q_cfp)
+
+    def test_multi_hop_exogenous_path(self):
+        q = parse_query("R(x,y), H^x(x,w), G^x(w,z), R(z,y)")
+        assert confluence_has_exogenous_path(q)
+
+    def test_exogenous_path_through_y_does_not_count(self):
+        q = parse_query("A(x), R(x,y), H^x(x,y), R(z,y), C(z)")
+        assert not confluence_has_exogenous_path(q)
+
+
+class TestPermutationCriterion:
+    def test_perm_unbound(self):
+        assert not permutation_is_bound(q_perm)
+
+    def test_aperm_unbound(self):
+        assert not permutation_is_bound(q_Aperm)
+
+    def test_abperm_bound(self):
+        assert permutation_is_bound(q_ABperm)
+
+    def test_binary_side_atoms_bound(self):
+        q = parse_query("S(u,x), R(x,y), R(y,x), T(y,v)")
+        assert permutation_is_bound(q)
+
+    def test_exogenous_side_atoms_do_not_bind(self):
+        q = parse_query("A^x(x), R(x,y), R(y,x), B^x(y)")
+        assert not permutation_is_bound(q)

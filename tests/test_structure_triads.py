@@ -1,0 +1,97 @@
+"""Tests for triad detection (Definition 5) and pseudo-linearity (Thm 25)."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.query.zoo import (
+    ALL_QUERIES,
+    q_chain,
+    q_lin,
+    q_rats,
+    q_sj1_brats,
+    q_sj1_rats,
+    q_triangle,
+    q_triangle_sj1,
+    q_tripod,
+)
+from repro.structure import find_triad, has_triad, normalize
+from repro.structure.linearity import (
+    is_linear,
+    is_pseudo_linear,
+    no_triad_implies_pseudo_linear,
+)
+from repro.structure.triads import all_triads
+
+
+class TestTriads:
+    def test_triangle_has_triad(self):
+        """Figure 1: {R, S, T} is a triad of q_triangle."""
+        assert find_triad(q_triangle) == (0, 1, 2)
+
+    def test_tripod_has_triad_after_normalization(self):
+        """Figure 1: {A, B, C} is a triad of q_tripod (W dominated)."""
+        norm = normalize(q_tripod)
+        triad = find_triad(norm)
+        assert triad is not None
+        rels = {norm.atoms[i].relation for i in triad}
+        assert rels == {"A", "B", "C"}
+
+    def test_rats_has_no_triad_after_normalization(self):
+        """Figure 1 caption: domination 'disarms' the apparent triad."""
+        norm = normalize(q_rats)
+        assert not has_triad(norm)
+
+    def test_rats_without_normalization_has_triad(self):
+        """Before normalization R, T, S look like a triad — the whole
+        point of running domination first."""
+        assert has_triad(q_rats)
+
+    def test_sj1_rats_triad_survives(self):
+        """Section 5.1: the three R-atoms of q_sj1_rats form a triad."""
+        norm = normalize(q_sj1_rats)
+        triad = find_triad(norm)
+        assert triad is not None
+        rels = [norm.atoms[i].relation for i in triad]
+        assert rels == ["R", "R", "R"]
+
+    def test_sj1_brats_triad_survives(self):
+        norm = normalize(q_sj1_brats)
+        assert has_triad(norm)
+
+    def test_triangle_sj_variation_has_triad(self):
+        assert has_triad(q_triangle_sj1)
+
+    def test_chain_has_no_triad(self):
+        assert not has_triad(q_chain)
+
+    def test_exogenous_atoms_cannot_be_triad_members(self):
+        q = parse_query("R^x(x,y), S(y,z), T(z,x)")
+        assert not has_triad(q)
+
+    def test_paths_may_pass_through_exogenous_atoms(self):
+        # A, B, C connected pairwise through the exogenous W.
+        q = parse_query("A(x), B(y), C(z), W^x(x,y,z)")
+        assert has_triad(q)
+
+    def test_all_triads_lists_every_triple(self):
+        assert all_triads(q_triangle) == [(0, 1, 2)]
+
+
+class TestLinearity:
+    def test_qlin_is_linear(self):
+        assert is_linear(q_lin)
+
+    def test_triangle_not_linear(self):
+        assert not is_linear(q_triangle)
+
+    def test_chain_is_linear(self):
+        assert is_linear(q_chain)
+
+    def test_rats_normal_form_pseudo_linear(self):
+        assert is_pseudo_linear(normalize(q_rats))
+
+    def test_theorem_25_on_zoo(self):
+        """No triad => endogenous atoms linearly connected, across the zoo."""
+        for name, q in ALL_QUERIES.items():
+            norm = normalize(q)
+            assert no_triad_implies_pseudo_linear(norm), name

@@ -1,0 +1,102 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    CNFFormula,
+    Graph,
+    exhaustive_assignments,
+    random_2cnf,
+    random_3cnf,
+    random_database_for_query,
+    random_graph,
+)
+from repro.query.zoo import q_TS3conf, q_chain, q_lin
+
+
+class TestFormulas:
+    def test_clause_validation(self):
+        with pytest.raises(ValueError):
+            CNFFormula(2, ((0,),))
+        with pytest.raises(ValueError):
+            CNFFormula(2, ((3,),))
+
+    def test_satisfied_count(self):
+        f = CNFFormula(2, ((1, 2), (-1,)))
+        assert f.satisfied_count({1: False, 2: True}) == 2
+        assert f.satisfied_count({1: True, 2: False}) == 1
+
+    def test_is_satisfiable(self):
+        sat = CNFFormula(1, ((1,),))
+        unsat = CNFFormula(1, ((1,), (-1,)))
+        assert sat.is_satisfiable()
+        assert not unsat.is_satisfiable()
+
+    def test_max_satisfiable(self):
+        f = CNFFormula(1, ((1,), (-1,)))
+        assert f.max_satisfiable() == 1
+
+    def test_exhaustive_assignments_count(self):
+        assert len(list(exhaustive_assignments(3))) == 8
+
+    def test_random_3cnf_shape(self):
+        f = random_3cnf(5, 7, seed=0)
+        assert f.num_vars == 5 and f.num_clauses == 7
+        for clause in f.clauses:
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_random_3cnf_deterministic(self):
+        assert random_3cnf(4, 3, seed=9) == random_3cnf(4, 3, seed=9)
+
+    def test_random_2cnf_shape(self):
+        f = random_2cnf(4, 6, seed=1)
+        assert all(len(c) in (1, 2) for c in f.clauses)
+
+
+class TestGraphs:
+    def test_make_normalizes_edges(self):
+        g = Graph.make([1, 2], [(2, 1)])
+        assert (1, 2) in g.edges
+
+    def test_vertex_cover_exhaustive(self):
+        g = Graph.make(range(3), [(0, 1), (1, 2)])
+        assert g.vertex_cover_number() == 1
+        assert g.is_vertex_cover({1})
+
+    def test_triangle_needs_two(self):
+        g = Graph.make(range(3), [(0, 1), (1, 2), (0, 2)])
+        assert g.vertex_cover_number() == 2
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(6, 0.5, seed=3).edges == random_graph(6, 0.5, seed=3).edges
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(frozenset({1}), frozenset({(1, 2)}))
+
+
+class TestRandomDatabases:
+    def test_respects_vocabulary(self):
+        db = random_database_for_query(q_chain, domain_size=4, seed=0)
+        assert set(db.relations) == {"R"}
+
+    def test_respects_exogenous_flags(self):
+        db = random_database_for_query(q_TS3conf, domain_size=4, seed=0)
+        assert db.relations["T"].exogenous
+        assert db.relations["S"].exogenous
+        assert not db.relations["R"].exogenous
+
+    def test_ternary_relations_filled(self):
+        db = random_database_for_query(q_lin, domain_size=4, density=0.5, seed=0)
+        assert db.relations["R"].arity == 3
+
+    def test_deterministic(self):
+        a = random_database_for_query(q_chain, domain_size=5, seed=42)
+        b = random_database_for_query(q_chain, domain_size=5, seed=42)
+        assert a == b
+
+    def test_density_override(self):
+        db = random_database_for_query(
+            q_chain, domain_size=6, density=0.0, densities={"R": 1.0}, seed=0
+        )
+        assert len(db.relations["R"]) == 36
