@@ -25,9 +25,16 @@ Package map
 ``repro.structure``
     Domination, triads, (pseudo-)linearity, self-join patterns, and the
     dichotomy classifier (Theorem 37 + Section 8).
+``repro.witness``
+    The shared witness-structure engine: integer-indexed witness sets
+    with preprocessing reductions (superset elimination, unit forcing,
+    dominated-tuple elimination, component decomposition) and a cache.
 ``repro.resilience``
     Exact solvers and all of the paper's polynomial-time flow
     algorithms, behind a dispatching :func:`solve`.
+``repro.core``
+    The high-level API: :class:`ResilienceAnalyzer`,
+    :func:`solve_batch`, and deletion propagation.
 ``repro.reductions``
     Executable hardness gadgets for every NP-completeness proof.
 ``repro.ijp``
@@ -48,8 +55,10 @@ from repro.query import (
     satisfies,
     witnesses,
 )
+from repro.core import solve_batch
 from repro.resilience import ResilienceResult, resilience, solve
 from repro.structure import Classification, Verdict, classify, normalize
+from repro.witness import WitnessStructure, witness_structure
 
 __version__ = "1.0.0"
 
@@ -68,6 +77,9 @@ __all__ = [
     "ResilienceResult",
     "resilience",
     "solve",
+    "solve_batch",
+    "WitnessStructure",
+    "witness_structure",
     "Classification",
     "Verdict",
     "classify",

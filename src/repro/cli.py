@@ -19,6 +19,12 @@ Commands
 ``ijp "<query>"``
     Search for an Independent Join Path (Appendix C.2) within a small
     budget and report the endpoints if found.
+
+``bench``
+    Solve a randomized workload through :func:`repro.core.solve_batch`
+    and report per-stage timings (enumerate / reduce / solve) plus the
+    witness-preprocessing reduction statistics; ``--compare`` also
+    times naive per-pair solving and prints the batch speedup.
 """
 
 from __future__ import annotations
@@ -26,9 +32,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
-from repro.core.analyzer import ResilienceAnalyzer
+from repro.core.analyzer import ResilienceAnalyzer, solve_batch
 from repro.db.database import Database
 from repro.ijp.search import ijp_search
 from repro.query.parser import parse_query
@@ -96,6 +103,79 @@ def cmd_ijp(args) -> int:
     return 0
 
 
+# Queries sharing one vocabulary (A, C unary; R binary) so a single
+# random database serves the whole set.  q_vc is excluded: it uses a
+# unary R, clashing with the binary R here.
+DEFAULT_BENCH_QUERIES = (
+    "q_chain,q_sj1_rats,q_perm,q_Aperm,q_ACconf,q_z3,q_conf,q_a_chain"
+)
+
+
+def cmd_bench(args) -> int:
+    """Randomized batch-solving benchmark with reduction statistics."""
+    from repro.resilience.solver import dispatch_plan, solve
+    from repro.witness import clear_witness_cache
+    from repro.workloads import random_database_for_queries
+
+    names = [n.strip() for n in args.queries.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALL_QUERIES]
+    if unknown:
+        print(f"unknown zoo queries: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    queries = [ALL_QUERIES[n] for n in names]
+    # The cross product query x database: every database is shared by
+    # all queries, which is the workload shape batch solving amortizes.
+    try:
+        dbs = [
+            random_database_for_queries(
+                queries,
+                domain_size=args.domain_size,
+                density=args.density,
+                seed=args.seed + i,
+            )
+            for i in range(args.databases)
+        ]
+    except ValueError as exc:
+        # e.g. q_chain (binary R) mixed with q_vc (unary R)
+        print(f"incompatible query set: {exc}", file=sys.stderr)
+        return 2
+    pairs = [(db, q) for db in dbs for q in queries] * args.repeat
+    print(
+        f"workload: {len(queries)} queries x {len(dbs)} shared databases "
+        f"x {args.repeat} repeats = {len(pairs)} pairs "
+        f"(domain {args.domain_size}, density {args.density}, seed {args.seed})"
+    )
+
+    # Pay one-time library import costs (HiGHS, networkx) before timing
+    # anything, so whichever strategy runs first is not penalized.
+    import networkx  # noqa: F401
+    import scipy.optimize  # noqa: F401
+    import scipy.sparse  # noqa: F401
+
+    clear_witness_cache()
+    dispatch_plan.cache_clear()
+    batch = solve_batch(pairs)
+    for line in batch.stats.summary_lines():
+        print(line)
+
+    if args.compare:
+        # Fresh caches so the per-pair loop pays the same cold costs the
+        # batch just paid.
+        clear_witness_cache()
+        dispatch_plan.cache_clear()
+        t0 = time.perf_counter()
+        singles = [solve(db, q) for db, q in pairs]
+        t_single = time.perf_counter() - t0
+        if [r.value for r in singles] != batch.values():
+            print("MISMATCH between batch and per-pair values!", file=sys.stderr)
+            return 1
+        speedup = t_single / batch.stats.time_total if batch.stats.time_total else 0
+        print(
+            f"per-pair solve: {t_single:.3f}s -> batch speedup {speedup:.2f}x"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -120,6 +200,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-joins", type=int, default=2)
     p.add_argument("--budget", type=int, default=20000)
     p.set_defaults(func=cmd_ijp)
+
+    p = sub.add_parser(
+        "bench", help="batch-solve a random workload and report timings"
+    )
+    p.add_argument(
+        "--queries",
+        default=DEFAULT_BENCH_QUERIES,
+        help="comma-separated zoo query names",
+    )
+    p.add_argument(
+        "--databases", type=int, default=10, help="shared databases to generate"
+    )
+    p.add_argument("--domain-size", type=int, default=5)
+    p.add_argument("--density", type=float, default=0.4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="solve each pair this many times (benchmark suites cross-check "
+        "pairs repeatedly; the batch memoizes duplicates)",
+    )
+    p.add_argument(
+        "--compare",
+        action="store_true",
+        help="also time naive per-pair solving and print the speedup",
+    )
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -10,10 +10,19 @@ wants:
 * :mod:`repro.core.deletion_propagation` — the paper's motivating
   application (Section 1): deletion propagation with source
   side-effects for non-Boolean views reduces to resilience of the
-  Boolean specialization.
+  Boolean specialization;
+* :func:`~repro.core.analyzer.solve_batch` — amortized solving of many
+  (database, query) pairs over shared dispatch plans, evaluation
+  indexes, and preprocessed witness structures.
 """
 
-from repro.core.analyzer import AnalysisReport, ResilienceAnalyzer
+from repro.core.analyzer import (
+    AnalysisReport,
+    BatchResult,
+    BatchStats,
+    ResilienceAnalyzer,
+    solve_batch,
+)
 from repro.core.deletion_propagation import (
     ViewQuery,
     deletion_propagation,
@@ -22,7 +31,10 @@ from repro.core.deletion_propagation import (
 
 __all__ = [
     "AnalysisReport",
+    "BatchResult",
+    "BatchStats",
     "ResilienceAnalyzer",
+    "solve_batch",
     "ViewQuery",
     "deletion_propagation",
     "parse_view",

@@ -4,24 +4,34 @@
 normalize (SJ-domination), detect triads / patterns, classify, pick a
 solver — behind one object, and renders a human-readable explanation of
 *why* the query lands where it does in the dichotomy.
+
+:func:`solve_batch` is the amortized entry point for many
+(database, query) pairs at once: one dispatch plan per distinct query,
+one evaluation index per distinct database, one preprocessed witness
+structure per distinct pair, with aggregate reduction statistics for
+reporting (``repro bench`` consumes them).
 """
 
 from __future__ import annotations
 
+import time
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.db.database import Database
 from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import DatabaseIndex
 from repro.query.homomorphism import minimize
 from repro.query.parser import parse_query
-from repro.resilience.solver import solve
+from repro.resilience.solver import dispatch_plan, solve
 from repro.resilience.types import ResilienceResult
 from repro.structure.classifier import Classification, Verdict, classify
 from repro.structure.domination import dominated_relations, normalize
 from repro.structure.linearity import find_linear_order, is_pseudo_linear
 from repro.structure.patterns import two_atom_pattern
 from repro.structure.triads import find_triad
+from repro.witness import ReductionStats, witness_cache_info, witness_structure
 
 
 @dataclass
@@ -123,3 +133,129 @@ class ResilienceAnalyzer:
     def explain(self) -> str:
         """Shortcut for ``report().explain()``."""
         return self.report().explain()
+
+
+# ---------------------------------------------------------------------------
+# Batch solving
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchStats:
+    """Aggregate accounting for one :func:`solve_batch` call."""
+
+    pairs: int = 0
+    unique_pairs: int = 0
+    methods: Counter = field(default_factory=Counter)
+    structures: int = 0
+    reductions: ReductionStats = field(default_factory=ReductionStats)
+    time_total: float = 0.0
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report (used by ``repro bench``)."""
+        r = self.reductions
+        per_s = self.pairs / self.time_total if self.time_total else float("inf")
+        lines = [
+            f"pairs: {self.pairs} ({self.unique_pairs} unique) "
+            f"in {self.time_total:.3f}s ({per_s:.0f} pairs/s)",
+            "methods: "
+            + ", ".join(f"{m}={c}" for m, c in sorted(self.methods.items())),
+        ]
+        if self.structures:
+            lines += [
+                f"witness structures built: {self.structures} "
+                f"(enumerate {r.time_enumerate:.3f}s, reduce {r.time_reduce:.3f}s)",
+                f"  witnesses {r.witnesses_raw} -> {r.witnesses_minimal} minimal "
+                f"-> {r.witnesses_final} after forcing/domination",
+                f"  tuples {r.tuples_raw} -> {r.tuples_final} "
+                f"(forced {r.forced_tuples}, dominated {r.dominated_tuples})",
+                f"  components: {r.components} "
+                f"across {self.structures} structures, {r.rounds} reduction rounds",
+            ]
+        return lines
+
+
+class BatchResult(Sequence):
+    """Results of :func:`solve_batch`, in input order, plus statistics.
+
+    Behaves as a sequence of :class:`ResilienceResult`; ``stats`` holds
+    the aggregate :class:`BatchStats`.
+    """
+
+    def __init__(self, results: List[ResilienceResult], stats: BatchStats):
+        self.results = results
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i):
+        return self.results[i]
+
+    def values(self) -> List[int]:
+        """Just the resilience values, in input order."""
+        return [r.value for r in self.results]
+
+    def __repr__(self) -> str:
+        return f"BatchResult(n={len(self.results)}, stats={self.stats})"
+
+
+def solve_batch(
+    pairs: Iterable[Tuple[Database, ConjunctiveQuery]],
+    method: Optional[str] = None,
+) -> BatchResult:
+    """Solve many (database, query) pairs, amortizing shared work.
+
+    Compared to calling :func:`repro.resilience.solver.solve` per pair,
+    this reuses three things across the batch:
+
+    * one :class:`DispatchPlan` per distinct query signature (the
+      classifier, flow-safety analysis, and flow-network setup run once
+      per query, not once per pair);
+    * one :class:`~repro.query.evaluation.DatabaseIndex` per distinct
+      database object (per-relation hash indexes are shared by the
+      satisfiability probes and witness enumeration of every query
+      solved over it);
+    * one preprocessed witness structure — and one result — per
+      distinct (database, query) pair; duplicated pairs are free.
+
+    Databases must not be mutated while the batch runs (identity is
+    used to share indexes).  ``method`` forces a backend exactly as in
+    :func:`~repro.resilience.solver.solve`.  Results come back in input
+    order inside a :class:`BatchResult` carrying aggregate reduction
+    statistics.
+    """
+    pair_list = list(pairs)
+    t0 = time.perf_counter()
+    stats = BatchStats(pairs=len(pair_list))
+    results: List[Optional[ResilienceResult]] = [None] * len(pair_list)
+    indexes: Dict[int, DatabaseIndex] = {}
+    memo: Dict[Tuple[int, frozenset], ResilienceResult] = {}
+
+    for i, (db, query) in enumerate(pair_list):
+        key = (id(db), query.canonical_signature())
+        res = memo.get(key)
+        if res is None:
+            index = indexes.get(id(db))
+            if index is None:
+                index = DatabaseIndex(db)
+                indexes[id(db)] = index
+            if method is None and dispatch_plan(query).kind == "exact":
+                _, misses_before, _ = witness_cache_info()
+                ws = witness_structure(db, query, index=index)
+                _, misses_after, _ = witness_cache_info()
+                # Only count structures this batch actually built —
+                # cache hits (from this batch or an earlier caller)
+                # did not pay the enumerate/reduce times being merged.
+                if misses_after > misses_before:
+                    stats.structures += 1
+                    stats.reductions.merge(ws.stats)
+                res = solve(db, query, structure=ws, index=index)
+            else:
+                res = solve(db, query, method=method, index=index)
+            memo[key] = res
+        results[i] = res
+        stats.methods[res.method] += 1
+
+    stats.unique_pairs = len(memo)
+    stats.time_total = time.perf_counter() - t0
+    return BatchResult(results, stats)

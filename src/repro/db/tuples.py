@@ -47,6 +47,15 @@ class DBTuple:
         """Number of values in the fact."""
         return len(self.values)
 
+    def sort_key(self) -> Tuple[str, Tuple[str, ...]]:
+        """The key realising the stable total order of :meth:`__lt__`.
+
+        Exposed so solvers can break ties deterministically on the same
+        order used everywhere else (sorted contingency sets, witness
+        universes) instead of inventing ad-hoc keys.
+        """
+        return (self.relation, _sort_key(self.values))
+
     def __hash__(self) -> int:
         return self._hash
 
@@ -58,10 +67,7 @@ class DBTuple:
     def __lt__(self, other: "DBTuple") -> bool:
         # A stable total order so outputs (e.g. sorted contingency sets)
         # are deterministic across runs.
-        return (self.relation, _sort_key(self.values)) < (
-            other.relation,
-            _sort_key(other.values),
-        )
+        return self.sort_key() < other.sort_key()
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(v) for v in self.values)

@@ -20,6 +20,7 @@ from repro.query.atom import Atom
 from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.query.evaluation import (
+    DatabaseIndex,
     satisfies,
     witnesses,
     witness_tuple_sets,
@@ -38,6 +39,7 @@ __all__ = [
     "Atom",
     "ConjunctiveQuery",
     "parse_query",
+    "DatabaseIndex",
     "satisfies",
     "witnesses",
     "witness_tuple_sets",

@@ -16,7 +16,17 @@ polynomial time ``O(n^{|var(q)|})``.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Hashable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.db.database import Database
 from repro.db.tuples import DBTuple
@@ -48,6 +58,36 @@ class _AtomIndex:
         return index.get(key, [])
 
 
+class DatabaseIndex:
+    """Reusable per-relation :class:`_AtomIndex` caches for one database.
+
+    Every evaluation entry point (:func:`iter_witnesses`,
+    :func:`satisfies`, :func:`witness_tuple_sets`) builds these indexes
+    internally and throws them away; when the same database is queried
+    many times — batch solving, cross-checking solvers, repeated
+    ``satisfies`` probes — pass one ``DatabaseIndex`` to amortize index
+    construction across calls.
+
+    The index snapshots relation contents lazily at first use per
+    relation; it does **not** observe later mutations of the database.
+    Build a fresh index after mutating.
+    """
+
+    def __init__(self, database):
+        self.database = database
+        self._by_relation: Dict[str, _AtomIndex] = {}
+
+    def for_relation(self, name: str) -> _AtomIndex:
+        """The (lazily built) atom index for relation ``name``."""
+        index = self._by_relation.get(name)
+        if index is None:
+            rel = self.database.relations.get(name)
+            facts = list(rel) if rel is not None else []
+            index = _AtomIndex(facts)
+            self._by_relation[name] = index
+        return index
+
+
 def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
     """Greedy join order: repeatedly pick the atom sharing most variables
     with those already bound (ties: fewer new variables, then body order)."""
@@ -66,26 +106,35 @@ def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
     return ordered
 
 
-def witnesses(database: Database, query: ConjunctiveQuery) -> List[Valuation]:
+def witnesses(
+    database: Database,
+    query: ConjunctiveQuery,
+    index: Optional[DatabaseIndex] = None,
+) -> List[Valuation]:
     """All witnesses of ``D |= q``, as variable valuations.
 
     Returns a list of dicts mapping every variable of ``q`` to a domain
     constant.  The list is empty iff ``D`` does not satisfy ``q``.
     """
-    return list(iter_witnesses(database, query))
+    return list(iter_witnesses(database, query, index=index))
 
 
 def iter_witnesses(
-    database: Database, query: ConjunctiveQuery
+    database: Database,
+    query: ConjunctiveQuery,
+    index: Optional[DatabaseIndex] = None,
 ) -> Iterator[Valuation]:
-    """Lazily enumerate witnesses of ``D |= q``."""
+    """Lazily enumerate witnesses of ``D |= q``.
+
+    Pass a :class:`DatabaseIndex` to reuse atom indexes across calls on
+    the same (unmutated) database.
+    """
     ordered = _order_atoms(query)
-    indexes: Dict[str, _AtomIndex] = {}
-    for atom in ordered:
-        if atom.relation not in indexes:
-            rel = database.relations.get(atom.relation)
-            facts = list(rel) if rel is not None else []
-            indexes[atom.relation] = _AtomIndex(facts)
+    if index is None:
+        index = DatabaseIndex(database)
+    indexes: Dict[str, _AtomIndex] = {
+        atom.relation: index.for_relation(atom.relation) for atom in ordered
+    }
 
     valuation: Valuation = {}
 
@@ -121,9 +170,13 @@ def iter_witnesses(
     yield from extend(0)
 
 
-def satisfies(database: Database, query: ConjunctiveQuery) -> bool:
+def satisfies(
+    database: Database,
+    query: ConjunctiveQuery,
+    index: Optional[DatabaseIndex] = None,
+) -> bool:
     """``D |= q``: does at least one witness exist?"""
-    for _ in iter_witnesses(database, query):
+    for _ in iter_witnesses(database, query, index=index):
         return True
     return False
 
@@ -139,7 +192,10 @@ def witness_tuples(
 
 
 def witness_tuple_sets(
-    database: Database, query: ConjunctiveQuery, endogenous_only: bool = True
+    database: Database,
+    query: ConjunctiveQuery,
+    endogenous_only: bool = True,
+    index: Optional[DatabaseIndex] = None,
 ) -> List[FrozenSet[DBTuple]]:
     """The witness structure consumed by resilience solvers.
 
@@ -160,7 +216,7 @@ def witness_tuple_sets(
             flags[name] = True
     seen: Set[FrozenSet[DBTuple]] = set()
     out: List[FrozenSet[DBTuple]] = []
-    for valuation in iter_witnesses(database, query):
+    for valuation in iter_witnesses(database, query, index=index):
         facts = witness_tuples(query, valuation)
         if endogenous_only:
             facts = {f for f in facts if not flags.get(f.relation, False)}

@@ -30,9 +30,18 @@ from repro.resilience.exact import (
     is_contingency_set,
 )
 from repro.resilience.flow_linear import LinearFlowSolver, resilience_linear_flow
-from repro.resilience.solver import solve, resilience
+from repro.resilience.solver import (
+    DispatchPlan,
+    dispatch_plan,
+    in_res,
+    resilience,
+    solve,
+)
 
 __all__ = [
+    "DispatchPlan",
+    "dispatch_plan",
+    "in_res",
     "ResilienceResult",
     "UnbreakableQueryError",
     "resilience_exact",

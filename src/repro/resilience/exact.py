@@ -6,12 +6,18 @@ and a contingency set is exactly a set of endogenous tuples intersecting
 every witness (deleting them destroys all witnesses, and destroying all
 witnesses is the only way to falsify the query).
 
-Two exact solvers are provided and cross-checked in tests:
+Both solvers consume a preprocessed
+:class:`~repro.witness.structure.WitnessStructure` — witnesses are
+enumerated once per (query, database) pair, kernelized (superset
+elimination, unit-witness forcing, dominated-tuple elimination), and
+decomposed into connected components that are solved independently and
+summed:
 
 * :func:`resilience_branch_and_bound` — pure-Python branch and bound
   with greedy seeding and lower-bound pruning via disjoint witnesses;
-* :func:`resilience_ilp` — an integer program solved by scipy's
-  ``milp`` (HiGHS), which scales further.
+* :func:`resilience_ilp` — an integer program built directly from the
+  structure's CSR incidence matrix and solved by scipy's ``milp``
+  (HiGHS), which scales further.
 
 Both are exponential in the worst case (minimum hitting set is NP-hard,
 which is the point of the paper), but comfortably handle the gadget
@@ -20,45 +26,18 @@ databases used to *verify* the reductions.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 
 from repro.db.database import Database
 from repro.db.tuples import DBTuple
 from repro.query.cq import ConjunctiveQuery
-from repro.query.evaluation import satisfies, witness_tuple_sets
-from repro.resilience.types import ResilienceResult, UnbreakableQueryError
+from repro.query.evaluation import DatabaseIndex, satisfies
+from repro.resilience.types import ResilienceResult
+from repro.witness import WitnessComponent, WitnessStructure, witness_structure
 
-
-def _witness_sets(
-    database: Database, query: ConjunctiveQuery
-) -> List[FrozenSet[DBTuple]]:
-    sets = witness_tuple_sets(database, query, endogenous_only=True)
-    for s in sets:
-        if not s:
-            raise UnbreakableQueryError(
-                "a witness uses only exogenous tuples; the query cannot be "
-                "falsified by endogenous deletions"
-            )
-    return sets
-
-
-def _reduce_witnesses(
-    sets: List[FrozenSet[DBTuple]],
-) -> List[FrozenSet[DBTuple]]:
-    """Drop witnesses that are supersets of others.
-
-    Hitting a subset hits all its supersets, so only inclusion-minimal
-    witness sets matter.  This reduction is crucial for gadget databases
-    where e.g. a single tuple forms a witness on its own.
-    """
-    sets_sorted = sorted(set(sets), key=len)
-    kept: List[FrozenSet[DBTuple]] = []
-    for s in sets_sorted:
-        if not any(k <= s for k in kept):
-            kept.append(s)
-    return kept
+T = TypeVar("T")
 
 
 def is_contingency_set(
@@ -72,24 +51,40 @@ def is_contingency_set(
 # Branch and bound
 # ---------------------------------------------------------------------------
 
-def _greedy_hitting_set(sets: Sequence[FrozenSet[DBTuple]]) -> Set[DBTuple]:
-    """Greedy upper bound: repeatedly take the tuple hitting most sets."""
+def _greedy_hitting_set(sets: Sequence[FrozenSet[T]]) -> Set[T]:
+    """Greedy upper bound: repeatedly take the element hitting most sets.
+
+    Determinism guarantee: among elements hitting equally many sets, the
+    *smallest* under the elements' own total order wins — integer
+    tuple-ids ascending, or :meth:`DBTuple.sort_key` when called on raw
+    fact sets — the same order used for branching and for sorted
+    contingency-set output.  (Earlier versions broke ties by *largest*
+    ``repr(t)``, an ad-hoc order used nowhere else.)  The result is
+    therefore a pure function of the input sets, independent of
+    set/dict iteration order.
+    """
     remaining = list(sets)
-    chosen: Set[DBTuple] = set()
+    chosen: Set[T] = set()
     while remaining:
-        counts: Dict[DBTuple, int] = {}
+        counts: Dict[T, int] = {}
         for s in remaining:
             for t in s:
                 counts[t] = counts.get(t, 0) + 1
-        best = max(counts, key=lambda t: (counts[t], repr(t)))
+        top = max(counts.values())
+        best = min(t for t, c in counts.items() if c == top)
         chosen.add(best)
         remaining = [s for s in remaining if best not in s]
     return chosen
 
 
-def _disjoint_lower_bound(sets: Sequence[FrozenSet[DBTuple]]) -> int:
-    """Greedy packing of pairwise-disjoint witnesses: a hitting-set lower bound."""
-    used: Set[DBTuple] = set()
+def _disjoint_lower_bound(sets: Sequence[FrozenSet[T]]) -> int:
+    """Greedy packing of pairwise-disjoint witnesses: a hitting-set lower bound.
+
+    Runs at every branch-and-bound node; ``key=len`` with Python's
+    stable sort keeps the packing deterministic (the input order is
+    itself deterministic) without materializing per-set sort keys.
+    """
+    used: Set[T] = set()
     count = 0
     for s in sorted(sets, key=len):
         if not (s & used):
@@ -98,26 +93,20 @@ def _disjoint_lower_bound(sets: Sequence[FrozenSet[DBTuple]]) -> int:
     return count
 
 
-def resilience_branch_and_bound(
-    database: Database, query: ConjunctiveQuery
-) -> ResilienceResult:
-    """Exact resilience via branch and bound on the hitting-set problem.
+def _bnb_component(sets: Sequence[FrozenSet[int]]) -> Set[int]:
+    """Minimum hitting set of one component by branch and bound.
 
     Branches on the tuples of a smallest currently-unhit witness; prunes
     with a disjoint-witness lower bound and the greedy incumbent.
     """
-    sets = _reduce_witnesses(_witness_sets(database, query))
-    if not sets:
-        return ResilienceResult(0, frozenset(), method="branch-and-bound")
-
     best_set = _greedy_hitting_set(sets)
-    best = [len(best_set), frozenset(best_set)]
+    best: List = [len(best_set), set(best_set)]
 
-    def search(remaining: List[FrozenSet[DBTuple]], chosen: Set[DBTuple]) -> None:
+    def search(remaining: List[FrozenSet[int]], chosen: Set[int]) -> None:
         if not remaining:
             if len(chosen) < best[0]:
                 best[0] = len(chosen)
-                best[1] = frozenset(chosen)
+                best[1] = set(chosen)
             return
         if len(chosen) + _disjoint_lower_bound(remaining) >= best[0]:
             return
@@ -129,36 +118,22 @@ def resilience_branch_and_bound(
             search(nxt, chosen)
             chosen.remove(t)
 
-    search(sets, set())
-    return ResilienceResult(best[0], best[1], method="branch-and-bound")
+    search(list(sets), set())
+    return best[1]
 
 
-# ---------------------------------------------------------------------------
-# Integer programming (scipy / HiGHS)
-# ---------------------------------------------------------------------------
+def _ilp_component(component: WitnessComponent) -> Set[int]:
+    """Minimum hitting set of one component as a 0/1 integer program.
 
-def resilience_ilp(database: Database, query: ConjunctiveQuery) -> ResilienceResult:
-    """Exact resilience as a 0/1 integer program.
-
-    ``min sum(x_t)`` subject to ``sum_{t in w} x_t >= 1`` for every
-    witness ``w``; solved by scipy's HiGHS-backed ``milp``.
+    ``min sum(x_t)`` subject to ``A x >= 1`` where ``A`` is the
+    component's CSR incidence matrix; solved by scipy's HiGHS-backed
+    ``milp``.
     """
     from scipy.optimize import Bounds, LinearConstraint, milp
-    from scipy.sparse import lil_matrix
 
-    sets = _reduce_witnesses(_witness_sets(database, query))
-    if not sets:
-        return ResilienceResult(0, frozenset(), method="ilp")
-
-    universe = sorted({t for s in sets for t in s})
-    index = {t: i for i, t in enumerate(universe)}
-    n = len(universe)
-    m = len(sets)
-    A = lil_matrix((m, n))
-    for row, s in enumerate(sets):
-        for t in s:
-            A[row, index[t]] = 1.0
-    constraint = LinearConstraint(A.tocsr(), lb=np.ones(m), ub=np.full(m, np.inf))
+    A = component.incidence_matrix()
+    m, n = A.shape
+    constraint = LinearConstraint(A, lb=np.ones(m), ub=np.full(m, np.inf))
     result = milp(
         c=np.ones(n),
         constraints=[constraint],
@@ -167,28 +142,88 @@ def resilience_ilp(database: Database, query: ConjunctiveQuery) -> ResilienceRes
     )
     if not result.success:  # pragma: no cover - HiGHS is reliable here
         raise RuntimeError(f"ILP solver failed: {result.message}")
-    chosen = frozenset(
-        universe[i] for i in range(n) if result.x[i] > 0.5
+    return {
+        component.tuple_ids[j] for j in range(n) if result.x[j] > 0.5
+    }
+
+
+def _solve_structure(
+    ws: WitnessStructure, backend, method: str
+) -> ResilienceResult:
+    """Sum per-component optima plus the forced tuples."""
+    chosen: Set[int] = set(ws.forced_ids)
+    for component in ws.components:
+        chosen |= backend(component)
+    return ResilienceResult(len(chosen), ws.tuples(chosen), method=method)
+
+
+def resilience_branch_and_bound(
+    database: Database,
+    query: ConjunctiveQuery,
+    structure: Optional[WitnessStructure] = None,
+    index: Optional[DatabaseIndex] = None,
+) -> ResilienceResult:
+    """Exact resilience via branch and bound on the hitting-set problem.
+
+    Consumes the preprocessed witness structure (built, or fetched from
+    the cache, when ``structure`` is not supplied; ``index`` is used
+    for enumeration on a cache miss) and solves each connected
+    component independently.
+    """
+    if structure is None:
+        structure = witness_structure(database, query, index=index)
+    return _solve_structure(
+        structure, lambda comp: _bnb_component(comp.sets), "branch-and-bound"
     )
-    return ResilienceResult(int(round(result.fun)), chosen, method="ilp")
+
+
+# ---------------------------------------------------------------------------
+# Integer programming (scipy / HiGHS)
+# ---------------------------------------------------------------------------
+
+def resilience_ilp(
+    database: Database,
+    query: ConjunctiveQuery,
+    structure: Optional[WitnessStructure] = None,
+    index: Optional[DatabaseIndex] = None,
+) -> ResilienceResult:
+    """Exact resilience as per-component 0/1 integer programs.
+
+    Each connected component of the preprocessed witness structure
+    yields one ILP over its CSR incidence matrix; optima are summed
+    together with the forced tuples.
+    """
+    if structure is None:
+        structure = witness_structure(database, query, index=index)
+    return _solve_structure(structure, _ilp_component, "ilp")
 
 
 def resilience_exact(
     database: Database,
     query: ConjunctiveQuery,
     prefer: str = "auto",
+    structure: Optional[WitnessStructure] = None,
+    index: Optional[DatabaseIndex] = None,
 ) -> ResilienceResult:
     """Exact resilience, choosing a backend.
 
-    ``prefer`` is ``"auto"`` (ILP for larger witness structures, branch
-    and bound for small), ``"ilp"``, or ``"bnb"``.
+    ``prefer`` is ``"auto"`` (ILP for larger *reduced* witness
+    structures, branch and bound for small), ``"ilp"``, or ``"bnb"``.
+    The choice is made per structure after preprocessing, so instances
+    that kernelize well stay on the cheap pure-Python path.
     """
+    ws = (
+        structure
+        if structure is not None
+        else witness_structure(database, query, index=index)
+    )
     if prefer == "ilp":
-        return resilience_ilp(database, query)
+        return resilience_ilp(database, query, structure=ws)
     if prefer == "bnb":
-        return resilience_branch_and_bound(database, query)
-    sets = witness_tuple_sets(database, query, endogenous_only=True)
-    n_tuples = len({t for s in sets for t in s})
-    if len(sets) > 60 or n_tuples > 40:
-        return resilience_ilp(database, query)
-    return resilience_branch_and_bound(database, query)
+        return resilience_branch_and_bound(database, query, structure=ws)
+    if prefer != "auto":
+        raise ValueError(f"unknown backend preference {prefer!r}")
+    largest = max((len(c.sets) for c in ws.components), default=0)
+    if largest > 60 or ws.stats.tuples_final > 40:
+        return resilience_ilp(database, query, structure=ws)
+    return resilience_branch_and_bound(database, query, structure=ws)

@@ -21,12 +21,15 @@ benchmarks can report which algorithm produced each number.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, Optional
 
 from repro.db.database import Database
 from repro.query.cq import ConjunctiveQuery
-from repro.query.evaluation import satisfies
+from repro.query.evaluation import DatabaseIndex, satisfies
 from repro.query.zoo import ALL_QUERIES
+from repro.witness import WitnessStructure
 from repro.resilience.exact import resilience_exact
 from repro.resilience.flow_linear import LinearFlowSolver
 from repro.resilience.flow_special import (
@@ -87,38 +90,83 @@ def _flow_safe(query: ConjunctiveQuery) -> bool:
     return pattern == CONFLUENCE
 
 
+@dataclass(frozen=True)
+class DispatchPlan:
+    """The dispatch decision for one query, computed once and reused.
+
+    ``kind`` is ``"special"``, ``"flow"``, or ``"exact"``; for the
+    first two, ``run`` executes the corresponding solver on a
+    database.  Exact plans carry ``run=None``: :func:`solve` (and
+    :func:`repro.core.solve_batch`) execute them through
+    :func:`resilience_exact` so the witness structure and evaluation
+    index can be threaded in.  Plans are pure functions of the query's
+    canonical signature, so they are cached (:func:`dispatch_plan`) and
+    shared across every database the query is solved over — batch
+    solving amortizes the classifier, the flow-safety analysis, and
+    flow-network setup this way.
+    """
+
+    kind: str
+    run: Optional[Callable[[Database], ResilienceResult]] = None
+
+
+@lru_cache(maxsize=256)
+def dispatch_plan(query: ConjunctiveQuery) -> DispatchPlan:
+    """Decide (and cache) how to solve ``query``, per the module doc.
+
+    The cache key is the query object itself; ``ConjunctiveQuery``
+    hashes by canonical signature, so structurally identical queries
+    share one plan.
+    """
+    special = _SPECIALS.get(query.canonical_signature())
+    if special is not None:
+        return DispatchPlan("special", lambda db: special(db, query))
+
+    verdict = classify(query)
+    if verdict.verdict == Verdict.P and _flow_safe(query):
+        target = verdict.normalized or query
+        if find_linear_order(target) is None:
+            target = query
+        flow = LinearFlowSolver(target)
+        return DispatchPlan("flow", flow.solve)
+
+    return DispatchPlan("exact")
+
+
 def solve(
     database: Database,
     query: ConjunctiveQuery,
     method: Optional[str] = None,
+    structure: Optional[WitnessStructure] = None,
+    index: Optional[DatabaseIndex] = None,
 ) -> ResilienceResult:
     """Compute resilience, dispatching to the appropriate algorithm.
 
     ``method`` forces a backend: ``"exact"``, ``"flow"`` (linear flow),
-    or ``None`` for automatic dispatch.
+    or ``None`` for automatic dispatch.  A prebuilt
+    :class:`~repro.witness.WitnessStructure` for this exact pair may be
+    passed to skip re-enumeration on the exact path, and a
+    :class:`~repro.query.evaluation.DatabaseIndex` to reuse evaluation
+    indexes for the satisfiability probe.
     """
     if method == "exact":
-        return resilience_exact(database, query)
+        return resilience_exact(database, query, structure=structure, index=index)
     if method == "flow":
         return LinearFlowSolver(query).solve(database)
     if method is not None:
         raise ValueError(f"unknown method {method!r}")
 
-    if not satisfies(database, query):
+    if structure is not None:
+        satisfied = structure.satisfied
+    else:
+        satisfied = satisfies(database, query, index=index)
+    if not satisfied:
         return ResilienceResult(0, frozenset(), method="unsatisfied")
 
-    special = _SPECIALS.get(query.canonical_signature())
-    if special is not None:
-        return special(database, query)
-
-    verdict = classify(query)
-    if verdict.verdict == Verdict.P and _flow_safe(query):
-        target = verdict.normalized or query
-        if find_linear_order(target) is not None:
-            return LinearFlowSolver(target).solve(database)
-        return LinearFlowSolver(query).solve(database)
-
-    return resilience_exact(database, query)
+    plan = dispatch_plan(query)
+    if plan.kind == "exact":
+        return resilience_exact(database, query, structure=structure, index=index)
+    return plan.run(database)
 
 
 def resilience(database: Database, query: ConjunctiveQuery) -> int:

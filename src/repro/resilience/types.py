@@ -7,15 +7,12 @@ from typing import FrozenSet
 
 from repro.db.tuples import DBTuple
 
+# Detected (and therefore defined) where witnesses are materialized;
+# re-exported here, its historical home, so solver-side imports keep
+# working: ``from repro.resilience.types import UnbreakableQueryError``.
+from repro.witness.structure import UnbreakableQueryError
 
-class UnbreakableQueryError(ValueError):
-    """Raised when no contingency set exists.
-
-    This happens when some witness uses only exogenous tuples: no
-    deletion of endogenous tuples can falsify the query, so resilience
-    is undefined (the decision problem answers "no" for every k, and
-    the optimization problem has no finite optimum).
-    """
+__all__ = ["ResilienceResult", "UnbreakableQueryError"]
 
 
 @dataclass(frozen=True)

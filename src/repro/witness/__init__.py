@@ -1,0 +1,32 @@
+"""Shared witness-structure engine with preprocessing reductions.
+
+The exact resilience solvers all consume the same object: the *witness
+structure* of a (query, database) pair, kernelized by superset
+elimination, unit-witness forcing, dominated-tuple elimination, and
+connected-component decomposition.  See
+:class:`~repro.witness.structure.WitnessStructure` for the pipeline and
+:func:`~repro.witness.cache.witness_structure` for the memoized entry
+point the dispatcher uses.
+"""
+
+from repro.witness.structure import (
+    ReductionStats,
+    UnbreakableQueryError,
+    WitnessComponent,
+    WitnessStructure,
+)
+from repro.witness.cache import (
+    clear_witness_cache,
+    witness_cache_info,
+    witness_structure,
+)
+
+__all__ = [
+    "ReductionStats",
+    "UnbreakableQueryError",
+    "WitnessComponent",
+    "WitnessStructure",
+    "witness_structure",
+    "clear_witness_cache",
+    "witness_cache_info",
+]

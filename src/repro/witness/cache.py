@@ -1,0 +1,69 @@
+"""Memoized witness structures.
+
+Building a :class:`~repro.witness.structure.WitnessStructure` is the
+dominant cost of an exact solve (full witness enumeration plus the
+reduction fixpoint), and the benchmark suites solve the same
+(query, database) pair repeatedly — dispatch vs. cross-check, BnB vs.
+ILP, batch reruns.  :func:`witness_structure` keys a small LRU on the
+database's :meth:`~repro.db.database.Database.canonical_form` and the
+query's :meth:`~repro.query.cq.ConjunctiveQuery.canonical_signature`,
+so mutated databases (or flag changes) miss the cache instead of
+returning stale structures.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import DatabaseIndex
+from repro.witness.structure import WitnessStructure
+
+_MAXSIZE = 128
+_cache: "OrderedDict[Tuple[frozenset, frozenset, bool], WitnessStructure]" = (
+    OrderedDict()
+)
+_hits = 0
+_misses = 0
+
+
+def witness_structure(
+    database: Database,
+    query: ConjunctiveQuery,
+    reduce: bool = True,
+    index: Optional[DatabaseIndex] = None,
+) -> WitnessStructure:
+    """The (cached) witness structure of a (query, database) pair.
+
+    The key covers the full database contents, so the cache is safe
+    under mutation: any change to tuples or exogenous flags produces a
+    fresh build.  ``index`` is only consulted on a miss.
+    """
+    global _hits, _misses
+    key = (database.canonical_form(), query.canonical_signature(), reduce)
+    cached = _cache.get(key)
+    if cached is not None:
+        _hits += 1
+        _cache.move_to_end(key)
+        return cached
+    _misses += 1
+    ws = WitnessStructure.build(database, query, reduce=reduce, index=index)
+    _cache[key] = ws
+    while len(_cache) > _MAXSIZE:
+        _cache.popitem(last=False)
+    return ws
+
+
+def clear_witness_cache() -> None:
+    """Drop every cached structure (and reset the hit/miss counters)."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def witness_cache_info() -> Tuple[int, int, int]:
+    """``(hits, misses, currsize)`` — mirrors ``lru_cache.cache_info``."""
+    return _hits, _misses, len(_cache)

@@ -1,0 +1,404 @@
+"""The shared witness-structure engine.
+
+Every exact resilience computation is a minimum hitting set over the
+*witness structure* of a (query, database) pair: each witness of
+``D |= q`` contributes the set of endogenous tuples it uses, and a
+contingency set is exactly a set of endogenous tuples intersecting every
+such set.  Before this module existed, each solver call re-enumerated
+witnesses from scratch and worked on raw ``FrozenSet[DBTuple]`` objects;
+:class:`WitnessStructure` enumerates once, maps tuples to a compact
+integer universe, and applies the standard hitting-set kernelization
+repertoire *before* any solver runs:
+
+1. **superset elimination** — only inclusion-minimal witness sets
+   matter (hitting a subset hits all its supersets);
+2. **unit-witness forcing** — a singleton witness ``{t}`` forces ``t``
+   into (some) minimum hitting set; ``t`` is committed and every
+   witness it hits is removed;
+3. **dominated-tuple elimination** — if every remaining witness
+   containing ``t`` also contains ``u``, any solution using ``t`` can
+   swap it for ``u``; ``t`` is deleted from the candidate pool;
+4. **connected-component decomposition** — the tuple/witness incidence
+   graph splits into components that are solved independently and
+   summed.
+
+Stages 1–3 run to a fixpoint (each can enable the others), and the
+whole pipeline frequently solves small instances outright, leaving the
+branch-and-bound / ILP backends only the irreducible core.
+
+Internally witness sets are ``frozenset``s of integer tuple-ids; stage
+3's subset tests run on Python-int *bitsets* over witness rows (a
+single ``& ~`` per candidate pair), and the final per-tuple bitsets
+are exposed as :attr:`WitnessStructure.tuple_bitsets` for consumers.
+The scipy CSR incidence matrix consumed by the ILP backend is built
+directly from the same ids via :meth:`WitnessStructure.incidence_matrix`
+/ :meth:`WitnessComponent.incidence_matrix`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import DatabaseIndex, witness_tuple_sets
+
+
+class UnbreakableQueryError(ValueError):
+    """Raised when no contingency set exists.
+
+    This happens when some witness uses only exogenous tuples: no
+    deletion of endogenous tuples can falsify the query, so resilience
+    is undefined (the decision problem answers "no" for every k, and
+    the optimization problem has no finite optimum).
+
+    Defined here — where witness enumeration first detects the
+    condition — and re-exported by :mod:`repro.resilience.types`, its
+    historical home.
+    """
+
+
+@dataclass
+class ReductionStats:
+    """What preprocessing did to one witness structure.
+
+    All counts refer to *endogenous-restricted, de-duplicated* witness
+    sets (the output of :func:`repro.query.evaluation.witness_tuple_sets`).
+    """
+
+    witnesses_raw: int = 0
+    witnesses_minimal: int = 0
+    witnesses_final: int = 0
+    tuples_raw: int = 0
+    tuples_final: int = 0
+    forced_tuples: int = 0
+    dominated_tuples: int = 0
+    components: int = 0
+    rounds: int = 0
+    time_enumerate: float = 0.0
+    time_reduce: float = 0.0
+
+    def merge(self, other: "ReductionStats") -> None:
+        """Accumulate ``other`` into this instance (for batch reports)."""
+        self.witnesses_raw += other.witnesses_raw
+        self.witnesses_minimal += other.witnesses_minimal
+        self.witnesses_final += other.witnesses_final
+        self.tuples_raw += other.tuples_raw
+        self.tuples_final += other.tuples_final
+        self.forced_tuples += other.forced_tuples
+        self.dominated_tuples += other.dominated_tuples
+        self.components += other.components
+        self.rounds += other.rounds
+        self.time_enumerate += other.time_enumerate
+        self.time_reduce += other.time_reduce
+
+
+@dataclass(frozen=True)
+class WitnessComponent:
+    """One connected component of the reduced tuple/witness graph.
+
+    ``tuple_ids`` are global ids into the parent structure's universe;
+    ``sets`` are the component's witness sets over those same global
+    ids.  Components partition both the active tuples and the witness
+    sets, so resilience is the sum of per-component minimum hitting
+    sets.
+    """
+
+    tuple_ids: Tuple[int, ...]
+    sets: Tuple[FrozenSet[int], ...]
+
+    def incidence_matrix(self):
+        """Sparse CSR 0/1 matrix: rows = witness sets, cols = local
+        positions into ``tuple_ids`` (sorted ascending)."""
+        local = {t: j for j, t in enumerate(self.tuple_ids)}
+        return _csr_from_sets(
+            [frozenset(local[t] for t in s) for s in self.sets],
+            len(self.tuple_ids),
+        )
+
+
+class WitnessStructure:
+    """The preprocessed witness structure of one (query, database) pair.
+
+    Build with :meth:`build`; consume via :attr:`components` (solvers),
+    :meth:`incidence_matrix` (whole-structure CSR), or the convenience
+    accessors below.  Attributes:
+
+    ``universe``
+        All endogenous tuples appearing in any witness, sorted by
+        :meth:`DBTuple.sort_key`; a tuple's id is its position here.
+    ``raw_sets`` / ``sets``
+        Witness sets (frozensets of tuple ids) before / after
+        preprocessing.  ``sets`` only contains inclusion-minimal sets
+        over non-forced, non-dominated tuples.
+    ``forced_ids`` / ``forced``
+        Tuples committed by unit-witness forcing; every one belongs to
+        some minimum contingency set, so solvers add ``len(forced)`` to
+        the optimum of ``sets``.
+    ``tuple_bitsets``
+        For each active tuple id, a Python-int bitset over rows of
+        ``sets`` (bit *r* set iff the tuple occurs in ``sets[r]``) —
+        the row view of the reduced structure, exposed for consumers;
+        the reduction pipeline builds its own per-round bitsets.
+    ``components``
+        The connected components of the reduced structure, ordered by
+        smallest tuple id.
+    ``satisfied``
+        Whether ``D |= q`` at build time (no witnesses ⇒ resilience 0).
+
+    Raises :class:`UnbreakableQueryError` at build time when some
+    witness uses only exogenous tuples.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        universe: Tuple[DBTuple, ...],
+        raw_sets: Tuple[FrozenSet[int], ...],
+        sets: Tuple[FrozenSet[int], ...],
+        forced_ids: FrozenSet[int],
+        stats: ReductionStats,
+    ):
+        self.database = database
+        self.query = query
+        self.universe = universe
+        self.tuple_index: Dict[DBTuple, int] = {t: i for i, t in enumerate(universe)}
+        self.raw_sets = raw_sets
+        self.sets = sets
+        self.forced_ids = forced_ids
+        self.stats = stats
+        self.tuple_bitsets: Dict[int, int] = _bitsets(sets)
+        self.components: Tuple[WitnessComponent, ...] = _decompose(sets)
+        stats.components = len(self.components)
+        stats.witnesses_final = len(sets)
+        stats.tuples_final = len(self.tuple_bitsets)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        database: Database,
+        query: ConjunctiveQuery,
+        reduce: bool = True,
+        index: Optional[DatabaseIndex] = None,
+    ) -> "WitnessStructure":
+        """Enumerate witnesses and (optionally) run all reductions.
+
+        ``reduce=False`` skips every preprocessing stage — useful for
+        cross-checking that the reductions preserve the optimum.  An
+        existing :class:`DatabaseIndex` may be passed to reuse per-atom
+        hash indexes across many builds on the same database.
+        """
+        t0 = time.perf_counter()
+        tuple_sets = witness_tuple_sets(
+            database, query, endogenous_only=True, index=index
+        )
+        for s in tuple_sets:
+            if not s:
+                raise UnbreakableQueryError(
+                    "a witness uses only exogenous tuples; the query cannot "
+                    "be falsified by endogenous deletions"
+                )
+        t1 = time.perf_counter()
+
+        universe = tuple(sorted({t for s in tuple_sets for t in s}))
+        idx = {t: i for i, t in enumerate(universe)}
+        raw = tuple(frozenset(idx[t] for t in s) for s in tuple_sets)
+
+        stats = ReductionStats(
+            witnesses_raw=len(raw),
+            tuples_raw=len(universe),
+            time_enumerate=t1 - t0,
+        )
+        if reduce:
+            sets, forced, dominated = _reduce(list(raw), stats)
+        else:
+            sets, forced, dominated = list(raw), frozenset(), 0
+            stats.witnesses_minimal = len(raw)
+        stats.forced_tuples = len(forced)
+        stats.dominated_tuples = dominated
+        stats.time_reduce = time.perf_counter() - t1
+        return cls(
+            database, query, universe, raw, tuple(sets), frozenset(forced), stats
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def satisfied(self) -> bool:
+        """``D |= q`` — the structure has at least one witness."""
+        return bool(self.raw_sets)
+
+    @property
+    def forced(self) -> FrozenSet[DBTuple]:
+        """The forced tuples, as database facts."""
+        return frozenset(self.universe[i] for i in self.forced_ids)
+
+    def tuples(self, ids) -> FrozenSet[DBTuple]:
+        """Map ids back to database facts."""
+        return frozenset(self.universe[i] for i in ids)
+
+    def incidence_matrix(self):
+        """CSR 0/1 incidence of the *reduced* structure: rows = witness
+        sets in ``self.sets``, cols = the full universe."""
+        return _csr_from_sets(self.sets, len(self.universe))
+
+    def __repr__(self) -> str:
+        return (
+            f"WitnessStructure(witnesses={len(self.raw_sets)}->{len(self.sets)}, "
+            f"tuples={len(self.universe)}->{self.stats.tuples_final}, "
+            f"forced={len(self.forced_ids)}, components={len(self.components)})"
+        )
+
+
+def _csr_from_sets(sets: Sequence[FrozenSet[int]], n_cols: int):
+    """Sparse CSR 0/1 matrix with one row per set over ``n_cols`` columns."""
+    from scipy.sparse import csr_matrix
+
+    indptr = [0]
+    indices: List[int] = []
+    for s in sets:
+        indices.extend(sorted(s))
+        indptr.append(len(indices))
+    return csr_matrix(
+        ([1.0] * len(indices), indices, indptr),
+        shape=(len(sets), n_cols),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reduction pipeline
+# ---------------------------------------------------------------------------
+
+def _bitsets(sets: Sequence[FrozenSet[int]]) -> Dict[int, int]:
+    """Per-tuple bitsets over witness rows: bit ``r`` of ``out[t]`` is
+    set iff tuple ``t`` occurs in ``sets[r]``."""
+    out: Dict[int, int] = {}
+    for row, s in enumerate(sets):
+        bit = 1 << row
+        for t in s:
+            out[t] = out.get(t, 0) | bit
+    return out
+
+
+def _minimal_sets(sets: List[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Keep only inclusion-minimal sets (deduplicated, deterministic)."""
+    ordered = sorted(set(sets), key=lambda s: (len(s), sorted(s)))
+    kept: List[FrozenSet[int]] = []
+    for s in ordered:
+        if not any(k <= s for k in kept):
+            kept.append(s)
+    return kept
+
+
+def _dominated_tuples(sets: Sequence[FrozenSet[int]]) -> List[int]:
+    """Tuples whose witness rows are covered by another tuple's rows.
+
+    ``t`` is dominated by ``u`` when ``rows(t) ⊆ rows(u)``: any hitting
+    set using ``t`` can use ``u`` instead.  For *equal* row sets only
+    the smallest tuple id survives, which keeps the choice
+    deterministic; a tuple already marked dominated is never used as a
+    dominator (domination is transitive, so a live dominator always
+    exists).
+    """
+    bitsets = _bitsets(sets)
+    items = sorted(bitsets.items())
+    dominated: set = set()
+    for t, rows_t in items:
+        for u, rows_u in items:
+            if u == t or u in dominated:
+                continue
+            if rows_t & ~rows_u == 0 and (rows_t != rows_u or u < t):
+                dominated.add(t)
+                break
+    return sorted(dominated)
+
+
+def _reduce(
+    sets: List[FrozenSet[int]], stats: ReductionStats
+) -> Tuple[List[FrozenSet[int]], FrozenSet[int], int]:
+    """Run stages 1–3 to a fixpoint.
+
+    Returns ``(reduced_sets, forced_ids, n_dominated)``.  The invariant
+    maintained is that ``opt(original) = len(forced) + opt(reduced)``
+    and that any hitting set of ``reduced_sets`` together with the
+    forced tuples hits every original witness set.
+    """
+    forced: set = set()
+    dominated_total = 0
+    first = True
+    changed = True
+    while changed:
+        stats.rounds += 1
+        changed = False
+
+        minimal = _minimal_sets(sets)
+        if len(minimal) != len(sets):
+            changed = True
+        sets = minimal
+        if first:
+            stats.witnesses_minimal = len(sets)
+            first = False
+
+        units = {next(iter(s)) for s in sets if len(s) == 1}
+        if units:
+            forced |= units
+            sets = [s for s in sets if not (s & units)]
+            changed = True
+
+        dominated = set(_dominated_tuples(sets))
+        if dominated:
+            dominated_total += len(dominated)
+            sets = [frozenset(s - dominated) for s in sets]
+            changed = True
+    return sets, frozenset(forced), dominated_total
+
+
+def _decompose(sets: Sequence[FrozenSet[int]]) -> Tuple[WitnessComponent, ...]:
+    """Connected components of the tuple/witness incidence graph."""
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for s in sets:
+        for t in s:
+            parent.setdefault(t, t)
+        it = iter(s)
+        root = find(next(it))
+        for t in it:
+            r = find(t)
+            if r != root:
+                parent[r] = root
+
+    groups: Dict[int, List[int]] = {}
+    for t in parent:
+        groups.setdefault(find(t), []).append(t)
+    comp_of = {root: i for i, root in enumerate(sorted(groups, key=lambda r: min(groups[r])))}
+    members: List[List[int]] = [[] for _ in comp_of]
+    comp_sets: List[List[FrozenSet[int]]] = [[] for _ in comp_of]
+    for root, ts in groups.items():
+        members[comp_of[find(root)]] = sorted(ts)
+    for s in sets:
+        comp_sets[comp_of[find(next(iter(s)))]].append(s)
+    return tuple(
+        WitnessComponent(tuple(ts), tuple(ss))
+        for ts, ss in zip(members, comp_sets)
+    )

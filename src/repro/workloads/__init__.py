@@ -1,6 +1,7 @@
 """Synthetic workload generators for tests and benchmarks."""
 
 from repro.workloads.random_db import (
+    random_database_for_queries,
     random_database_for_query,
     random_binary_relation,
     random_unary_relation,
@@ -17,6 +18,7 @@ from repro.workloads.random_queries import random_sjfree_cq, random_ssj_binary_c
 __all__ = [
     "random_sjfree_cq",
     "random_ssj_binary_cq",
+    "random_database_for_queries",
     "random_database_for_query",
     "random_binary_relation",
     "random_unary_relation",

@@ -8,7 +8,7 @@ database over the query's relations, check both solvers agree.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.db.database import Database
 from repro.query.cq import ConjunctiveQuery
@@ -33,6 +33,62 @@ def random_binary_relation(
                 db.add(name, u, v)
 
 
+def _fill_relation(
+    db: Database,
+    name: str,
+    arity: int,
+    domain_size: int,
+    density: float,
+    rng: random.Random,
+) -> None:
+    """Fill one (already declared) relation at the given density.
+
+    Relations of arity >= 3 are filled by sampling
+    ``density * domain_size**2`` random vectors, keeping sizes
+    comparable with the binary case.
+    """
+    if arity == 1:
+        random_unary_relation(db, name, domain_size, density, rng)
+    elif arity == 2:
+        random_binary_relation(db, name, domain_size, density, rng)
+    else:
+        for _ in range(int(density * domain_size ** 2)):
+            db.add(name, *(rng.randrange(domain_size) for _ in range(arity)))
+
+
+def random_database_for_queries(
+    queries: Sequence[ConjunctiveQuery],
+    domain_size: int = 6,
+    density: float = 0.35,
+    seed: Optional[int] = None,
+    densities: Optional[Dict[str, float]] = None,
+) -> Database:
+    """A random database over the *union* vocabulary of several queries.
+
+    Batch workloads solve many queries over the same database; this
+    declares every relation any query mentions (so the same instance is
+    well-formed for all of them) and fills each at the given density.
+    Raises ``ValueError`` if two queries disagree on a relation's arity
+    or exogenous flag.
+    """
+    arities: Dict[str, int] = {}
+    flags: Dict[str, bool] = {}
+    for q in queries:
+        for rel, arity in q.relation_arities().items():
+            if arities.setdefault(rel, arity) != arity:
+                raise ValueError(f"conflicting arities for relation {rel!r}")
+        for rel, flag in q.relation_flags().items():
+            if flags.setdefault(rel, flag) != flag:
+                raise ValueError(f"conflicting exogenous flags for {rel!r}")
+    rng = random.Random(seed)
+    db = Database()
+    for rel_name in sorted(arities):
+        db.declare(rel_name, arities[rel_name], exogenous=flags[rel_name])
+        d = (densities or {}).get(rel_name, density)
+        _fill_relation(db, rel_name, arities[rel_name], domain_size, d, rng)
+    return db
+
+
 def random_database_for_query(
     query: ConjunctiveQuery,
     domain_size: int = 6,
@@ -54,15 +110,5 @@ def random_database_for_query(
     for rel_name, arity in sorted(query.relation_arities().items()):
         db.declare(rel_name, arity, exogenous=flags[rel_name])
         d = (densities or {}).get(rel_name, density)
-        if arity == 1:
-            random_unary_relation(db, rel_name, domain_size, d, rng)
-        elif arity == 2:
-            random_binary_relation(db, rel_name, domain_size, d, rng)
-        else:
-            target = int(d * domain_size ** 2)
-            for _ in range(target):
-                db.add(
-                    rel_name,
-                    *(rng.randrange(domain_size) for _ in range(arity)),
-                )
+        _fill_relation(db, rel_name, arity, domain_size, d, rng)
     return db

@@ -74,3 +74,35 @@ class TestCommands:
     def test_ijp_not_found(self, capsys):
         assert main(["ijp", "R(x,y), R(y,x)", "--budget", "3000"]) == 1
         assert "no IJP" in capsys.readouterr().out
+
+    def test_bench(self, capsys):
+        assert main(
+            [
+                "bench",
+                "--databases", "2",
+                "--domain-size", "4",
+                "--repeat", "2",
+                "--compare",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pairs:" in out
+        assert "methods:" in out
+        assert "witness structures built" in out
+        assert "speedup" in out
+
+    def test_bench_unknown_query(self, capsys):
+        assert main(["bench", "--queries", "q_nonsense"]) == 2
+        assert "unknown zoo queries" in capsys.readouterr().err
+
+    def test_bench_incompatible_vocabulary(self, capsys):
+        # q_chain's binary R clashes with q_vc's unary R.
+        assert main(["bench", "--queries", "q_chain,q_vc"]) == 2
+        assert "incompatible query set" in capsys.readouterr().err
+
+    def test_bench_custom_queries(self, capsys):
+        assert main(
+            ["bench", "--queries", "q_chain,q_perm", "--databases", "2",
+             "--domain-size", "4"]
+        ) == 0
+        assert "2 queries" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for the batch-solving API (repro.core.solve_batch)."""
+
+import pytest
+
+from repro.core import BatchResult, solve_batch
+from repro.query.zoo import ALL_QUERIES
+from repro.resilience import resilience_exact, solve
+from repro.witness import clear_witness_cache
+from repro.workloads import (
+    random_database_for_queries,
+    random_database_for_query,
+)
+
+# A dispatch-diverse mix over one shared vocabulary (A, C unary; R
+# binary): exact NP-hard cases, bespoke specials, and flow queries.
+SHARED_VOCAB_QUERIES = (
+    "q_chain",
+    "q_conf",
+    "q_perm",
+    "q_Aperm",
+    "q_ACconf",
+    "q_z3",
+    "q_sj1_rats",
+    "q_a_chain",
+)
+
+
+def _shared_workload(n_dbs, domain_size=4, density=0.45):
+    queries = [ALL_QUERIES[n] for n in SHARED_VOCAB_QUERIES]
+    dbs = [
+        random_database_for_queries(
+            queries, domain_size=domain_size, density=density, seed=seed
+        )
+        for seed in range(n_dbs)
+    ]
+    return [(db, q) for db in dbs for q in queries]
+
+
+class TestSolveBatch:
+    def test_matches_per_pair_solve_on_200_randomized_pairs(self):
+        """Acceptance: >= 200 randomized pairs, identical values/methods."""
+        pairs = _shared_workload(25)
+        assert len(pairs) == 200
+        clear_witness_cache()
+        batch = solve_batch(pairs)
+        singles = [solve(db, q) for db, q in pairs]
+        assert batch.values() == [r.value for r in singles]
+        assert [r.method for r in batch] == [r.method for r in singles]
+
+    def test_preprocessed_exact_matches_seed_style_unreduced_search(self):
+        """Acceptance: reductions never change the exact optimum."""
+        from repro.witness import WitnessStructure
+        from repro.resilience import resilience_branch_and_bound
+
+        pairs = _shared_workload(6)
+        checked = 0
+        for db, q in pairs:
+            ws = WitnessStructure.build(db, q)
+            if not ws.satisfied:
+                continue
+            unreduced = WitnessStructure.build(db, q, reduce=False)
+            seed_style = resilience_branch_and_bound(db, q, structure=unreduced)
+            assert resilience_exact(db, q, structure=ws).value == seed_style.value
+            checked += 1
+        assert checked > 20
+
+    def test_results_in_input_order(self):
+        q_chain = ALL_QUERIES["q_chain"]
+        q_perm = ALL_QUERIES["q_perm"]
+        db = random_database_for_query(q_chain, domain_size=4, density=0.5, seed=1)
+        pairs = [(db, q_perm), (db, q_chain), (db, q_perm)]
+        batch = solve_batch(pairs)
+        assert len(batch) == 3
+        assert batch[0].value == solve(db, q_perm).value
+        assert batch[1].value == solve(db, q_chain).value
+
+    def test_duplicate_pairs_are_memoized(self):
+        q = ALL_QUERIES["q_chain"]
+        db = random_database_for_query(q, domain_size=4, density=0.5, seed=3)
+        batch = solve_batch([(db, q)] * 5)
+        assert batch.stats.pairs == 5
+        assert batch.stats.unique_pairs == 1
+        assert all(r is batch[0] for r in batch)
+
+    def test_method_forcing(self):
+        q = ALL_QUERIES["q_perm"]
+        db = random_database_for_query(q, domain_size=4, density=0.5, seed=2)
+        batch = solve_batch([(db, q)], method="exact")
+        assert batch[0].method in ("branch-and-bound", "ilp")
+        assert batch[0].value == resilience_exact(db, q).value
+
+    def test_stats_accounting(self):
+        pairs = _shared_workload(4)
+        clear_witness_cache()
+        batch = solve_batch(pairs)
+        stats = batch.stats
+        assert stats.pairs == len(pairs)
+        assert sum(stats.methods.values()) == len(pairs)
+        assert stats.time_total > 0
+        # Exact-path pairs produced witness structures with stats.
+        assert stats.structures > 0
+        assert stats.reductions.witnesses_raw >= stats.reductions.witnesses_final
+        assert any("pairs:" in line for line in stats.summary_lines())
+
+    def test_empty_batch(self):
+        batch = solve_batch([])
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 0
+        assert batch.stats.pairs == 0
+
+
+class TestSharedVocabularyWorkload:
+    def test_conflicting_arity_rejected(self):
+        with pytest.raises(ValueError):
+            random_database_for_queries(
+                [ALL_QUERIES["q_chain"], ALL_QUERIES["q_vc"]], seed=0
+            )
+
+    def test_declares_union_vocabulary(self):
+        queries = [ALL_QUERIES[n] for n in SHARED_VOCAB_QUERIES]
+        db = random_database_for_queries(queries, seed=0)
+        expected = set()
+        for q in queries:
+            expected |= q.relation_names()
+        assert set(db.relations) == expected
