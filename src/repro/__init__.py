@@ -30,8 +30,10 @@ Package map
     with preprocessing reductions (superset elimination, unit forcing,
     dominated-tuple elimination, component decomposition) and a cache.
 ``repro.resilience``
-    Exact solvers and all of the paper's polynomial-time flow
-    algorithms, behind a dispatching :func:`solve`.
+    Exact solvers, all of the paper's polynomial-time flow algorithms,
+    and the certified approximate/anytime tier (LP relaxation + greedy
+    bounds + budgeted search), behind a dispatching :func:`solve` with
+    ``mode="exact" | "approx" | "anytime"``.
 ``repro.core``
     The high-level API: :class:`ResilienceAnalyzer`,
     :func:`solve_batch`, and deletion propagation.
@@ -56,11 +58,19 @@ from repro.query import (
     witnesses,
 )
 from repro.core import solve_batch
-from repro.resilience import ResilienceResult, resilience, solve
+from repro.resilience import (
+    BoundedResilienceResult,
+    Budget,
+    ResilienceResult,
+    resilience,
+    resilience_anytime,
+    resilience_bounds,
+    solve,
+)
 from repro.structure import Classification, Verdict, classify, normalize
 from repro.witness import WitnessStructure, witness_structure
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
@@ -74,8 +84,12 @@ __all__ = [
     "satisfies",
     "witnesses",
     "minimize",
+    "BoundedResilienceResult",
+    "Budget",
     "ResilienceResult",
     "resilience",
+    "resilience_bounds",
+    "resilience_anytime",
     "solve",
     "solve_batch",
     "WitnessStructure",

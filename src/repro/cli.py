@@ -25,6 +25,11 @@ Commands
     and report per-stage timings (enumerate / reduce / solve) plus the
     witness-preprocessing reduction statistics; ``--compare`` also
     times naive per-pair solving and prints the batch speedup.
+    ``--mode approx`` / ``--mode anytime`` run the certified bounded
+    tier instead of exact solving (``--budget-seconds`` /
+    ``--budget-nodes`` cap the anytime refinement), and ``--scale N``
+    swaps the workload for the thousands-of-tuples NP-hard scaling
+    workload that exact solving cannot touch.
 """
 
 from __future__ import annotations
@@ -114,37 +119,103 @@ DEFAULT_BENCH_QUERIES = (
 def cmd_bench(args) -> int:
     """Randomized batch-solving benchmark with reduction statistics."""
     from repro.resilience.solver import dispatch_plan, solve
+    from repro.resilience.types import Budget
     from repro.witness import clear_witness_cache
-    from repro.workloads import random_database_for_queries
-
-    names = [n.strip() for n in args.queries.split(",") if n.strip()]
-    unknown = [n for n in names if n not in ALL_QUERIES]
-    if unknown:
-        print(f"unknown zoo queries: {', '.join(unknown)}", file=sys.stderr)
-        return 2
-    queries = [ALL_QUERIES[n] for n in names]
-    # The cross product query x database: every database is shared by
-    # all queries, which is the workload shape batch solving amortizes.
-    try:
-        dbs = [
-            random_database_for_queries(
-                queries,
-                domain_size=args.domain_size,
-                density=args.density,
-                seed=args.seed + i,
-            )
-            for i in range(args.databases)
-        ]
-    except ValueError as exc:
-        # e.g. q_chain (binary R) mixed with q_vc (unary R)
-        print(f"incompatible query set: {exc}", file=sys.stderr)
-        return 2
-    pairs = [(db, q) for db in dbs for q in queries] * args.repeat
-    print(
-        f"workload: {len(queries)} queries x {len(dbs)} shared databases "
-        f"x {args.repeat} repeats = {len(pairs)} pairs "
-        f"(domain {args.domain_size}, density {args.density}, seed {args.seed})"
+    from repro.workloads import (
+        HARD_SCALING_QUERIES,
+        hard_scaling_workload,
+        random_database_for_queries,
     )
+
+    budget = Budget(
+        time_limit=args.budget_seconds, node_limit=args.budget_nodes
+    )
+    if args.compare and args.mode != "exact":
+        print("--compare only applies to --mode exact", file=sys.stderr)
+        return 2
+    if not budget.unlimited and args.mode != "anytime":
+        print(
+            "--budget-seconds/--budget-nodes only apply to --mode anytime",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scale:
+        if args.mode == "exact":
+            print(
+                "--scale generates instances exact solving cannot touch; "
+                "use --mode approx or --mode anytime",
+                file=sys.stderr,
+            )
+            return 2
+        if args.mode == "anytime" and budget.unlimited:
+            # An unlimited anytime search IS an exact solve — the very
+            # thing --scale instances are built to defeat.
+            print(
+                "--mode anytime --scale needs --budget-seconds or "
+                "--budget-nodes (an unlimited budget is an exact solve)",
+                file=sys.stderr,
+            )
+            return 2
+        ignored = [
+            flag
+            for flag, value in (
+                ("--queries", args.queries),
+                ("--domain-size", args.domain_size),
+                ("--density", args.density),
+                ("--repeat", args.repeat),
+            )
+            if value is not None
+        ]
+        if ignored:
+            print(
+                f"--scale uses its own fixed NP-hard workload; "
+                f"not compatible with {', '.join(ignored)}",
+                file=sys.stderr,
+            )
+            return 2
+        pairs = hard_scaling_workload(
+            n_tuples=args.scale, n_databases=args.databases, seed=args.seed
+        )
+        print(
+            f"workload: {len(HARD_SCALING_QUERIES)} NP-hard queries x "
+            f"{args.databases} shared databases of ~{args.scale} tuples per "
+            f"binary relation = {len(pairs)} pairs (seed {args.seed})"
+        )
+    else:
+        queries_spec = (
+            args.queries if args.queries is not None else DEFAULT_BENCH_QUERIES
+        )
+        domain_size = args.domain_size if args.domain_size is not None else 5
+        density = args.density if args.density is not None else 0.4
+        repeat = args.repeat if args.repeat is not None else 2
+        names = [n.strip() for n in queries_spec.split(",") if n.strip()]
+        unknown = [n for n in names if n not in ALL_QUERIES]
+        if unknown:
+            print(f"unknown zoo queries: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        queries = [ALL_QUERIES[n] for n in names]
+        # The cross product query x database: every database is shared by
+        # all queries, which is the workload shape batch solving amortizes.
+        try:
+            dbs = [
+                random_database_for_queries(
+                    queries,
+                    domain_size=domain_size,
+                    density=density,
+                    seed=args.seed + i,
+                )
+                for i in range(args.databases)
+            ]
+        except ValueError as exc:
+            # e.g. q_chain (binary R) mixed with q_vc (unary R)
+            print(f"incompatible query set: {exc}", file=sys.stderr)
+            return 2
+        pairs = [(db, q) for db in dbs for q in queries] * repeat
+        print(
+            f"workload: {len(queries)} queries x {len(dbs)} shared databases "
+            f"x {repeat} repeats = {len(pairs)} pairs "
+            f"(domain {domain_size}, density {density}, seed {args.seed})"
+        )
 
     # Pay one-time library import costs (HiGHS, networkx) before timing
     # anything, so whichever strategy runs first is not penalized.
@@ -154,7 +225,7 @@ def cmd_bench(args) -> int:
 
     clear_witness_cache()
     dispatch_plan.cache_clear()
-    batch = solve_batch(pairs)
+    batch = solve_batch(pairs, mode=args.mode, budget=budget)
     for line in batch.stats.summary_lines():
         print(line)
 
@@ -206,26 +277,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--queries",
-        default=DEFAULT_BENCH_QUERIES,
-        help="comma-separated zoo query names",
+        default=None,
+        help="comma-separated zoo query names (default: a shared-vocabulary "
+        "mix; incompatible with --scale)",
     )
     p.add_argument(
         "--databases", type=int, default=10, help="shared databases to generate"
     )
-    p.add_argument("--domain-size", type=int, default=5)
-    p.add_argument("--density", type=float, default=0.4)
+    p.add_argument(
+        "--domain-size", type=int, default=None, help="default 5; not with --scale"
+    )
+    p.add_argument(
+        "--density", type=float, default=None, help="default 0.4; not with --scale"
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--repeat",
         type=int,
-        default=2,
-        help="solve each pair this many times (benchmark suites cross-check "
-        "pairs repeatedly; the batch memoizes duplicates)",
+        default=None,
+        help="solve each pair this many times (default 2; benchmark suites "
+        "cross-check pairs repeatedly; the batch memoizes duplicates); "
+        "not with --scale",
     )
     p.add_argument(
         "--compare",
         action="store_true",
         help="also time naive per-pair solving and print the speedup",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("exact", "approx", "anytime"),
+        default="exact",
+        help="solving tier: exact values, certified approx intervals, or "
+        "budgeted anytime refinement",
+    )
+    p.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="anytime refinement wall-clock budget (default unlimited)",
+    )
+    p.add_argument(
+        "--budget-nodes",
+        type=int,
+        default=None,
+        help="anytime refinement branch-and-bound node budget",
+    )
+    p.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replace the workload with the NP-hard scaling workload "
+        "(~N tuples per binary relation; requires a bounded --mode)",
     )
     p.set_defaults(func=cmd_bench)
 

@@ -1,7 +1,9 @@
 """End-to-end resilience analysis for a fixed query.
 
-:class:`ResilienceAnalyzer` bundles the paper's pipeline — minimize,
-normalize (SJ-domination), detect triads / patterns, classify, pick a
+:class:`ResilienceAnalyzer` bundles the paper's pipeline — minimize
+(Section 4.1), normalize via SJ-domination (Definition 16 /
+Proposition 18), detect triads (Definition 5) and the Figure 5
+patterns, classify (Theorem 37 plus the Section 8 catalog), pick a
 solver — behind one object, and renders a human-readable explanation of
 *why* the query lands where it does in the dichotomy.
 
@@ -9,7 +11,9 @@ solver — behind one object, and renders a human-readable explanation of
 (database, query) pairs at once: one dispatch plan per distinct query,
 one evaluation index per distinct database, one preprocessed witness
 structure per distinct pair, with aggregate reduction statistics for
-reporting (``repro bench`` consumes them).
+reporting (``repro bench`` consumes them).  Its ``mode`` / ``budget``
+parameters expose the certified approximate/anytime tier for workloads
+on the NP-complete side of the dichotomy (Theorem 24).
 """
 
 from __future__ import annotations
@@ -126,9 +130,17 @@ class ResilienceAnalyzer:
         )
         return self._report
 
-    def solve(self, database: Database) -> ResilienceResult:
-        """Resilience of this query over ``database`` (auto dispatch)."""
-        return solve(database, self.query)
+    def solve(self, database: Database, mode: str = "exact", budget=None):
+        """Resilience of this query over ``database`` (auto dispatch).
+
+        ``mode`` and ``budget`` pass through to
+        :func:`repro.resilience.solver.solve`: ``"exact"`` (default)
+        returns a :class:`ResilienceResult`; ``"approx"`` /
+        ``"anytime"`` return a certified
+        :class:`~repro.resilience.types.BoundedResilienceResult`
+        interval, the latter refined within ``budget``.
+        """
+        return solve(database, self.query, mode=mode, budget=budget)
 
     def explain(self) -> str:
         """Shortcut for ``report().explain()``."""
@@ -141,7 +153,14 @@ class ResilienceAnalyzer:
 
 @dataclass
 class BatchStats:
-    """Aggregate accounting for one :func:`solve_batch` call."""
+    """Aggregate accounting for one :func:`solve_batch` call.
+
+    ``mode`` records which solving tier produced the batch; for the
+    bounded tiers (``"approx"`` / ``"anytime"``) the interval counters
+    below summarize certification quality: ``intervals_exact`` pairs
+    closed their interval (``lb == ub``), and ``gap_total`` sums the
+    remaining ``ub - lb`` over the ones that did not.
+    """
 
     pairs: int = 0
     unique_pairs: int = 0
@@ -149,6 +168,9 @@ class BatchStats:
     structures: int = 0
     reductions: ReductionStats = field(default_factory=ReductionStats)
     time_total: float = 0.0
+    mode: str = "exact"
+    intervals_exact: int = 0
+    gap_total: int = 0
 
     def summary_lines(self) -> List[str]:
         """Human-readable report (used by ``repro bench``)."""
@@ -156,11 +178,18 @@ class BatchStats:
         per_s = self.pairs / self.time_total if self.time_total else float("inf")
         lines = [
             f"pairs: {self.pairs} ({self.unique_pairs} unique) "
-            f"in {self.time_total:.3f}s ({per_s:.0f} pairs/s)",
+            f"in {self.time_total:.3f}s ({per_s:.0f} pairs/s, mode {self.mode})",
             "methods: "
             + ", ".join(f"{m}={c}" for m, c in sorted(self.methods.items())),
         ]
+        if self.mode != "exact":
+            lines.append(
+                f"certified intervals: {self.intervals_exact}/{self.pairs} "
+                f"closed (lb == ub), total remaining gap {self.gap_total}"
+            )
         if self.structures:
+            duplicates = r.witnesses_raw - r.witnesses_distinct
+            superset = r.witnesses_distinct - r.witnesses_minimal
             lines += [
                 f"witness structures built: {self.structures} "
                 f"(enumerate {r.time_enumerate:.3f}s, reduce {r.time_reduce:.3f}s)",
@@ -168,6 +197,9 @@ class BatchStats:
                 f"-> {r.witnesses_final} after forcing/domination",
                 f"  tuples {r.tuples_raw} -> {r.tuples_final} "
                 f"(forced {r.forced_tuples}, dominated {r.dominated_tuples})",
+                f"  kernelization: duplicates={duplicates} superset={superset} "
+                f"unit={r.forced_tuples} dominated={r.dominated_tuples} "
+                f"components={r.components}",
                 f"  components: {r.components} "
                 f"across {self.structures} structures, {r.rounds} reduction rounds",
             ]
@@ -192,8 +224,14 @@ class BatchResult(Sequence):
         return self.results[i]
 
     def values(self) -> List[int]:
-        """Just the resilience values, in input order."""
+        """Just the resilience values, in input order (for bounded
+        modes: the certified upper bounds)."""
         return [r.value for r in self.results]
+
+    def intervals(self) -> List[Tuple[int, int]]:
+        """The ``(lb, ub)`` intervals, in input order (bounded modes
+        only; exact results raise ``AttributeError``)."""
+        return [r.interval for r in self.results]
 
     def __repr__(self) -> str:
         return f"BatchResult(n={len(self.results)}, stats={self.stats})"
@@ -202,6 +240,8 @@ class BatchResult(Sequence):
 def solve_batch(
     pairs: Iterable[Tuple[Database, ConjunctiveQuery]],
     method: Optional[str] = None,
+    mode: str = "exact",
+    budget=None,
 ) -> BatchResult:
     """Solve many (database, query) pairs, amortizing shared work.
 
@@ -220,13 +260,17 @@ def solve_batch(
 
     Databases must not be mutated while the batch runs (identity is
     used to share indexes).  ``method`` forces a backend exactly as in
-    :func:`~repro.resilience.solver.solve`.  Results come back in input
-    order inside a :class:`BatchResult` carrying aggregate reduction
-    statistics.
+    :func:`~repro.resilience.solver.solve`; ``mode`` and ``budget``
+    select the solving tier per the same function (``"approx"`` /
+    ``"anytime"`` produce certified
+    :class:`~repro.resilience.types.BoundedResilienceResult` intervals,
+    with the shared ``budget`` applying to each distinct pair).  Results
+    come back in input order inside a :class:`BatchResult` carrying
+    aggregate reduction and interval statistics.
     """
     pair_list = list(pairs)
     t0 = time.perf_counter()
-    stats = BatchStats(pairs=len(pair_list))
+    stats = BatchStats(pairs=len(pair_list), mode=mode)
     results: List[Optional[ResilienceResult]] = [None] * len(pair_list)
     indexes: Dict[int, DatabaseIndex] = {}
     memo: Dict[Tuple[int, frozenset], ResilienceResult] = {}
@@ -249,12 +293,21 @@ def solve_batch(
                 if misses_after > misses_before:
                     stats.structures += 1
                     stats.reductions.merge(ws.stats)
-                res = solve(db, query, structure=ws, index=index)
+                res = solve(
+                    db, query, structure=ws, index=index, mode=mode, budget=budget
+                )
             else:
-                res = solve(db, query, method=method, index=index)
+                res = solve(
+                    db, query, method=method, index=index, mode=mode, budget=budget
+                )
             memo[key] = res
         results[i] = res
         stats.methods[res.method] += 1
+        if mode != "exact":
+            if res.is_exact:
+                stats.intervals_exact += 1
+            else:
+                stats.gap_total += res.gap
 
     stats.unique_pairs = len(memo)
     stats.time_total = time.perf_counter() - t0

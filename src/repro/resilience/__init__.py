@@ -14,14 +14,29 @@ provides:
   ``q_ACconf`` (Proposition 12), ``q_A3perm_R`` (Proposition 13),
   ``q_Swx3perm_R`` (Proposition 44), ``q_TS3conf`` (Proposition 41), and
   ``q_z3`` (Proposition 36);
+* :mod:`repro.resilience.approx` — the certified approximate / anytime
+  tier for instances beyond exact reach (the NP-complete side of
+  Theorem 24): LP-relaxation lower bounds, greedy / LP-rounding upper
+  bounds, local search, and a budgeted anytime driver returning
+  intervals ``lb <= rho(q, D) <= ub``;
 * :mod:`repro.resilience.solver` — a dispatcher that routes a query to
   the appropriate algorithm (flow when the classifier says P, exact
-  search otherwise) and can cross-check.
+  search otherwise) and can cross-check; ``mode="approx"/"anytime"``
+  selects the bounded tier.
 """
 
 from repro.resilience.types import (
+    BoundedResilienceResult,
+    Budget,
     ResilienceResult,
     UnbreakableQueryError,
+)
+from repro.resilience.approx import (
+    disjoint_witness_lower_bound,
+    greedy_hitting_set,
+    greedy_ratio_bound,
+    resilience_anytime,
+    resilience_bounds,
 )
 from repro.resilience.exact import (
     resilience_exact,
@@ -42,11 +57,18 @@ __all__ = [
     "DispatchPlan",
     "dispatch_plan",
     "in_res",
+    "Budget",
+    "BoundedResilienceResult",
     "ResilienceResult",
     "UnbreakableQueryError",
     "resilience_exact",
     "resilience_ilp",
     "resilience_branch_and_bound",
+    "resilience_bounds",
+    "resilience_anytime",
+    "greedy_hitting_set",
+    "greedy_ratio_bound",
+    "disjoint_witness_lower_bound",
     "is_contingency_set",
     "LinearFlowSolver",
     "resilience_linear_flow",

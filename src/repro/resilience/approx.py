@@ -1,0 +1,476 @@
+"""Certified approximate and anytime resilience solving.
+
+Exact resilience is NP-complete for most self-join queries
+(Theorem 24 / Figure 5), so beyond a few hundred witnesses the exact
+hitting-set solvers of :mod:`repro.resilience.exact` hit a wall.  This
+module trades exactness for a *certified interval*
+``lb <= rho(q, D) <= ub`` computed in polynomial time from the same
+preprocessed :class:`~repro.witness.WitnessStructure` (the hitting-set
+view of resilience from Section 2), component by component:
+
+**Lower bounds** (never exceed the optimum):
+
+* *LP relaxation* — ``min 1.x  s.t.  A x >= 1, 0 <= x <= 1`` over the
+  component's CSR incidence matrix, solved by
+  :func:`scipy.optimize.linprog` (HiGHS); ``ceil(LP - eps)`` is a valid
+  integral lower bound because the LP relaxes the hitting-set IP.
+* *Disjoint-witness packing* — a greedy matching of pairwise-disjoint
+  witness sets; any hitting set spends one tuple per packed witness
+  (weak LP duality: the packing is a feasible dual solution).
+
+**Upper bounds** (witnessed by a feasible contingency set):
+
+* *Greedy hitting set* (:func:`greedy_hitting_set`, promoted out of
+  ``exact.py`` and shared with the branch-and-bound seeding there) —
+  the classic set-cover greedy with the ``H(d)`` harmonic-ratio
+  guarantee, where ``d`` is the largest number of witnesses any single
+  tuple hits;
+* *LP rounding* — take every tuple with LP weight ``>= 1/f`` (``f`` =
+  the largest witness-set size), a feasible ``f``-approximation, then
+  prune redundant tuples;
+* *Local search* — redundancy elimination plus 2-for-1 swap moves on
+  the incumbent.
+
+The **anytime driver** (:func:`resilience_anytime`) starts from that
+interval and, within a :class:`~repro.resilience.types.Budget` of
+wall-clock time and/or branch-and-bound nodes, refines the open
+components — smallest gap first, so a tight budget closes as many
+intervals as possible — using a *budgeted* branch and bound whose
+abandoned-subtree bounds still certify a lower bound.  With an
+unlimited budget the refinement runs to completion and the interval
+closes on the exact value — anytime solving subsumes exact solving.
+
+All bounds are per-component and summed (plus the forced tuples), which
+both tightens them and lets the budget focus on the hard components.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TypeVar
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.evaluation import DatabaseIndex
+from repro.resilience.types import BoundedResilienceResult, Budget
+from repro.witness import WitnessComponent, WitnessStructure, witness_structure
+
+T = TypeVar("T")
+
+# Safety margin when turning a floating-point LP optimum into an
+# integral lower bound: ceil(LP - eps) can only *under*-claim.  The
+# margin is *relative* to the objective (see _lp_floor) because solver
+# tolerances scale with the objective value — an absolute 1e-6 would
+# not cover an overshoot on an optimum of order 1000.
+_LP_EPS = 1e-6
+
+
+def _lp_floor(lp_value: float) -> int:
+    """A certified integral lower bound from a floating-point LP optimum."""
+    return math.ceil(lp_value - _LP_EPS * max(1.0, abs(lp_value)))
+
+
+# ---------------------------------------------------------------------------
+# Shared combinatorial bounds (consumed by exact.py as well)
+# ---------------------------------------------------------------------------
+
+def greedy_hitting_set(sets: Sequence[FrozenSet[T]]) -> Set[T]:
+    """Greedy upper bound: repeatedly take the element hitting most sets.
+
+    This is the set-cover greedy in hitting-set form (tuples cover the
+    witnesses they appear in), so the classic harmonic guarantee
+    applies: the result is at most ``H(d) = 1 + 1/2 + ... + 1/d`` times
+    the optimum, where ``d`` is the largest number of sets any single
+    element hits.
+
+    Determinism guarantee: among elements hitting equally many sets, the
+    *smallest* under the elements' own total order wins — integer
+    tuple-ids ascending, or :meth:`DBTuple.sort_key` when called on raw
+    fact sets — the same order used for branching and for sorted
+    contingency-set output.  The result is therefore a pure function of
+    the input sets, independent of set/dict iteration order.
+
+    Counts are maintained incrementally (each set is retired exactly
+    once), so the cost is one max-scan per pick plus the incidence size
+    — not the quadratic rebuild a naive greedy pays.
+    """
+    set_list = list(sets)
+    counts: Dict[T, int] = {}
+    rows_of: Dict[T, List[int]] = {}
+    for r, s in enumerate(set_list):
+        for t in s:
+            counts[t] = counts.get(t, 0) + 1
+            rows_of.setdefault(t, []).append(r)
+    alive = [True] * len(set_list)
+    alive_count = len(set_list)
+    chosen: Set[T] = set()
+    while alive_count:
+        top = max(counts.values())
+        best = min(t for t, c in counts.items() if c == top)
+        chosen.add(best)
+        for r in rows_of[best]:
+            if alive[r]:
+                alive[r] = False
+                alive_count -= 1
+                for t in set_list[r]:
+                    counts[t] -= 1
+    return chosen
+
+
+def disjoint_witness_lower_bound(sets: Sequence[FrozenSet[T]]) -> int:
+    """Greedy packing of pairwise-disjoint witnesses: a hitting-set lower bound.
+
+    Every hitting set must spend a distinct tuple on each packed
+    witness.  ``key=len`` with Python's stable sort keeps the packing
+    deterministic (the input order is itself deterministic) without
+    materializing per-set sort keys.  Also runs at every
+    branch-and-bound node in ``exact.py``.
+    """
+    used: Set[T] = set()
+    count = 0
+    for s in sorted(sets, key=len):
+        if not (s & used):
+            used.update(s)
+            count += 1
+    return count
+
+
+def greedy_ratio_bound(sets: Sequence[FrozenSet[T]]) -> float:
+    """``H(d)``: the proven approximation ratio of :func:`greedy_hitting_set`
+    on ``sets``, where ``d`` is the largest number of sets hit by one
+    element."""
+    counts: Dict[T, int] = {}
+    for s in sets:
+        for t in s:
+            counts[t] = counts.get(t, 0) + 1
+    d = max(counts.values(), default=0)
+    return sum(1.0 / k for k in range(1, d + 1)) if d else 1.0
+
+
+# ---------------------------------------------------------------------------
+# LP relaxation (lower bound + rounding)
+# ---------------------------------------------------------------------------
+
+def _lp_component(component: WitnessComponent):
+    """Solve the LP relaxation of one component's hitting-set IP.
+
+    Returns ``(optimum, x)`` with ``x`` indexed by local column (the
+    sorted position within ``component.tuple_ids``), or ``(None, None)``
+    if the LP solver fails (the caller falls back to the packing bound).
+    """
+    from scipy.optimize import linprog
+
+    A = component.incidence_matrix()
+    m, n = A.shape
+    result = linprog(
+        c=np.ones(n),
+        A_ub=-A,
+        b_ub=-np.ones(m),
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - HiGHS is reliable here
+        return None, None
+    return float(result.fun), result.x
+
+
+def _lp_rounding(component: WitnessComponent, x) -> Set[int]:
+    """Round an LP solution to a feasible hitting set (global tuple ids).
+
+    Taking every tuple with weight ``>= 1/f`` (``f`` = largest witness
+    size) is feasible — each witness has at most ``f`` tuples, so at
+    least one carries weight ``>= 1/f`` — and costs at most ``f`` times
+    the LP optimum.  Redundant tuples are pruned afterwards.
+    """
+    f = max((len(s) for s in component.sets), default=1)
+    threshold = 1.0 / f - 1e-9
+    chosen = {
+        component.tuple_ids[j] for j in range(len(component.tuple_ids))
+        if x[j] >= threshold
+    }
+    # Guard against LP solver tolerance leaving a row unhit: repair with
+    # the smallest tuple of each missed witness (deterministic, and the
+    # theoretical guarantee is unaffected when the LP is clean).
+    for s in component.sets:
+        if not (s & chosen):
+            chosen.add(min(s))
+    return _prune_redundant(component.sets, chosen)
+
+
+# ---------------------------------------------------------------------------
+# Local search
+# ---------------------------------------------------------------------------
+
+def _prune_redundant(
+    sets: Sequence[FrozenSet[int]], chosen: Set[int]
+) -> Set[int]:
+    """Drop tuples every one of whose witnesses is hit by another choice.
+
+    Scans in descending tuple-id order (deterministic; keeps the small
+    ids the greedy/branching orders prefer) maintaining per-witness hit
+    counts, so the whole pass is linear in the incidence size.
+    """
+    cover: List[int] = [len(s & chosen) for s in sets]
+    rows_of: Dict[int, List[int]] = {}
+    for r, s in enumerate(sets):
+        for t in s:
+            if t in chosen:
+                rows_of.setdefault(t, []).append(r)
+    kept = set(chosen)
+    for t in sorted(kept, reverse=True):
+        rows = rows_of.get(t, [])
+        if all(cover[r] >= 2 for r in rows):
+            kept.discard(t)
+            for r in rows:
+                cover[r] -= 1
+    return kept
+
+
+# Local-search effort caps: both are *count*-based, never clock-based,
+# so results stay deterministic across machines.
+_SWAP_PASSES = 4
+_SWAP_PAIRS_PER_PASS = 4000
+
+
+def _local_search(
+    sets: Sequence[FrozenSet[int]], chosen: Set[int]
+) -> Set[int]:
+    """Improve a feasible hitting set by redundancy pruning and 2-for-1 swaps.
+
+    A swap replaces two chosen tuples ``a < b`` with one unchosen tuple
+    ``t`` that hits every witness only ``a`` or ``b`` were hitting
+    (computed from per-tuple row lists and hit counts, so a pair check
+    costs the two tuples' degrees, not a scan of all witnesses).
+    Passes repeat until a fixpoint or the deterministic effort caps are
+    reached; the output is always feasible and never larger than the
+    input.
+    """
+    chosen = _prune_redundant(sets, chosen)
+    for _ in range(_SWAP_PASSES):
+        improved = False
+        cover = [len(s & chosen) for s in sets]
+        rows_of: Dict[int, List[int]] = {}
+        for r, s in enumerate(sets):
+            for t in s:
+                if t in chosen:
+                    rows_of.setdefault(t, []).append(r)
+        ordered = sorted(chosen)
+        pairs = 0
+        for i, a in enumerate(ordered):
+            if improved:
+                break
+            rows_a = rows_of.get(a, [])
+            for b in ordered[i + 1:]:
+                pairs += 1
+                if pairs > _SWAP_PAIRS_PER_PASS:
+                    break
+                rows_b = rows_of.get(b, [])
+                # Witness rows left unhit if both a and b are removed:
+                # singly-covered rows of either, plus doubly-covered
+                # rows containing both.
+                b_rows = set(rows_b)
+                must_hit = (
+                    [r for r in rows_a if cover[r] == 1]
+                    + [r for r in rows_b if cover[r] == 1]
+                    + [r for r in rows_a if r in b_rows and cover[r] == 2]
+                )
+                if not must_hit:
+                    # a and b are jointly redundant — drop both.
+                    chosen = _prune_redundant(sets, chosen - {a, b})
+                    improved = True
+                    break
+                candidates = set(sets[must_hit[0]]) - chosen
+                for r in must_hit[1:]:
+                    candidates &= sets[r]
+                    if not candidates:
+                        break
+                if candidates:
+                    chosen = _prune_redundant(
+                        sets, (chosen - {a, b}) | {min(candidates)}
+                    )
+                    improved = True
+                    break
+            else:
+                continue
+        if not improved:
+            break
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Budgeted branch and bound (the anytime refinement)
+# ---------------------------------------------------------------------------
+
+class _BudgetMeter:
+    """Shared node/time accounting across all components of one solve."""
+
+    def __init__(self, budget: Budget):
+        self.deadline = (
+            time.perf_counter() + budget.time_limit
+            if budget.time_limit is not None
+            else None
+        )
+        self.nodes_left = (
+            budget.node_limit if budget.node_limit is not None else None
+        )
+
+    def spend_node(self) -> bool:
+        """Charge one branch-and-bound node; False when exhausted."""
+        if self.nodes_left is not None:
+            if self.nodes_left <= 0:
+                return False
+            self.nodes_left -= 1
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            return False
+        return True
+
+
+def _budgeted_bnb(
+    sets: Sequence[FrozenSet[int]], seed: Set[int], meter: _BudgetMeter
+) -> Tuple[int, Set[int], bool]:
+    """Branch and bound that certifies a lower bound even when cut short.
+
+    Explores exactly like ``exact._bnb_component`` (smallest unhit
+    witness, sorted branching, disjoint-packing pruning) but charges
+    every expanded node to ``meter``.  When the budget runs out, the
+    bound of each abandoned subtree is recorded: the true optimum is
+    either the incumbent or lies in an abandoned subtree, so
+    ``min(incumbent, min abandoned bound)`` is a certified lower bound.
+
+    Returns ``(lower_bound, incumbent_set, completed)``; when
+    ``completed`` is True the incumbent is exactly optimal.
+    """
+    best: List = [len(seed), set(seed)]
+    abandoned: List[int] = [len(seed) + 1]  # sentinel above any real bound
+
+    def search(remaining: List[FrozenSet[int]], chosen: Set[int]) -> None:
+        if not remaining:
+            if len(chosen) < best[0]:
+                best[0] = len(chosen)
+                best[1] = set(chosen)
+            return
+        bound = len(chosen) + disjoint_witness_lower_bound(remaining)
+        if bound >= best[0]:
+            return
+        if not meter.spend_node():
+            abandoned[0] = min(abandoned[0], bound)
+            return
+        target = min(remaining, key=len)
+        for t in sorted(target):
+            chosen.add(t)
+            search([s for s in remaining if t not in s], chosen)
+            chosen.remove(t)
+
+    search(list(sets), set())
+    completed = abandoned[0] > best[0]
+    lower = best[0] if completed else min(best[0], abandoned[0])
+    return lower, best[1], completed
+
+
+# ---------------------------------------------------------------------------
+# Per-component interval assembly
+# ---------------------------------------------------------------------------
+
+def _component_interval(
+    component: WitnessComponent, use_lp: bool = True
+) -> Tuple[int, Set[int]]:
+    """Certified ``(lower_bound, upper_bound_set)`` for one component."""
+    lower = disjoint_witness_lower_bound(component.sets)
+    upper = _local_search(component.sets, greedy_hitting_set(component.sets))
+    if use_lp and lower < len(upper):
+        lp_value, x = _lp_component(component)
+        if lp_value is not None:
+            lower = max(lower, _lp_floor(lp_value))
+            rounded = _local_search(component.sets, _lp_rounding(component, x))
+            if len(rounded) < len(upper):
+                upper = rounded
+    return lower, upper
+
+
+def resilience_bounds(
+    database: Database,
+    query: ConjunctiveQuery,
+    structure: Optional[WitnessStructure] = None,
+    index: Optional[DatabaseIndex] = None,
+) -> BoundedResilienceResult:
+    """Certified interval ``lb <= rho(q, D) <= ub`` in polynomial time.
+
+    Runs the LP relaxation, greedy, LP rounding, and local search per
+    component of the preprocessed witness structure and sums the
+    per-component intervals (plus the forced tuples).  No search is
+    performed — see :func:`resilience_anytime` for budgeted refinement.
+    """
+    if structure is None:
+        structure = witness_structure(database, query, index=index)
+    if not structure.satisfied:
+        return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
+    lower = len(structure.forced_ids)
+    chosen: Set[int] = set(structure.forced_ids)
+    for component in structure.components:
+        lb_c, ub_set = _component_interval(component)
+        lower += lb_c
+        chosen |= ub_set
+    return BoundedResilienceResult(
+        lower, len(chosen), structure.tuples(chosen), method="lp+greedy"
+    )
+
+
+def resilience_anytime(
+    database: Database,
+    query: ConjunctiveQuery,
+    budget: Optional[Budget] = None,
+    structure: Optional[WitnessStructure] = None,
+    index: Optional[DatabaseIndex] = None,
+) -> BoundedResilienceResult:
+    """Anytime resilience: certified interval, refined within a budget.
+
+    Starts from the polynomial bounds of :func:`resilience_bounds`,
+    then spends the :class:`~repro.resilience.types.Budget` on a
+    budgeted branch and bound over the components whose interval has
+    not closed, hardest (largest gap) last so easy components close
+    first.  Abandoned subtrees still certify a lower bound, so the
+    returned interval is valid whatever the budget.  With an unlimited
+    budget (the default) the search completes and the result is exact —
+    equal to :func:`repro.resilience.exact.resilience_exact`.
+    """
+    budget = Budget.coerce(budget)
+    if structure is None:
+        structure = witness_structure(database, query, index=index)
+    if not structure.satisfied:
+        return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
+
+    meter = _BudgetMeter(budget)
+    intervals: List[Tuple[int, Set[int]]] = []
+    for component in structure.components:
+        intervals.append(_component_interval(component))
+
+    # Refine smallest-gap components first: their searches finish
+    # fastest, so a tight budget closes as many intervals as possible.
+    order = sorted(
+        range(len(intervals)),
+        key=lambda i: (len(intervals[i][1]) - intervals[i][0], i),
+    )
+    for i in order:
+        lb_c, ub_set = intervals[i]
+        if lb_c >= len(ub_set):
+            continue
+        component = structure.components[i]
+        bnb_lb, bnb_set, completed = _budgeted_bnb(
+            component.sets, ub_set, meter
+        )
+        if len(bnb_set) < len(ub_set):
+            ub_set = bnb_set
+        lb_c = len(ub_set) if completed else max(lb_c, bnb_lb)
+        intervals[i] = (lb_c, ub_set)
+
+    lower = len(structure.forced_ids)
+    chosen: Set[int] = set(structure.forced_ids)
+    for lb_c, ub_set in intervals:
+        lower += lb_c
+        chosen |= ub_set
+    return BoundedResilienceResult(
+        lower, len(chosen), structure.tuples(chosen), method="anytime"
+    )

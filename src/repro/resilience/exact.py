@@ -19,14 +19,22 @@ summed:
   structure's CSR incidence matrix and solved by scipy's ``milp``
   (HiGHS), which scales further.
 
-Both are exponential in the worst case (minimum hitting set is NP-hard,
-which is the point of the paper), but comfortably handle the gadget
-databases used to *verify* the reductions.
+Both are exponential in the worst case (minimum hitting set is NP-hard
+— Theorem 24 maps exactly which queries force this), but comfortably
+handle the gadget databases used to *verify* the reductions.  For
+instances beyond their reach, :mod:`repro.resilience.approx` computes
+certified intervals from the same structure.
+
+The greedy seeding and the disjoint-witness pruning bound used here are
+shared with the approximate tier: see
+:func:`repro.resilience.approx.greedy_hitting_set` and
+:func:`repro.resilience.approx.disjoint_witness_lower_bound` (their
+historical private aliases below keep old imports working).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TypeVar
+from typing import FrozenSet, Optional, Sequence, Set, TypeVar
 
 import numpy as np
 
@@ -34,7 +42,13 @@ from repro.db.database import Database
 from repro.db.tuples import DBTuple
 from repro.query.cq import ConjunctiveQuery
 from repro.query.evaluation import DatabaseIndex, satisfies
-from repro.resilience.types import ResilienceResult
+from repro.resilience.approx import (
+    _BudgetMeter,
+    _budgeted_bnb,
+    disjoint_witness_lower_bound as _disjoint_lower_bound,
+    greedy_hitting_set as _greedy_hitting_set,
+)
+from repro.resilience.types import Budget, ResilienceResult
 from repro.witness import WitnessComponent, WitnessStructure, witness_structure
 
 T = TypeVar("T")
@@ -51,75 +65,21 @@ def is_contingency_set(
 # Branch and bound
 # ---------------------------------------------------------------------------
 
-def _greedy_hitting_set(sets: Sequence[FrozenSet[T]]) -> Set[T]:
-    """Greedy upper bound: repeatedly take the element hitting most sets.
-
-    Determinism guarantee: among elements hitting equally many sets, the
-    *smallest* under the elements' own total order wins — integer
-    tuple-ids ascending, or :meth:`DBTuple.sort_key` when called on raw
-    fact sets — the same order used for branching and for sorted
-    contingency-set output.  (Earlier versions broke ties by *largest*
-    ``repr(t)``, an ad-hoc order used nowhere else.)  The result is
-    therefore a pure function of the input sets, independent of
-    set/dict iteration order.
-    """
-    remaining = list(sets)
-    chosen: Set[T] = set()
-    while remaining:
-        counts: Dict[T, int] = {}
-        for s in remaining:
-            for t in s:
-                counts[t] = counts.get(t, 0) + 1
-        top = max(counts.values())
-        best = min(t for t, c in counts.items() if c == top)
-        chosen.add(best)
-        remaining = [s for s in remaining if best not in s]
-    return chosen
-
-
-def _disjoint_lower_bound(sets: Sequence[FrozenSet[T]]) -> int:
-    """Greedy packing of pairwise-disjoint witnesses: a hitting-set lower bound.
-
-    Runs at every branch-and-bound node; ``key=len`` with Python's
-    stable sort keeps the packing deterministic (the input order is
-    itself deterministic) without materializing per-set sort keys.
-    """
-    used: Set[T] = set()
-    count = 0
-    for s in sorted(sets, key=len):
-        if not (s & used):
-            used.update(s)
-            count += 1
-    return count
-
-
 def _bnb_component(sets: Sequence[FrozenSet[int]]) -> Set[int]:
     """Minimum hitting set of one component by branch and bound.
 
-    Branches on the tuples of a smallest currently-unhit witness; prunes
-    with a disjoint-witness lower bound and the greedy incumbent.
+    Branches on the tuples of a smallest currently-unhit witness
+    (deterministic sorted order); prunes with a disjoint-witness lower
+    bound and the greedy incumbent.  The search itself is
+    :func:`repro.resilience.approx._budgeted_bnb` run with an unlimited
+    budget — one shared implementation guarantees the anytime tier's
+    "unlimited budget equals exact" contract by construction.
     """
-    best_set = _greedy_hitting_set(sets)
-    best: List = [len(best_set), set(best_set)]
-
-    def search(remaining: List[FrozenSet[int]], chosen: Set[int]) -> None:
-        if not remaining:
-            if len(chosen) < best[0]:
-                best[0] = len(chosen)
-                best[1] = set(chosen)
-            return
-        if len(chosen) + _disjoint_lower_bound(remaining) >= best[0]:
-            return
-        target = min(remaining, key=len)
-        # Deterministic branching order for reproducibility.
-        for t in sorted(target):
-            chosen.add(t)
-            nxt = [s for s in remaining if t not in s]
-            search(nxt, chosen)
-            chosen.remove(t)
-
-    search(list(sets), set())
-    return best[1]
+    _, best_set, completed = _budgeted_bnb(
+        sets, _greedy_hitting_set(sets), _BudgetMeter(Budget())
+    )
+    assert completed  # unlimited budget always finishes
+    return best_set
 
 
 def _ilp_component(component: WitnessComponent) -> Set[int]:

@@ -1,7 +1,11 @@
 """The paper's bespoke polynomial-time resilience algorithms.
 
 Each function implements one of the paper's "trickier" flow/matching
-arguments, for the query shape named in its docstring.  All of them take
+arguments, for the query shape named in its docstring:
+``q_ACconf`` (Proposition 12), ``q_A3perm_R`` (Proposition 13),
+``q_perm`` / ``q_Aperm`` (Proposition 33), ``q_z3`` (Proposition 36),
+``q_TS3conf`` (Proposition 41), and ``q_Swx3perm_R``
+(Proposition 44).  All of them take
 the database with the *paper's* relation names (``A``, ``R``, ``B``,
 ``C``, ``S``, ``T``) and return a :class:`ResilienceResult`; the solver
 dispatcher maps an isomorphic user query onto these names first.

@@ -1,9 +1,11 @@
 """A small capacitated-network helper on top of networkx.
 
-The paper's PTIME algorithms all reduce resilience to s-t minimum cut in
-networks where *tuples* are unit-capacity elements and everything else
-has infinite capacity.  :class:`FlowNetwork` wraps networkx's max-flow
-with the two idioms every construction here needs:
+The paper's PTIME algorithms — the linear-flow construction of
+Section 2.4 / Proposition 31 and the bespoke algorithms of
+Propositions 12, 13, 33, 36, 41, and 44 — all reduce resilience to s-t
+minimum cut in networks where *tuples* are unit-capacity elements and
+everything else has infinite capacity.  :class:`FlowNetwork` wraps
+networkx's max-flow with the two idioms every construction here needs:
 
 * **element edges**: a deletable tuple is modelled as an edge
   ``u -> v`` of capacity 1 carrying a payload (the tuple);

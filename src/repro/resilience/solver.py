@@ -17,6 +17,14 @@ algorithm:
 
 The returned :class:`ResilienceResult` carries the method used, so
 benchmarks can report which algorithm produced each number.
+
+Since exact solving is NP-complete in general (Theorem 24), ``solve``
+also exposes the approximate tier: ``mode="approx"`` returns a
+certified interval in polynomial time and ``mode="anytime"`` refines it
+within a :class:`~repro.resilience.types.Budget`; both return a
+:class:`~repro.resilience.types.BoundedResilienceResult`.  Pairs the
+dispatcher can solve exactly in polynomial time (cases 1–3 above) come
+back as already-closed intervals.
 """
 
 from __future__ import annotations
@@ -41,7 +49,12 @@ from repro.resilience.flow_special import (
     solve_qperm,
     solve_qz3,
 )
-from repro.resilience.types import ResilienceResult
+from repro.resilience.approx import resilience_anytime, resilience_bounds
+from repro.resilience.types import (
+    BoundedResilienceResult,
+    Budget,
+    ResilienceResult,
+)
 from repro.structure.classifier import Verdict, classify
 from repro.structure.domination import normalize
 from repro.structure.linearity import find_linear_order
@@ -139,16 +152,44 @@ def solve(
     method: Optional[str] = None,
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
-) -> ResilienceResult:
+    mode: str = "exact",
+    budget=None,
+):
     """Compute resilience, dispatching to the appropriate algorithm.
 
-    ``method`` forces a backend: ``"exact"``, ``"flow"`` (linear flow),
-    or ``None`` for automatic dispatch.  A prebuilt
+    ``mode`` selects the solving tier:
+
+    * ``"exact"`` (default) — the exact value, as a
+      :class:`ResilienceResult`;
+    * ``"approx"`` — a certified interval ``lb <= rho <= ub`` in
+      polynomial time (LP relaxation + greedy/LP rounding + local
+      search), as a :class:`~repro.resilience.types.BoundedResilienceResult`;
+    * ``"anytime"`` — the approx interval refined by budgeted branch
+      and bound; ``budget`` (a
+      :class:`~repro.resilience.types.Budget`, or a number of seconds)
+      caps the refinement, and an unlimited budget closes the interval
+      on the exact value.
+
+    Pairs the dispatcher solves with a proved polynomial algorithm
+    (bespoke or flow) are exact in every mode — the bounded modes wrap
+    them as already-closed intervals.
+
+    ``method`` forces a backend on the exact tier: ``"exact"``,
+    ``"flow"`` (linear flow), or ``None`` for automatic dispatch; it is
+    incompatible with the bounded modes.  A prebuilt
     :class:`~repro.witness.WitnessStructure` for this exact pair may be
     passed to skip re-enumeration on the exact path, and a
     :class:`~repro.query.evaluation.DatabaseIndex` to reuse evaluation
     indexes for the satisfiability probe.
     """
+    if mode not in ("exact", "approx", "anytime"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if mode != "exact":
+        if method is not None:
+            raise ValueError("method forcing requires mode='exact'")
+        return _solve_bounded(
+            database, query, mode, budget, structure=structure, index=index
+        )
     if method == "exact":
         return resilience_exact(database, query, structure=structure, index=index)
     if method == "flow":
@@ -167,6 +208,41 @@ def solve(
     if plan.kind == "exact":
         return resilience_exact(database, query, structure=structure, index=index)
     return plan.run(database)
+
+
+def _solve_bounded(
+    database: Database,
+    query: ConjunctiveQuery,
+    mode: str,
+    budget,
+    structure: Optional[WitnessStructure] = None,
+    index: Optional[DatabaseIndex] = None,
+) -> BoundedResilienceResult:
+    """The ``mode="approx"`` / ``mode="anytime"`` paths of :func:`solve`.
+
+    Polynomial-time dispatch targets (bespoke specials and linear flow,
+    cases 1–3 of the module doc) stay exact and come back as closed
+    intervals; only the exact-search fallback is approximated.
+    """
+    budget = Budget.coerce(budget)
+    if structure is not None:
+        satisfied = structure.satisfied
+    else:
+        satisfied = satisfies(database, query, index=index)
+    if not satisfied:
+        return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
+
+    plan = dispatch_plan(query)
+    if plan.kind != "exact":
+        exact = plan.run(database)
+        return BoundedResilienceResult(
+            exact.value, exact.value, exact.contingency_set, method=exact.method
+        )
+    if mode == "approx":
+        return resilience_bounds(database, query, structure=structure, index=index)
+    return resilience_anytime(
+        database, query, budget=budget, structure=structure, index=index
+    )
 
 
 def resilience(database: Database, query: ConjunctiveQuery) -> int:

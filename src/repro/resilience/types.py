@@ -1,9 +1,19 @@
-"""Shared result types and errors for resilience solvers."""
+"""Shared result types and errors for resilience solvers.
+
+``ResilienceResult`` is the outcome of an *exact* computation of
+``rho(q, D)`` (Definition 1); ``BoundedResilienceResult`` is the outcome
+of an approximate or anytime computation — a certified interval
+``lb <= rho(q, D) <= ub`` with a feasible contingency set witnessing the
+upper bound.  The interval form exists because exact resilience is
+NP-complete for most self-join queries (Theorem 24), so beyond small
+instances the solvers of :mod:`repro.resilience.approx` trade exactness
+for certified bounds under a :class:`Budget`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet
+from typing import FrozenSet, Optional, Union
 
 from repro.db.tuples import DBTuple
 
@@ -12,7 +22,12 @@ from repro.db.tuples import DBTuple
 # working: ``from repro.resilience.types import UnbreakableQueryError``.
 from repro.witness.structure import UnbreakableQueryError
 
-__all__ = ["ResilienceResult", "UnbreakableQueryError"]
+__all__ = [
+    "Budget",
+    "BoundedResilienceResult",
+    "ResilienceResult",
+    "UnbreakableQueryError",
+]
 
 
 @dataclass(frozen=True)
@@ -39,3 +54,104 @@ class ResilienceResult:
     def __repr__(self) -> str:
         gamma = "{" + ", ".join(repr(t) for t in sorted(self.contingency_set)) + "}"
         return f"ResilienceResult(value={self.value}, method={self.method!r}, gamma={gamma})"
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for the anytime solver.
+
+    ``None`` for a field means unlimited.  An entirely-unlimited budget
+    makes ``mode="anytime"`` equivalent to exact solving (the
+    branch-and-bound refinement runs to completion and closes the
+    interval).
+
+    Attributes
+    ----------
+    time_limit:
+        Wall-clock seconds for the refinement phase.  Checked between
+        branch-and-bound nodes, so the limit is soft by one node's work.
+    node_limit:
+        Maximum number of branch-and-bound nodes expanded across all
+        components during refinement.
+    """
+
+    time_limit: Optional[float] = None
+    node_limit: Optional[int] = None
+
+    @classmethod
+    def coerce(cls, value: Union["Budget", float, int, None]) -> "Budget":
+        """Accept ``None`` (unlimited), a number (seconds), or a Budget."""
+        if value is None:
+            return cls()
+        if isinstance(value, Budget):
+            return value
+        if isinstance(value, (int, float)):
+            return cls(time_limit=float(value))
+        raise TypeError(f"cannot interpret {value!r} as a Budget")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.time_limit is None and self.node_limit is None
+
+
+@dataclass(frozen=True)
+class BoundedResilienceResult:
+    """Outcome of an approximate / anytime resilience computation.
+
+    The contract is a *certified interval*:
+    ``lower_bound <= rho(q, D) <= upper_bound``, where the upper bound
+    is witnessed by ``contingency_set`` (a feasible, not necessarily
+    minimum, contingency set of exactly ``upper_bound`` tuples) and the
+    lower bound comes from an LP relaxation, a disjoint-witness packing,
+    or an exhausted branch-and-bound frontier — all of which only ever
+    under-estimate the optimum.
+
+    Attributes
+    ----------
+    lower_bound / upper_bound:
+        The certified interval endpoints.
+    contingency_set:
+        A feasible contingency set of size ``upper_bound``.
+    method:
+        Which pipeline produced the interval, e.g. ``"lp+greedy"``,
+        ``"anytime"``, or an exact method name when dispatch solved the
+        instance exactly (interval already closed).
+    """
+
+    lower_bound: int
+    upper_bound: int
+    contingency_set: FrozenSet[DBTuple] = field(default_factory=frozenset)
+    method: str = ""
+
+    def __post_init__(self):
+        if self.lower_bound > self.upper_bound:
+            raise ValueError(
+                f"invalid interval [{self.lower_bound}, {self.upper_bound}]"
+            )
+
+    @property
+    def value(self) -> int:
+        """The certified feasible value (the upper bound); equals
+        ``rho(q, D)`` exactly when :attr:`is_exact`."""
+        return self.upper_bound
+
+    @property
+    def is_exact(self) -> bool:
+        """Did the interval close (``lower_bound == upper_bound``)?"""
+        return self.lower_bound == self.upper_bound
+
+    @property
+    def gap(self) -> int:
+        """``upper_bound - lower_bound`` — zero iff exact."""
+        return self.upper_bound - self.lower_bound
+
+    @property
+    def interval(self):
+        """The ``(lower_bound, upper_bound)`` pair."""
+        return (self.lower_bound, self.upper_bound)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedResilienceResult([{self.lower_bound}, {self.upper_bound}], "
+            f"method={self.method!r}, exact={self.is_exact})"
+        )

@@ -1,7 +1,9 @@
 """Shared witness-structure engine with preprocessing reductions.
 
-The exact resilience solvers all consume the same object: the *witness
-structure* of a (query, database) pair, kernelized by superset
+The exact and approximate resilience solvers all consume the same
+object: the *witness structure* of a (query, database) pair — the
+hitting-set view of resilience from Section 2 (witnesses of ``D |= q``
+as sets of endogenous tuples, Definition 1) — kernelized by superset
 elimination, unit-witness forcing, dominated-tuple elimination, and
 connected-component decomposition.  See
 :class:`~repro.witness.structure.WitnessStructure` for the pipeline and

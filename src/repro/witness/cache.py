@@ -1,7 +1,8 @@
 """Memoized witness structures.
 
-Building a :class:`~repro.witness.structure.WitnessStructure` is the
-dominant cost of an exact solve (full witness enumeration plus the
+Building a :class:`~repro.witness.structure.WitnessStructure` (the
+Section 2 hitting-set view of resilience) is the dominant cost of an
+exact solve (full witness enumeration plus the
 reduction fixpoint), and the benchmark suites solve the same
 (query, database) pair repeatedly — dispatch vs. cross-check, BnB vs.
 ILP, batch reruns.  :func:`witness_structure` keys a small LRU on the

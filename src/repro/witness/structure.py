@@ -1,7 +1,8 @@
 """The shared witness-structure engine.
 
 Every exact resilience computation is a minimum hitting set over the
-*witness structure* of a (query, database) pair: each witness of
+*witness structure* of a (query, database) pair (the Section 2 /
+Definition 1 view of resilience): each witness of
 ``D |= q`` contributes the set of endogenous tuples it uses, and a
 contingency set is exactly a set of endogenous tuples intersecting every
 such set.  Before this module existed, each solver call re-enumerated
@@ -77,6 +78,7 @@ class ReductionStats:
     """
 
     witnesses_raw: int = 0
+    witnesses_distinct: int = 0
     witnesses_minimal: int = 0
     witnesses_final: int = 0
     tuples_raw: int = 0
@@ -91,6 +93,7 @@ class ReductionStats:
     def merge(self, other: "ReductionStats") -> None:
         """Accumulate ``other`` into this instance (for batch reports)."""
         self.witnesses_raw += other.witnesses_raw
+        self.witnesses_distinct += other.witnesses_distinct
         self.witnesses_minimal += other.witnesses_minimal
         self.witnesses_final += other.witnesses_final
         self.tuples_raw += other.tuples_raw
@@ -223,6 +226,7 @@ class WitnessStructure:
             tuples_raw=len(universe),
             time_enumerate=t1 - t0,
         )
+        stats.witnesses_distinct = len(set(raw))
         if reduce:
             sets, forced, dominated = _reduce(list(raw), stats)
         else:
@@ -295,10 +299,40 @@ def _bitsets(sets: Sequence[FrozenSet[int]]) -> Dict[int, int]:
     return out
 
 
+# Pairwise minimality checking is quadratic in the number of witness
+# sets; past this count, and as long as the sets themselves are small
+# (witness sets never exceed the query's endogenous atom count), we
+# instead enumerate each set's proper subsets and hash-probe for them —
+# O(m * 2^k) with tiny constants instead of O(m^2).
+_MINIMAL_PAIRWISE_LIMIT = 512
+_MINIMAL_SUBSET_ENUM_MAX_LEN = 12
+
+
 def _minimal_sets(sets: List[FrozenSet[int]]) -> List[FrozenSet[int]]:
     """Keep only inclusion-minimal sets (deduplicated, deterministic)."""
-    ordered = sorted(set(sets), key=lambda s: (len(s), sorted(s)))
-    kept: List[FrozenSet[int]] = []
+    distinct = set(sets)
+    ordered = sorted(distinct, key=lambda s: (len(s), sorted(s)))
+    max_len = len(ordered[-1]) if ordered else 0
+    if (
+        len(ordered) > _MINIMAL_PAIRWISE_LIMIT
+        and max_len <= _MINIMAL_SUBSET_ENUM_MAX_LEN
+    ):
+        # A set is non-minimal iff one of its proper subsets is also a
+        # witness set; with sets this small, probing every subset beats
+        # comparing every pair.
+        from itertools import combinations
+
+        kept = []
+        for s in ordered:
+            elems = sorted(s)
+            if not any(
+                frozenset(sub) in distinct
+                for r in range(1, len(elems))
+                for sub in combinations(elems, r)
+            ):
+                kept.append(s)
+        return kept
+    kept = []
     for s in ordered:
         if not any(k <= s for k in kept):
             kept.append(s)
@@ -316,12 +350,18 @@ def _dominated_tuples(sets: Sequence[FrozenSet[int]]) -> List[int]:
     exists).
     """
     bitsets = _bitsets(sets)
-    items = sorted(bitsets.items())
     dominated: set = set()
-    for t, rows_t in items:
-        for u, rows_u in items:
+    for t, rows_t in sorted(bitsets.items()):
+        # Any dominator of t appears in *every* witness row of t, in
+        # particular t's lowest row — so only that row's members are
+        # candidates.  Witness sets are small (bounded by the query's
+        # endogenous atom count), which makes this linear-ish in the
+        # incidence size instead of quadratic in the tuple count.
+        lowest_row = (rows_t & -rows_t).bit_length() - 1
+        for u in sorted(sets[lowest_row]):
             if u == t or u in dominated:
                 continue
+            rows_u = bitsets[u]
             if rows_t & ~rows_u == 0 and (rows_t != rows_u or u < t):
                 dominated.add(t)
                 break

@@ -1,6 +1,9 @@
 """Synthetic workload generators for tests and benchmarks."""
 
 from repro.workloads.random_db import (
+    HARD_SCALING_QUERIES,
+    hard_scaling_workload,
+    large_random_database,
     random_database_for_queries,
     random_database_for_query,
     random_binary_relation,
@@ -18,6 +21,9 @@ from repro.workloads.random_queries import random_sjfree_cq, random_ssj_binary_c
 __all__ = [
     "random_sjfree_cq",
     "random_ssj_binary_cq",
+    "HARD_SCALING_QUERIES",
+    "hard_scaling_workload",
+    "large_random_database",
     "random_database_for_queries",
     "random_database_for_query",
     "random_binary_relation",

@@ -3,12 +3,22 @@
 Used throughout the tests and benchmarks to cross-validate the
 polynomial-time solvers against the exact ones: generate a random
 database over the query's relations, check both solvers agree.
+
+Two size regimes:
+
+* :func:`random_database_for_query` / :func:`random_database_for_queries`
+  — density-driven instances of tens of tuples, where the exact solvers
+  (NP-complete in general, Theorem 24) are still comfortable;
+* :func:`large_random_database` / :func:`hard_scaling_workload` — the
+  scale-up regime: thousands of tuples over NP-hard zoo queries, sized
+  for the certified approximate/anytime tier
+  (:mod:`repro.resilience.approx`), where exact search is out of reach.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.db.database import Database
 from repro.query.cq import ConjunctiveQuery
@@ -56,6 +66,26 @@ def _fill_relation(
             db.add(name, *(rng.randrange(domain_size) for _ in range(arity)))
 
 
+def _union_vocabulary(
+    queries: Sequence[ConjunctiveQuery],
+) -> Tuple[Dict[str, int], Dict[str, bool]]:
+    """Arities and exogenous flags of every relation any query mentions.
+
+    Raises ``ValueError`` if two queries disagree on a relation's arity
+    or exogenous flag.
+    """
+    arities: Dict[str, int] = {}
+    flags: Dict[str, bool] = {}
+    for q in queries:
+        for rel, arity in q.relation_arities().items():
+            if arities.setdefault(rel, arity) != arity:
+                raise ValueError(f"conflicting arities for relation {rel!r}")
+        for rel, flag in q.relation_flags().items():
+            if flags.setdefault(rel, flag) != flag:
+                raise ValueError(f"conflicting exogenous flags for {rel!r}")
+    return arities, flags
+
+
 def random_database_for_queries(
     queries: Sequence[ConjunctiveQuery],
     domain_size: int = 6,
@@ -71,15 +101,7 @@ def random_database_for_queries(
     Raises ``ValueError`` if two queries disagree on a relation's arity
     or exogenous flag.
     """
-    arities: Dict[str, int] = {}
-    flags: Dict[str, bool] = {}
-    for q in queries:
-        for rel, arity in q.relation_arities().items():
-            if arities.setdefault(rel, arity) != arity:
-                raise ValueError(f"conflicting arities for relation {rel!r}")
-        for rel, flag in q.relation_flags().items():
-            if flags.setdefault(rel, flag) != flag:
-                raise ValueError(f"conflicting exogenous flags for {rel!r}")
+    arities, flags = _union_vocabulary(queries)
     rng = random.Random(seed)
     db = Database()
     for rel_name in sorted(arities):
@@ -112,3 +134,88 @@ def random_database_for_query(
         d = (densities or {}).get(rel_name, density)
         _fill_relation(db, rel_name, arity, domain_size, d, rng)
     return db
+
+
+# ---------------------------------------------------------------------------
+# The scale-up regime (repro.resilience.approx workloads)
+# ---------------------------------------------------------------------------
+
+# NP-complete zoo queries sharing one vocabulary (A, C unary; R binary),
+# so a single large database serves the whole set.  Exact solving on the
+# databases large_random_database emits for them is out of reach; the
+# approximate tier returns certified intervals in milliseconds.
+HARD_SCALING_QUERIES = (
+    "q_chain",
+    "q_3chain",
+    "q_a_chain",
+    "q_ac_chain",
+    "q_sj1_rats",
+    "q_triangle_sj1",
+)
+
+
+def large_random_database(
+    queries: Sequence[ConjunctiveQuery],
+    n_tuples: int = 2000,
+    seed: Optional[int] = None,
+    domain_size: Optional[int] = None,
+    unary_fraction: float = 0.4,
+) -> Database:
+    """A sparse random database with *thousands* of tuples.
+
+    The density-driven generators above produce dense instances whose
+    witness counts explode quadratically with the domain; this one
+    instead targets a tuple *count*: every relation of arity >= 2 gets
+    exactly ``n_tuples`` distinct rows sampled uniformly from a domain
+    sized to keep the instance sparse (``domain_size`` defaults to
+    ``max(8, n_tuples // 3)``, giving expected constant out-degree), and
+    each unary relation holds a ``unary_fraction`` sample of the domain.
+    Sparsity keeps the witness count roughly linear in ``n_tuples``, so
+    the witness structure stays buildable while exact search on the
+    NP-hard queries does not.
+    """
+    arities, flags = _union_vocabulary(queries)
+    if domain_size is None:
+        domain_size = max(8, n_tuples // 3)
+    rng = random.Random(seed)
+    db = Database()
+    for rel_name in sorted(arities):
+        arity = arities[rel_name]
+        db.declare(rel_name, arity, exogenous=flags[rel_name])
+        if arity == 1:
+            for v in range(domain_size):
+                if rng.random() < unary_fraction:
+                    db.add(rel_name, v)
+            continue
+        seen = set()
+        target = min(n_tuples, domain_size ** arity)
+        while len(seen) < target:
+            row = tuple(rng.randrange(domain_size) for _ in range(arity))
+            if row not in seen:
+                seen.add(row)
+                db.add(rel_name, *row)
+    return db
+
+
+def hard_scaling_workload(
+    n_tuples: int = 2000,
+    n_databases: int = 2,
+    seed: int = 0,
+    query_names: Sequence[str] = HARD_SCALING_QUERIES,
+) -> List[Tuple[Database, ConjunctiveQuery]]:
+    """(database, query) pairs exact solving cannot touch.
+
+    The cross product of :data:`HARD_SCALING_QUERIES` (or any other zoo
+    names) with ``n_databases`` shared :func:`large_random_database`
+    instances of ``n_tuples`` tuples per binary relation — the intended
+    input of ``solve_batch(pairs, mode="approx")`` and the
+    ``bench_e15_approx`` suite.
+    """
+    from repro.query.zoo import ALL_QUERIES
+
+    queries = [ALL_QUERIES[name] for name in query_names]
+    dbs = [
+        large_random_database(queries, n_tuples=n_tuples, seed=seed + i)
+        for i in range(n_databases)
+    ]
+    return [(db, q) for db in dbs for q in queries]

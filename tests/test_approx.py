@@ -1,0 +1,228 @@
+"""Property tests for the certified approximate/anytime tier.
+
+The contract under test (repro.resilience.approx): for every
+(query, database) pair the bounded solvers return an interval
+``lb <= rho(q, D) <= ub`` with a feasible contingency set of size
+``ub``; the greedy upper bound respects its harmonic-ratio guarantee;
+and anytime solving with an unlimited budget degrades into exact
+solving (same value).
+"""
+
+import math
+
+import pytest
+
+from repro.core import solve_batch
+from repro.query.zoo import ALL_QUERIES
+from repro.resilience import (
+    BoundedResilienceResult,
+    Budget,
+    greedy_hitting_set,
+    greedy_ratio_bound,
+    resilience_anytime,
+    resilience_bounds,
+    resilience_exact,
+    solve,
+)
+from repro.resilience.exact import is_contingency_set
+from repro.witness import WitnessStructure, clear_witness_cache
+from repro.workloads import (
+    hard_scaling_workload,
+    large_random_database,
+    random_database_for_queries,
+)
+
+# The dispatch-diverse shared-vocabulary mix used across the suites:
+# NP-hard exact cases, bespoke specials, and flow queries.
+SHARED_VOCAB_QUERIES = (
+    "q_chain",
+    "q_conf",
+    "q_perm",
+    "q_Aperm",
+    "q_ACconf",
+    "q_z3",
+    "q_sj1_rats",
+    "q_a_chain",
+)
+
+
+def _workload(n_dbs, domain_size=4, density=0.45):
+    queries = [ALL_QUERIES[n] for n in SHARED_VOCAB_QUERIES]
+    dbs = [
+        random_database_for_queries(
+            queries, domain_size=domain_size, density=density, seed=seed
+        )
+        for seed in range(n_dbs)
+    ]
+    return [(db, q) for db in dbs for q in queries]
+
+
+class TestCertifiedContainment:
+    def test_interval_contains_exact_on_200_randomized_pairs(self):
+        """Acceptance: >= 200 pairs, every interval contains the exact
+        value, and every upper bound is witnessed by a real contingency
+        set."""
+        pairs = _workload(25)
+        assert len(pairs) >= 200
+        clear_witness_cache()
+        for db, q in pairs:
+            exact = solve(db, q)
+            bounded = solve(db, q, mode="approx")
+            assert isinstance(bounded, BoundedResilienceResult)
+            assert bounded.lower_bound <= exact.value <= bounded.upper_bound, (
+                f"{q.name}: exact {exact.value} outside {bounded.interval}"
+            )
+            if exact.value:
+                assert len(bounded.contingency_set) == bounded.upper_bound
+                assert is_contingency_set(db, q, set(bounded.contingency_set))
+
+    def test_dispatchable_ptime_pairs_come_back_closed(self):
+        """Bespoke/flow queries stay exact in bounded modes."""
+        q = ALL_QUERIES["q_perm"]
+        pairs = _workload(5)
+        for db, _ in pairs:
+            bounded = solve(db, q, mode="approx")
+            assert bounded.is_exact
+            assert bounded.value == solve(db, q).value
+
+    def test_bounds_are_deterministic(self):
+        pairs = _workload(3)
+        for db, q in pairs:
+            first = solve(db, q, mode="approx")
+            second = solve(db, q, mode="approx")
+            assert first.interval == second.interval
+            assert first.contingency_set == second.contingency_set
+
+
+class TestGreedyGuarantee:
+    def test_greedy_ratio_within_harmonic_bound(self):
+        """len(greedy) <= H(d) * opt on the reduced structure, d = max
+        number of witnesses a single tuple hits."""
+        checked = 0
+        for db, q in _workload(8) + _workload(8, domain_size=5, density=0.5):
+            ws = WitnessStructure.build(db, q)
+            if not ws.satisfied or not ws.sets:
+                continue
+            opt_reduced = resilience_exact(db, q, structure=ws).value - len(
+                ws.forced_ids
+            )
+            greedy = greedy_hitting_set(ws.sets)
+            ratio = greedy_ratio_bound(ws.sets)
+            assert len(greedy) <= ratio * opt_reduced + 1e-9, (
+                f"{q.name}: greedy {len(greedy)} > H(d)*opt = "
+                f"{ratio:.3f}*{opt_reduced}"
+            )
+            checked += 1
+        assert checked >= 20
+
+    def test_ratio_bound_is_harmonic_number(self):
+        sets = [frozenset({0, 1}), frozenset({0, 2}), frozenset({0, 3})]
+        # tuple 0 hits 3 sets -> H(3)
+        assert greedy_ratio_bound(sets) == pytest.approx(1 + 1 / 2 + 1 / 3)
+        assert greedy_ratio_bound([]) == 1.0
+
+
+class TestAnytime:
+    def test_unlimited_budget_equals_exact_on_48_pairs(self):
+        """Acceptance: mode='anytime' with unlimited budget is exact."""
+        pairs = _workload(6)
+        for db, q in pairs:
+            exact = solve(db, q)
+            anytime = solve(db, q, mode="anytime")
+            assert anytime.is_exact, f"{q.name}: interval {anytime.interval}"
+            assert anytime.value == exact.value
+
+    def test_zero_node_budget_still_certifies(self):
+        """Even a fully exhausted budget returns a valid interval."""
+        for db, q in _workload(4):
+            exact = solve(db, q)
+            bounded = solve(
+                db, q, mode="anytime", budget=Budget(node_limit=0)
+            )
+            assert bounded.lower_bound <= exact.value <= bounded.upper_bound
+
+    def test_budget_coercion(self):
+        assert Budget.coerce(None).unlimited
+        assert Budget.coerce(2.5).time_limit == 2.5
+        assert Budget.coerce(Budget(node_limit=7)).node_limit == 7
+        with pytest.raises(TypeError):
+            Budget.coerce("fast")
+
+    def test_anytime_never_looser_than_approx(self):
+        for db, q in _workload(3):
+            approx = resilience_bounds(db, q)
+            anytime = resilience_anytime(db, q, budget=Budget(node_limit=50))
+            assert anytime.lower_bound >= approx.lower_bound
+            assert anytime.upper_bound <= approx.upper_bound
+
+
+class TestSolverIntegration:
+    def test_mode_validation(self):
+        db, q = _workload(1)[0]
+        with pytest.raises(ValueError):
+            solve(db, q, mode="magic")
+        with pytest.raises(ValueError):
+            solve(db, q, method="exact", mode="approx")
+
+    def test_result_invariants(self):
+        with pytest.raises(ValueError):
+            BoundedResilienceResult(3, 2)
+        r = BoundedResilienceResult(1, 3)
+        assert r.gap == 2 and not r.is_exact and r.value == 3
+        assert r.interval == (1, 3)
+
+    def test_solve_batch_bounded_mode(self):
+        pairs = _workload(4)
+        clear_witness_cache()
+        batch = solve_batch(pairs, mode="approx")
+        assert batch.stats.mode == "approx"
+        assert batch.stats.intervals_exact + sum(
+            1 for r in batch if not r.is_exact
+        ) == len(pairs)
+        assert batch.stats.gap_total == sum(r.gap for r in batch)
+        for (db, q), bounded in zip(pairs, batch):
+            exact = solve(db, q)
+            assert bounded.lower_bound <= exact.value <= bounded.upper_bound
+        assert any(
+            "certified intervals" in line
+            for line in batch.stats.summary_lines()
+        )
+
+    def test_solve_batch_anytime_unlimited_matches_exact_batch(self):
+        pairs = _workload(3)
+        exact_values = solve_batch(pairs).values()
+        anytime = solve_batch(pairs, mode="anytime")
+        assert anytime.values() == exact_values
+        assert anytime.intervals() == [(v, v) for v in exact_values]
+
+    def test_unsatisfied_pair_is_zero_interval(self):
+        q = ALL_QUERIES["q_chain"]
+        db = random_database_for_queries([q], domain_size=3, density=0.0, seed=0)
+        bounded = solve(db, q, mode="approx")
+        assert bounded.interval == (0, 0)
+        assert bounded.method == "unsatisfied"
+
+
+class TestScalingWorkload:
+    def test_large_database_hits_tuple_target(self):
+        queries = [ALL_QUERIES[n] for n in ("q_chain", "q_a_chain")]
+        db = large_random_database(queries, n_tuples=1500, seed=3)
+        assert len(db.relations["R"].tuples) == 1500
+        assert all(len(t.values) == 1 for t in db.relations["A"].tuples)
+
+    def test_scaling_workload_solvable_by_approx_only(self):
+        """The headline capability: certified intervals on instances
+        with thousands of tuples, no exact solve involved."""
+        pairs = hard_scaling_workload(
+            n_tuples=600, n_databases=1, seed=0,
+            query_names=("q_chain", "q_a_chain"),
+        )
+        clear_witness_cache()
+        batch = solve_batch(pairs, mode="approx")
+        for (db, q), bounded in zip(pairs, batch):
+            assert bounded.lower_bound <= bounded.upper_bound
+            if bounded.upper_bound:
+                assert is_contingency_set(db, q, set(bounded.contingency_set))
+            # The intervals must be informative, not [0, n].
+            assert bounded.lower_bound > 0
+            assert bounded.upper_bound < len(db.relations["R"].tuples)

@@ -1,0 +1,103 @@
+"""Documentation guarantees, enforced.
+
+Two checks keep the docs honest as the system grows:
+
+* every public module under ``repro.resilience``, ``repro.witness``,
+  and ``repro.core`` carries a module docstring that names the paper
+  section or proposition it implements (so code and paper stay
+  cross-referenced at the module level);
+* every relative link in the repository's Markdown files resolves to a
+  real file (the CI docs job runs this test, so broken cross-links
+  fail the build).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+# Packages whose modules must anchor themselves in the paper.
+AUDITED_PACKAGES = ("resilience", "witness", "core")
+
+# What counts as "naming a paper section or proposition".
+PAPER_REFERENCE = re.compile(
+    r"(§\s*\d"
+    r"|Section\s+\d"
+    r"|Propositions?\s+\d"
+    r"|Prop\.?\s*\d"
+    r"|Theorems?\s+\d"
+    r"|Thm\s+\d"
+    r"|Definitions?\s+\d"
+    r"|Def\.?\s+\d"
+    r"|Lemmas?\s+\d"
+    r"|Figures?\s+\d"
+    r"|Fig\.?\s*\d"
+    r"|Appendix\s+[A-Z])"
+)
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _audited_modules():
+    modules = []
+    for package in AUDITED_PACKAGES:
+        for path in sorted((SRC_ROOT / package).glob("*.py")):
+            modules.append(path)
+    return modules
+
+
+def _module_docstring(path: Path) -> str:
+    import ast
+
+    tree = ast.parse(path.read_text())
+    return ast.get_docstring(tree) or ""
+
+
+@pytest.mark.parametrize(
+    "path", _audited_modules(), ids=lambda p: f"{p.parent.name}/{p.name}"
+)
+def test_module_docstring_names_paper_anchor(path):
+    """Every audited module states which paper result it implements."""
+    doc = _module_docstring(path)
+    assert doc, f"{path} has no module docstring"
+    assert PAPER_REFERENCE.search(doc), (
+        f"{path} docstring does not name a paper section/proposition "
+        f"(expected something matching e.g. 'Section 2', 'Proposition 31', "
+        f"'Theorem 24')"
+    )
+
+
+def _markdown_files():
+    return sorted(
+        p
+        for p in REPO_ROOT.rglob("*.md")
+        if not any(part.startswith(".") for part in p.parts)
+    )
+
+
+@pytest.mark.parametrize(
+    "md_path", _markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_markdown_relative_links_resolve(md_path):
+    """Relative links in Markdown must point at files that exist."""
+    broken = []
+    for target in MARKDOWN_LINK.findall(md_path.read_text()):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target) or target.startswith("#"):
+            continue  # absolute URL (http:, mailto:, ...) or in-page anchor
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        if not (md_path.parent / target_path).exists():
+            broken.append(target)
+    assert not broken, f"{md_path}: broken relative links {broken}"
+
+
+def test_audit_covers_the_expected_packages():
+    """The audit walks real files — guard against a silently empty glob."""
+    modules = _audited_modules()
+    names = {p.name for p in modules}
+    assert "approx.py" in names and "structure.py" in names
+    assert len(modules) >= 14
