@@ -1,0 +1,164 @@
+"""E16 — parallel sharded batch execution and the persistent result cache.
+
+The E13/E15 scaling story ends at one core: exact solving of the
+NP-hard side (Theorem 24) is CPU-bound, and `bench_e15_approx` buys
+scale by certifying intervals instead of values.  This suite validates
+the orthogonal lever (:mod:`repro.parallel` + the
+:class:`~repro.witness.cache.ResultCache`): the same E13/E15-style
+scaling workload solved
+
+* **sharded across a worker pool** — results (values *and* contingency
+  sets) must be identical to the serial run, and on hardware with >= 4
+  usable cores the 4-worker wall-clock must beat serial by >= 2x (on
+  smaller machines the equality contract is still asserted and the
+  measured speedup is recorded in ``extra_info``);
+* **against a warm result cache** — a rerun over already-solved
+  instances must be >= 5x faster than the cold run that populated the
+  cache, with identical results and every unique pair served from disk.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import solve_batch
+from repro.query.zoo import ALL_QUERIES
+from repro.witness import clear_witness_cache
+from repro.workloads import large_random_database
+
+# E13/E15-style scaling instances: the shared q_chain-family vocabulary
+# at sizes where exact ILP still answers but each pair costs real CPU
+# (~100ms), so a 12-pair batch is chunky enough to amortize pool
+# startup yet short enough for CI.
+VOCAB = ("q_chain", "q_a_chain", "q_ac_chain")
+QUERY = "q_ac_chain"
+N_TUPLES = 1200
+N_PAIRS = 12
+WORKERS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _scaling_pairs():
+    vocab = [ALL_QUERIES[n] for n in VOCAB]
+    q = ALL_QUERIES[QUERY]
+    return [
+        (large_random_database(vocab, n_tuples=N_TUPLES, seed=seed), q)
+        for seed in range(N_PAIRS)
+    ]
+
+
+def _assert_identical(a, b):
+    assert a.values() == b.values()
+    assert [r.contingency_set for r in a] == [r.contingency_set for r in b]
+    assert [r.method for r in a] == [r.method for r in b]
+
+
+def test_parallel_speedup_and_equality(benchmark):
+    """Acceptance: 4-worker results == serial results on the scaling
+    workload; >= 2x wall-clock speedup when >= 4 cores are usable."""
+    pairs = _scaling_pairs()
+    clear_witness_cache()
+    solve_batch(pairs[:1], workers=1)  # warm imports (HiGHS, scipy)
+
+    clear_witness_cache()
+    t0 = time.perf_counter()
+    serial = solve_batch(pairs, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    def run():
+        clear_witness_cache()
+        return solve_batch(pairs, workers=WORKERS)
+
+    parallel = benchmark(run)
+    t_parallel = benchmark.stats.stats.mean
+
+    _assert_identical(serial, parallel)
+    assert parallel.stats.workers == WORKERS
+    assert parallel.stats.shards >= 2
+    assert parallel.stats.structures == serial.stats.structures
+
+    speedup = t_serial / t_parallel
+    cpus = _usable_cpus()
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["tuples_per_db"] = N_TUPLES
+    benchmark.extra_info["usable_cpus"] = cpus
+    benchmark.extra_info["serial_seconds"] = round(t_serial, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if cpus >= WORKERS:
+        assert speedup >= 2.0, (
+            f"4-worker run only {speedup:.2f}x faster than serial "
+            f"on {cpus} cores"
+        )
+    else:
+        # One-core runners cannot demonstrate wall-clock speedup; the
+        # equality contract above is the load-bearing assertion there.
+        assert t_parallel <= t_serial * 1.6, (
+            f"pool overhead out of hand: {t_parallel:.2f}s parallel vs "
+            f"{t_serial:.2f}s serial on {cpus} core(s)"
+        )
+
+
+def test_cache_hit_rerun_speedup(benchmark, tmp_path):
+    """Acceptance: a warm-cache rerun is >= 5x faster than the cold run
+    and identical, with every unique pair served from disk."""
+    pairs = _scaling_pairs()
+    clear_witness_cache()
+    solve_batch(pairs[:1], workers=1)  # warm imports outside the timing
+
+    clear_witness_cache()
+    t0 = time.perf_counter()
+    cold = solve_batch(pairs, cache_dir=tmp_path)
+    t_cold = time.perf_counter() - t0
+    assert cold.stats.cache_hits == 0
+    assert cold.stats.cache_misses == cold.stats.unique_pairs
+
+    def run():
+        clear_witness_cache()
+        return solve_batch(pairs, cache_dir=tmp_path)
+
+    warm = benchmark(run)
+    t_warm = benchmark.stats.stats.mean
+
+    _assert_identical(cold, warm)
+    assert warm.stats.cache_hits == warm.stats.unique_pairs
+    assert warm.stats.cache_misses == 0
+    assert warm.stats.structures == 0  # nothing was recomputed
+
+    speedup = t_cold / t_warm
+    benchmark.extra_info["cold_seconds"] = round(t_cold, 3)
+    benchmark.extra_info["warm_seconds"] = round(t_warm, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= 5.0, f"warm cache rerun only {speedup:.1f}x faster"
+
+
+def test_anytime_tier_through_the_pool(benchmark):
+    """The bounded tier shards too: node-budgeted anytime intervals are
+    deterministic, so pool results must equal serial exactly."""
+    from repro.resilience.types import Budget
+
+    vocab = [ALL_QUERIES[n] for n in VOCAB]
+    q = ALL_QUERIES[QUERY]
+    pairs = [
+        (large_random_database(vocab, n_tuples=500, seed=seed), q)
+        for seed in range(8)
+    ]
+    budget = Budget(node_limit=300)
+    clear_witness_cache()
+    serial = solve_batch(pairs, mode="anytime", budget=budget, workers=1)
+
+    def run():
+        clear_witness_cache()
+        return solve_batch(pairs, mode="anytime", budget=budget, workers=WORKERS)
+
+    parallel = benchmark(run)
+    assert serial.intervals() == parallel.intervals()
+    _assert_identical(serial, parallel)
+    benchmark.extra_info["closed"] = parallel.stats.intervals_exact
+    benchmark.extra_info["gap_total"] = parallel.stats.gap_total

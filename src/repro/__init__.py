@@ -42,6 +42,10 @@ Package map
 ``repro.ijp``
     Independent Join Paths: the Definition 48 checker, the automated
     search of Appendix C.2, and the paper's example IJPs.
+``repro.parallel``
+    Sharded parallel batch execution: deterministic shard partitioning
+    (pair- and witness-component-granular) and the process-pool
+    executor behind ``solve_batch(workers=N)``.
 ``repro.workloads``
     Random graphs, CNF formulas, and databases for tests/benchmarks.
 """
@@ -68,9 +72,9 @@ from repro.resilience import (
     solve,
 )
 from repro.structure import Classification, Verdict, classify, normalize
-from repro.witness import WitnessStructure, witness_structure
+from repro.witness import ResultCache, WitnessStructure, witness_structure
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Database",
@@ -92,6 +96,7 @@ __all__ = [
     "resilience_anytime",
     "solve",
     "solve_batch",
+    "ResultCache",
     "WitnessStructure",
     "witness_structure",
     "Classification",

@@ -29,7 +29,10 @@ Commands
     tier instead of exact solving (``--budget-seconds`` /
     ``--budget-nodes`` cap the anytime refinement), and ``--scale N``
     swaps the workload for the thousands-of-tuples NP-hard scaling
-    workload that exact solving cannot touch.
+    workload that exact solving cannot touch.  ``--workers N`` solves
+    the batch on a process pool with deterministic sharding, and
+    ``--cache-dir PATH`` persists results on disk so reruns skip solved
+    instances (see ``docs/parallelism.md``).
 """
 
 from __future__ import annotations
@@ -225,7 +228,13 @@ def cmd_bench(args) -> int:
 
     clear_witness_cache()
     dispatch_plan.cache_clear()
-    batch = solve_batch(pairs, mode=args.mode, budget=budget)
+    batch = solve_batch(
+        pairs,
+        mode=args.mode,
+        budget=budget,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     for line in batch.stats.summary_lines():
         print(line)
 
@@ -330,6 +339,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="replace the workload with the NP-hard scaling workload "
         "(~N tuples per binary relation; requires a bounded --mode)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solve the batch on N worker processes with deterministic "
+        "sharding (default: serial, or the REPRO_WORKERS env var)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist results in a content-hash-keyed on-disk cache; "
+        "reruns over the same instances are served from disk",
     )
     p.set_defaults(func=cmd_bench)
 

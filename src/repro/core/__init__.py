@@ -13,7 +13,9 @@ wants:
   Boolean specialization;
 * :func:`~repro.core.analyzer.solve_batch` — amortized solving of many
   (database, query) pairs over shared dispatch plans, evaluation
-  indexes, and preprocessed witness structures.
+  indexes, and preprocessed witness structures, optionally fanned out
+  across a worker pool (``workers=N``) and backed by the persistent
+  result cache (``cache_dir=...``).
 """
 
 from repro.core.analyzer import (

@@ -13,15 +13,19 @@ one evaluation index per distinct database, one preprocessed witness
 structure per distinct pair, with aggregate reduction statistics for
 reporting (``repro bench`` consumes them).  Its ``mode`` / ``budget``
 parameters expose the certified approximate/anytime tier for workloads
-on the NP-complete side of the dichotomy (Theorem 24).
+on the NP-complete side of the dichotomy (Theorem 24); ``workers``
+fans the batch out across a process pool via :mod:`repro.parallel`,
+and ``cache_dir`` backs it with the persistent
+:class:`~repro.witness.cache.ResultCache` (see ``docs/parallelism.md``).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.db.database import Database
 from repro.query.cq import ConjunctiveQuery
@@ -35,7 +39,13 @@ from repro.structure.domination import dominated_relations, normalize
 from repro.structure.linearity import find_linear_order, is_pseudo_linear
 from repro.structure.patterns import two_atom_pattern
 from repro.structure.triads import find_triad
-from repro.witness import ReductionStats, witness_cache_info, witness_structure
+from repro.witness import (
+    ReductionStats,
+    ResultCache,
+    pair_cache_key,
+    witness_cache_info,
+    witness_structure,
+)
 
 
 @dataclass
@@ -142,6 +152,30 @@ class ResilienceAnalyzer:
         """
         return solve(database, self.query, mode=mode, budget=budget)
 
+    def solve_many(
+        self,
+        databases: Iterable[Database],
+        mode: str = "exact",
+        budget=None,
+        workers: Optional[int] = None,
+        cache_dir=None,
+    ) -> "BatchResult":
+        """Solve this query over many databases through the batch engine.
+
+        Equivalent to ``solve_batch([(db, q) for db in databases], ...)``
+        — one dispatch plan for the query, one evaluation index per
+        database, with the full ``workers`` / ``cache_dir`` machinery of
+        :func:`solve_batch` available.  Results come back in input
+        order inside a :class:`BatchResult`.
+        """
+        return solve_batch(
+            [(db, self.query) for db in databases],
+            mode=mode,
+            budget=budget,
+            workers=workers,
+            cache_dir=cache_dir,
+        )
+
     def explain(self) -> str:
         """Shortcut for ``report().explain()``."""
         return self.report().explain()
@@ -160,6 +194,15 @@ class BatchStats:
     below summarize certification quality: ``intervals_exact`` pairs
     closed their interval (``lb == ub``), and ``gap_total`` sums the
     remaining ``ub - lb`` over the ones that did not.
+
+    Execution telemetry: ``workers`` is the worker count the batch ran
+    with (1 = serial), ``shards`` how many shards were dispatched to
+    the pool, and ``cache_hits`` / ``cache_misses`` how many *unique*
+    pairs the persistent result cache served / had to compute (zero
+    when no ``cache_dir`` was given).  Every counter in this object is
+    reproducible for a fixed input batch regardless of worker count;
+    only the wall-clock fields (``time_total`` and the times inside
+    ``reductions``) vary run to run.
     """
 
     pairs: int = 0
@@ -171,6 +214,10 @@ class BatchStats:
     mode: str = "exact"
     intervals_exact: int = 0
     gap_total: int = 0
+    workers: int = 1
+    shards: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def summary_lines(self) -> List[str]:
         """Human-readable report (used by ``repro bench``)."""
@@ -182,6 +229,16 @@ class BatchStats:
             "methods: "
             + ", ".join(f"{m}={c}" for m, c in sorted(self.methods.items())),
         ]
+        if self.workers > 1:
+            lines.append(
+                f"parallel: {self.workers} workers, {self.shards} shards"
+            )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"result cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses over {self.unique_pairs} "
+                f"unique pairs"
+            )
         if self.mode != "exact":
             lines.append(
                 f"certified intervals: {self.intervals_exact}/{self.pairs} "
@@ -237,11 +294,34 @@ class BatchResult(Sequence):
         return f"BatchResult(n={len(self.results)}, stats={self.stats})"
 
 
+# A database at least this large (in tuples) has its post-kernelization
+# connected components sharded individually when solving in parallel;
+# below it, whole-pair tasks amortize better than a coordinator-side
+# structure build.  Override per call via ``split_components``.
+COMPONENT_SPLIT_THRESHOLD = 400
+
+
+def _default_workers() -> int:
+    """The worker count used when ``solve_batch(workers=None)``.
+
+    Reads ``REPRO_WORKERS`` (so deployments and the CI parallel leg can
+    flip the whole system to pool execution without touching call
+    sites); defaults to 1, i.e. serial.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
 def solve_batch(
     pairs: Iterable[Tuple[Database, ConjunctiveQuery]],
     method: Optional[str] = None,
     mode: str = "exact",
     budget=None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    split_components: Union[int, bool, None] = None,
 ) -> BatchResult:
     """Solve many (database, query) pairs, amortizing shared work.
 
@@ -256,52 +336,136 @@ def solve_batch(
       satisfiability probes and witness enumeration of every query
       solved over it);
     * one preprocessed witness structure — and one result — per
-      distinct (database, query) pair; duplicated pairs are free.
+      distinct (database, query) pair.  Pairs are deduplicated by
+      *content* (the database's canonical form plus the query's
+      canonical signature), so duplicated pairs are free even when they
+      arrive as distinct-but-equal objects.
 
-    Databases must not be mutated while the batch runs (identity is
-    used to share indexes).  ``method`` forces a backend exactly as in
+    Databases must not be mutated while the batch runs (evaluation
+    indexes are shared by object identity, and the content keys are
+    computed once up front).  ``method`` forces a backend exactly as in
     :func:`~repro.resilience.solver.solve`; ``mode`` and ``budget``
     select the solving tier per the same function (``"approx"`` /
     ``"anytime"`` produce certified
     :class:`~repro.resilience.types.BoundedResilienceResult` intervals,
-    with the shared ``budget`` applying to each distinct pair).  Results
-    come back in input order inside a :class:`BatchResult` carrying
-    aggregate reduction and interval statistics.
+    with the shared ``budget`` applying to each distinct pair).
+
+    ``workers`` > 1 partitions the unique pairs into deterministic
+    shards and solves them on a process pool (:mod:`repro.parallel`);
+    large exact instances (``len(db) >=`` ``split_components``,
+    default :data:`COMPONENT_SPLIT_THRESHOLD`; pass ``False`` to
+    disable) are further split into per-component hitting-set tasks.
+    Results — values *and* contingency sets — are identical to a serial
+    run, and every :class:`BatchStats` counter is reproducible
+    regardless of worker count.  ``workers=None`` reads the
+    ``REPRO_WORKERS`` environment variable (default: serial).
+
+    ``cache_dir`` enables the persistent
+    :class:`~repro.witness.cache.ResultCache`: unique pairs already
+    solved by any earlier invocation (same contents, tier, and budget)
+    are served from disk, and newly solved ones are written back, so
+    repeated CLI / benchmark runs skip solved instances entirely.
+
+    Results come back in input order inside a :class:`BatchResult`
+    carrying aggregate reduction, interval, shard, and cache
+    statistics.
     """
     pair_list = list(pairs)
     t0 = time.perf_counter()
-    stats = BatchStats(pairs=len(pair_list), mode=mode)
-    results: List[Optional[ResilienceResult]] = [None] * len(pair_list)
+    if workers is None:
+        workers = _default_workers()
+    workers = max(1, int(workers))
+    stats = BatchStats(pairs=len(pair_list), mode=mode, workers=workers)
     indexes: Dict[int, DatabaseIndex] = {}
-    memo: Dict[Tuple[int, frozenset], ResilienceResult] = {}
+    canon: Dict[int, frozenset] = {}
 
-    for i, (db, query) in enumerate(pair_list):
-        key = (id(db), query.canonical_signature())
-        res = memo.get(key)
-        if res is None:
-            index = indexes.get(id(db))
-            if index is None:
-                index = DatabaseIndex(db)
-                indexes[id(db)] = index
-            if method is None and dispatch_plan(query).kind == "exact":
-                _, misses_before, _ = witness_cache_info()
-                ws = witness_structure(db, query, index=index)
-                _, misses_after, _ = witness_cache_info()
-                # Only count structures this batch actually built —
-                # cache hits (from this batch or an earlier caller)
-                # did not pay the enumerate/reduce times being merged.
-                if misses_after > misses_before:
-                    stats.structures += 1
-                    stats.reductions.merge(ws.stats)
-                res = solve(
-                    db, query, structure=ws, index=index, mode=mode, budget=budget
-                )
-            else:
-                res = solve(
-                    db, query, method=method, index=index, mode=mode, budget=budget
-                )
-            memo[key] = res
-        results[i] = res
+    def _index(db: Database) -> DatabaseIndex:
+        index = indexes.get(id(db))
+        if index is None:
+            index = DatabaseIndex(db)
+            indexes[id(db)] = index
+        return index
+
+    # Deduplicate by content, preserving first-appearance order (the
+    # merge below walks units in this order, which is what makes the
+    # accumulated counters independent of shard layout).
+    units: Dict[Tuple[frozenset, frozenset], Tuple[Database, ConjunctiveQuery]] = {}
+    unit_of_pair: List[Tuple[frozenset, frozenset]] = []
+    for db, query in pair_list:
+        form = canon.get(id(db))
+        if form is None:
+            form = db.canonical_form()
+            canon[id(db)] = form
+        key = (form, query.canonical_signature())
+        units.setdefault(key, (db, query))
+        unit_of_pair.append(key)
+
+    unit_results: Dict[Tuple[frozenset, frozenset], object] = {}
+    cache: Optional[ResultCache] = None
+    cache_keys: Dict[Tuple[frozenset, frozenset], str] = {}
+    if cache_dir is not None:
+        cache = cache_dir if isinstance(cache_dir, ResultCache) else ResultCache(cache_dir)
+        for key, (db, query) in units.items():
+            ck = pair_cache_key(
+                db, query, mode=mode, method=method, budget=budget
+            )
+            cache_keys[key] = ck
+            hit = cache.get(ck)
+            if hit is not None:
+                unit_results[key] = hit
+        stats.cache_hits = len(unit_results)
+        stats.cache_misses = len(units) - len(unit_results)
+
+    todo = [
+        (key, db, query)
+        for key, (db, query) in units.items()
+        if key not in unit_results
+    ]
+
+    def _count_structure_build(ws) -> None:
+        stats.structures += 1
+        stats.reductions.merge(ws.stats)
+
+    if workers <= 1 and todo:
+        # The serial fast path runs the one worker loop in-process: no
+        # pool, no pickling, and — because it is literally the same
+        # code workers execute — bit-identical to pool execution by
+        # construction.
+        from repro.parallel import PairTask, Shard, run_shard
+        from repro.resilience.types import Budget
+
+        budget_obj = None if budget is None else Budget.coerce(budget)
+        tasks = tuple(
+            PairTask(i, db, query, method, mode, budget_obj)
+            for i, (key, db, query) in enumerate(todo)
+        )
+        outcome = run_shard(Shard(0, tasks))
+        stats.structures += outcome.telemetry.structures
+        stats.reductions.merge(outcome.telemetry.reductions)
+        for i, (key, _db, _query) in enumerate(todo):
+            unit_results[key] = outcome.outcomes[i]
+    elif todo:
+        _solve_units_parallel(
+            todo,
+            unit_results,
+            stats,
+            _index,
+            _count_structure_build,
+            method=method,
+            mode=mode,
+            budget=budget,
+            workers=workers,
+            split_components=split_components,
+        )
+
+    if cache is not None:
+        for key, _db, _query in todo:
+            cache.put(cache_keys[key], unit_results[key])
+
+    results: List[object] = []
+    for key in unit_of_pair:
+        res = unit_results[key]
+        results.append(res)
         stats.methods[res.method] += 1
         if mode != "exact":
             if res.is_exact:
@@ -309,6 +473,108 @@ def solve_batch(
             else:
                 stats.gap_total += res.gap
 
-    stats.unique_pairs = len(memo)
+    stats.unique_pairs = len(units)
     stats.time_total = time.perf_counter() - t0
     return BatchResult(results, stats)
+
+
+def _solve_units_parallel(
+    todo,
+    unit_results,
+    stats: BatchStats,
+    _index,
+    _count_structure_build,
+    method: Optional[str],
+    mode: str,
+    budget,
+    workers: int,
+    split_components: Union[int, bool, None],
+) -> None:
+    """The ``workers > 1`` arm of :func:`solve_batch`.
+
+    Builds the task table (splitting large exact instances into
+    per-component hitting-set tasks), shards it deterministically,
+    executes on the pool, and assembles unit results.  Mutates
+    ``unit_results`` and ``stats`` exactly as the serial arm would:
+    outcomes are merged by task id and telemetry in shard order, never
+    in completion order, so counters are reproducible.
+    """
+    from repro.parallel import (
+        ComponentTask,
+        PairTask,
+        build_shards,
+        execute_shards,
+        group_by_database,
+    )
+    from repro.resilience.types import Budget
+
+    if split_components is False:
+        split_threshold: Optional[int] = None
+    elif split_components is None or split_components is True:
+        split_threshold = COMPONENT_SPLIT_THRESHOLD
+    else:
+        split_threshold = int(split_components)
+
+    budget_obj = None if budget is None else Budget.coerce(budget)
+    tasks: List[object] = []
+    pair_task_units: Dict[int, Tuple[frozenset, frozenset]] = {}
+    # unit key -> (structure, method name, component task ids)
+    assemblies: Dict[Tuple[frozenset, frozenset], Tuple[object, str, List[int]]] = {}
+
+    for key, db, query in todo:
+        exact_path = method is None and dispatch_plan(query).kind == "exact"
+        if (
+            exact_path
+            and mode == "exact"
+            and split_threshold is not None
+            and len(db) >= split_threshold
+        ):
+            index = _index(db)
+            _, misses_before, _ = witness_cache_info()
+            ws = witness_structure(db, query, index=index)
+            _, misses_after, _ = witness_cache_info()
+            if misses_after > misses_before:
+                _count_structure_build(ws)
+            if not ws.satisfied:
+                unit_results[key] = ResilienceResult(
+                    0, frozenset(), method="unsatisfied"
+                )
+                continue
+            # The backend is decided per whole structure — the same rule
+            # resilience_exact(prefer="auto") applies — so the assembled
+            # result names the method a serial solve would have named.
+            largest = max((len(c.sets) for c in ws.components), default=0)
+            use_ilp = largest > 60 or ws.stats.tuples_final > 40
+            backend = "ilp" if use_ilp else "bnb"
+            method_name = "ilp" if use_ilp else "branch-and-bound"
+            comp_ids: List[int] = []
+            for comp in ws.components:
+                task_id = len(tasks)
+                tasks.append(
+                    ComponentTask(task_id, comp.tuple_ids, comp.sets, backend)
+                )
+                comp_ids.append(task_id)
+            assemblies[key] = (ws, method_name, comp_ids)
+        else:
+            task_id = len(tasks)
+            tasks.append(
+                PairTask(task_id, db, query, method, mode, budget_obj)
+            )
+            pair_task_units[task_id] = key
+
+    shards = build_shards(group_by_database(tasks), workers)
+    outcomes, telemetry = execute_shards(shards, workers)
+    stats.shards = len(shards)
+    for telem in telemetry:
+        stats.structures += telem.structures
+        stats.reductions.merge(telem.reductions)
+
+    for task_id, key in pair_task_units.items():
+        unit_results[key] = outcomes[task_id]
+    for key, (ws, method_name, comp_ids) in assemblies.items():
+        chosen = set(ws.forced_ids)
+        for task_id in comp_ids:
+            chosen |= outcomes[task_id]
+        unit_results[key] = ResilienceResult(
+            len(chosen), ws.tuples(chosen), method=method_name
+        )

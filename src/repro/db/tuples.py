@@ -42,6 +42,15 @@ class DBTuple:
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("DBTuple is immutable")
 
+    def __reduce__(self):
+        # The immutability guard above breaks pickle's default slot-state
+        # protocol (__setstate__ would call the blocked __setattr__), so
+        # reconstruct through the constructor instead.  Facts must cross
+        # process boundaries: repro.parallel ships shards of (database,
+        # query) work to worker processes and receives contingency sets
+        # back, and the persistent result cache stores them on disk.
+        return (DBTuple, (self.relation, self.values))
+
     @property
     def arity(self) -> int:
         """Number of values in the fact."""

@@ -1,0 +1,47 @@
+"""Parallel sharded batch execution.
+
+The paper's workloads are embarrassingly parallel at two granularities:
+distinct (database, query) pairs are independent resilience instances
+(Definition 1), and within one exact instance the kernelized witness
+structure decomposes into connected components whose minimum hitting
+sets are independent too (the Section 2 hitting-set view).  This
+package exploits both:
+
+* :mod:`repro.parallel.shards` — deterministic partitioning of a batch
+  into :class:`PairTask` / :class:`ComponentTask` work units packed
+  into :class:`Shard` s (LPT assignment, database-affinity grouping);
+* :mod:`repro.parallel.executor` — a ``ProcessPoolExecutor`` pool that
+  solves shards with per-worker structure caches and merges outcomes
+  in shard order, so results and counters are reproducible.
+
+The public entry point is one level up:
+``repro.core.solve_batch(pairs, workers=N, cache_dir=...)`` builds the
+shards, runs them here, and merges results back into input order; see
+``docs/parallelism.md`` for the execution model and tuning guidance.
+"""
+
+from repro.parallel.executor import (
+    ShardOutcome,
+    WorkerTelemetry,
+    execute_shards,
+    run_shard,
+)
+from repro.parallel.shards import (
+    ComponentTask,
+    PairTask,
+    Shard,
+    build_shards,
+    group_by_database,
+)
+
+__all__ = [
+    "ComponentTask",
+    "PairTask",
+    "Shard",
+    "ShardOutcome",
+    "WorkerTelemetry",
+    "build_shards",
+    "execute_shards",
+    "group_by_database",
+    "run_shard",
+]

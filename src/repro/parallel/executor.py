@@ -1,0 +1,167 @@
+"""Worker-pool execution of batch shards.
+
+Executes the :class:`~repro.parallel.shards.Shard` layout produced by
+:mod:`repro.parallel.shards` across a ``concurrent.futures``
+process pool.  Each worker process solves its shard with the very same
+code paths a serial batch uses — :func:`repro.resilience.solver.solve`
+for pair tasks, the per-component hitting-set backends of
+:mod:`repro.resilience.exact` (the Section 2 view: resilience is a
+minimum hitting set over witness sets, solved per connected component
+and summed) for component tasks — so parallel results are the serial
+results, merely computed elsewhere.
+
+Determinism contract (the batch merge relies on it):
+
+* outcomes are keyed by ``task_id`` and collected **in shard order**,
+  never in completion order;
+* per-worker telemetry (:class:`WorkerTelemetry`) is likewise merged in
+  shard order, so accumulated counters — and even float sums — are
+  reproducible for a fixed worker count;
+* workers inherit the parent's interpreter state via the ``fork`` start
+  method where available (so hash seeds, and therefore every
+  hash-order-sensitive tie-break, match the coordinator process
+  exactly); elsewhere the default start method is used.
+
+Each worker process keeps its own in-memory structure cache (the
+module-global LRU of :mod:`repro.witness.cache` is per process), so
+repeated structures within a shard are built once per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.query.evaluation import DatabaseIndex
+from repro.witness import ReductionStats, witness_cache_info, witness_structure
+from repro.witness.structure import WitnessComponent
+from repro.parallel.shards import ComponentTask, PairTask, Shard
+
+
+@dataclass
+class WorkerTelemetry:
+    """What one worker (or the serial fallback) did to its shard."""
+
+    structures: int = 0
+    reductions: ReductionStats = field(default_factory=ReductionStats)
+
+    def merge(self, other: "WorkerTelemetry") -> None:
+        self.structures += other.structures
+        self.reductions.merge(other.reductions)
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's results: ``task_id -> outcome`` plus telemetry.
+
+    Pair-task outcomes are result objects
+    (:class:`~repro.resilience.types.ResilienceResult` or
+    :class:`~repro.resilience.types.BoundedResilienceResult`);
+    component-task outcomes are frozensets of chosen global tuple ids.
+    """
+
+    shard_id: int
+    outcomes: Dict[int, object]
+    telemetry: WorkerTelemetry
+
+
+def run_shard(shard: Shard) -> ShardOutcome:
+    """Solve every task of one shard (runs inside a worker process).
+
+    Also the ``workers=1`` in-process fallback, which is what makes the
+    fast path bit-identical to pool execution by construction.
+    """
+    # Imported here (not at module top) to keep worker start-up lean and
+    # to avoid an import cycle through repro.resilience.solver.
+    from repro.resilience.exact import _bnb_component, _ilp_component
+    from repro.resilience.solver import solve
+
+    telemetry = WorkerTelemetry()
+    outcomes: Dict[int, object] = {}
+    indexes: Dict[int, DatabaseIndex] = {}
+    for task in shard.tasks:
+        if isinstance(task, ComponentTask):
+            if task.backend == "ilp":
+                comp = WitnessComponent(task.tuple_ids, task.sets)
+                outcomes[task.task_id] = frozenset(_ilp_component(comp))
+            else:
+                outcomes[task.task_id] = frozenset(_bnb_component(task.sets))
+            continue
+        index = indexes.get(id(task.database))
+        if index is None:
+            index = DatabaseIndex(task.database)
+            indexes[id(task.database)] = index
+        if task.method is None and _exact_dispatch(task.query):
+            _, misses_before, _ = witness_cache_info()
+            ws = witness_structure(task.database, task.query, index=index)
+            _, misses_after, _ = witness_cache_info()
+            if misses_after > misses_before:
+                telemetry.structures += 1
+                telemetry.reductions.merge(ws.stats)
+            outcomes[task.task_id] = solve(
+                task.database,
+                task.query,
+                structure=ws,
+                index=index,
+                mode=task.mode,
+                budget=task.budget,
+            )
+        else:
+            outcomes[task.task_id] = solve(
+                task.database,
+                task.query,
+                method=task.method,
+                index=index,
+                mode=task.mode,
+                budget=task.budget,
+            )
+    return ShardOutcome(shard.shard_id, outcomes, telemetry)
+
+
+def _exact_dispatch(query) -> bool:
+    from repro.resilience.solver import dispatch_plan
+
+    return dispatch_plan(query).kind == "exact"
+
+
+def _pool_context():
+    """Prefer ``fork``: children inherit the parent's hash seed (so
+    every sorted/hash-order tie-break matches the coordinator) and its
+    warm caches.  Platforms without it use their default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def execute_shards(
+    shards: Sequence[Shard], workers: int
+) -> Tuple[Dict[int, object], List[WorkerTelemetry]]:
+    """Run shards on ``workers`` processes; merge deterministically.
+
+    Returns the combined ``task_id -> outcome`` map and the per-shard
+    telemetry **in shard order** (callers accumulate it in that order,
+    which keeps merged counters independent of completion timing).
+    With one shard or one worker the pool is skipped entirely and the
+    shard runs in-process.
+    """
+    shards = list(shards)
+    if not shards:
+        return {}, []
+    if workers <= 1 or len(shards) == 1:
+        results = [run_shard(shard) for shard in shards]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shards)), mp_context=_pool_context()
+        ) as pool:
+            futures = [pool.submit(run_shard, shard) for shard in shards]
+            # Collect in submission (= shard) order, not completion order.
+            results = [f.result() for f in futures]
+    outcomes: Dict[int, object] = {}
+    telemetry: List[WorkerTelemetry] = []
+    for res in results:
+        outcomes.update(res.outcomes)
+        telemetry.append(res.telemetry)
+    return outcomes, telemetry

@@ -6,9 +6,12 @@ hitting-set view of resilience from Section 2 (witnesses of ``D |= q``
 as sets of endogenous tuples, Definition 1) — kernelized by superset
 elimination, unit-witness forcing, dominated-tuple elimination, and
 connected-component decomposition.  See
-:class:`~repro.witness.structure.WitnessStructure` for the pipeline and
+:class:`~repro.witness.structure.WitnessStructure` for the pipeline,
 :func:`~repro.witness.cache.witness_structure` for the memoized entry
-point the dispatcher uses.
+point the dispatcher uses, and
+:class:`~repro.witness.cache.ResultCache` for the persistent
+content-hash-keyed store of finished results that batch solving reuses
+across process lifetimes.
 """
 
 from repro.witness.structure import (
@@ -18,16 +21,20 @@ from repro.witness.structure import (
     WitnessStructure,
 )
 from repro.witness.cache import (
+    ResultCache,
     clear_witness_cache,
+    pair_cache_key,
     witness_cache_info,
     witness_structure,
 )
 
 __all__ = [
     "ReductionStats",
+    "ResultCache",
     "UnbreakableQueryError",
     "WitnessComponent",
     "WitnessStructure",
+    "pair_cache_key",
     "witness_structure",
     "clear_witness_cache",
     "witness_cache_info",

@@ -1,4 +1,4 @@
-"""Memoized witness structures.
+"""Memoized witness structures and the persistent result cache.
 
 Building a :class:`~repro.witness.structure.WitnessStructure` (the
 Section 2 hitting-set view of resilience) is the dominant cost of an
@@ -10,12 +10,27 @@ database's :meth:`~repro.db.database.Database.canonical_form` and the
 query's :meth:`~repro.query.cq.ConjunctiveQuery.canonical_signature`,
 so mutated databases (or flag changes) miss the cache instead of
 returning stale structures.
+
+:class:`ResultCache` extends the same idea across process lifetimes: a
+content-hash-keyed on-disk store of finished *results* (exact values
+with their minimum contingency sets, Definition 1, or certified
+intervals from the bounded tiers), so repeated CLI / benchmark
+invocations skip solved instances entirely.  Keys cover the full
+database contents, the query signature, the solving tier and budget,
+and a schema salt — anything that could change the answer changes the
+key, so invalidation is automatic (see ``docs/parallelism.md`` for the
+exact key semantics).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 from repro.db.database import Database
 from repro.query.cq import ConjunctiveQuery
@@ -68,3 +83,170 @@ def clear_witness_cache() -> None:
 def witness_cache_info() -> Tuple[int, int, int]:
     """``(hits, misses, currsize)`` — mirrors ``lru_cache.cache_info``."""
     return _hits, _misses, len(_cache)
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache
+# ---------------------------------------------------------------------------
+
+# Bumped whenever the stored payload layout or the key semantics change;
+# old entries then simply never match and age out.
+CACHE_SCHEMA = 1
+
+
+def _canonical_pair_text(database: Database, query: ConjunctiveQuery) -> str:
+    """A deterministic textual form of one (database, query) pair.
+
+    Built from sorted relation declarations and sorted tuple reprs (the
+    same repr-based total order as :meth:`DBTuple.sort_key`), plus the
+    sorted atom signatures of the query — no ``hash()`` anywhere, so the
+    text is stable across processes and interpreter runs regardless of
+    ``PYTHONHASHSEED``.
+    """
+    parts = []
+    for name in sorted(database.relations):
+        rel = database.relations[name]
+        rows = ",".join(sorted(repr(t.values) for t in rel))
+        parts.append(f"{name}/{rel.arity}/{int(rel.exogenous)}:{rows}")
+    atoms = ";".join(
+        sorted(
+            f"{a.relation}({','.join(a.args)}){'^x' if a.exogenous else ''}"
+            for a in query.atoms
+        )
+    )
+    return "|".join(parts) + "#" + atoms
+
+
+def pair_cache_key(
+    database: Database,
+    query: ConjunctiveQuery,
+    mode: str = "exact",
+    method: Optional[str] = None,
+    budget=None,
+) -> str:
+    """The content-hash key one solved result is stored under.
+
+    SHA-256 over the canonical pair text plus every parameter that can
+    change the result: the solving tier, a forced backend, the anytime
+    budget, and :data:`CACHE_SCHEMA`.  Equal-content databases produce
+    equal keys; any tuple, flag, or parameter change produces a
+    different key (which is the entire invalidation story).
+
+    ``budget`` accepts everything the solvers do — ``None``, a bare
+    number of seconds, or a :class:`~repro.resilience.types.Budget` —
+    and is normalized first, so ``budget=2.5`` and
+    ``Budget(time_limit=2.5)`` share one key while distinct budgets
+    never collide.
+    """
+    time_limit = node_limit = None
+    if budget is not None:
+        # Imported here: repro.resilience.types imports this package.
+        from repro.resilience.types import Budget
+
+        budget = Budget.coerce(budget)
+        time_limit = budget.time_limit
+        node_limit = budget.node_limit
+    material = "\x1f".join(
+        [
+            f"schema={CACHE_SCHEMA}",
+            f"mode={mode}",
+            f"method={method}",
+            f"time_limit={time_limit!r}",
+            f"node_limit={node_limit!r}",
+            _canonical_pair_text(database, query),
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """A persistent, content-hash-keyed store of solved results.
+
+    One entry per :func:`pair_cache_key`, stored as
+    ``<cache_dir>/<key>.pkl`` — a pickle of ``(CACHE_SCHEMA, key,
+    result)``.  Writes are atomic (temp file + ``os.replace``), and a
+    read validates the schema and the embedded key before trusting the
+    payload: torn, truncated, or otherwise corrupted entries are
+    deleted and reported as misses, then transparently recomputed and
+    rewritten by the caller.
+
+    The store is safe to share between sequential invocations and
+    between coordinator processes writing distinct keys; results for
+    the *same* key are identical by construction (exact tier) or
+    equally valid certified intervals (bounded tiers), so last-writer
+    wins is harmless.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The stored result for ``key``, or ``None`` on a miss.
+
+        Any failure to read or validate the entry (missing file, torn
+        write, schema drift, unpicklable garbage) is a miss; the bad
+        file is removed so the rewrite starts clean.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                schema, stored_key, result = pickle.load(handle)
+            if schema != CACHE_SCHEMA or stored_key != key:
+                raise ValueError("cache entry does not match its key")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((CACHE_SCHEMA, key, result), handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+
+    def clear(self) -> None:
+        """Delete every entry (and reset the hit/miss counters)."""
+        for path in self.cache_dir.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Tuple[int, int, int]:
+        """``(hits, misses, currsize)`` — mirrors ``lru_cache.cache_info``."""
+        return self.hits, self.misses, len(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.cache_dir)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,8 +1,21 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Setting ``REPRO_TEST_WORKERS=N`` (the CI parallel matrix leg does) maps
+to ``REPRO_WORKERS``, which flips the default of every
+``solve_batch``/``solve_many`` call in the suite to N-worker pool
+execution — so the whole tier-1 suite doubles as a serial/parallel
+equivalence check.
+"""
+
+import os
 
 import pytest
 
 from repro.db import Database
+
+_test_workers = os.environ.get("REPRO_TEST_WORKERS")
+if _test_workers:
+    os.environ.setdefault("REPRO_WORKERS", _test_workers)
 
 
 @pytest.fixture
