@@ -1,0 +1,135 @@
+"""E17 — incremental resilience under update streams.
+
+E14–E16 scaled *static* solving: batch amortization, certified bounds,
+parallel shards, cached reruns.  This suite validates the dynamic
+axis (:mod:`repro.incremental`): a 100-op insert/delete stream over a
+scaling instance, solved after every update, where per-update
+recomputation pays full witness enumeration + kernelization + search
+each time and the :class:`~repro.incremental.IncrementalSession` pays
+only delta work.
+
+Acceptance (the ISSUE/E17 gate): with a warm
+:class:`~repro.witness.cache.ResultCache`, the incremental session
+must beat per-update recomputation by **>= 5x** on the 100-op stream,
+with values identical op by op.  The cold session (populating the
+cache) and the warm-start certification rate are recorded as
+``extra_info``.
+"""
+
+import time
+
+from repro.incremental import IncrementalSession
+from repro.query.zoo import ALL_QUERIES
+from repro.resilience.solver import solve
+from repro.witness import clear_witness_cache
+from repro.workloads import (
+    apply_update,
+    large_random_database,
+    update_stream,
+)
+
+# The q_chain-family scaling vocabulary at a *fragmented* density:
+# domain ~ tuple count gives expected out-degree ~1.3, so the witness
+# incidence graph splits into many components — the streaming regime
+# the per-component caches are built for (a giant-component instance
+# degenerates every update into the same component; see
+# docs/incremental.md).
+VOCAB = ("q_chain", "q_a_chain", "q_ac_chain")
+QUERY = "q_ac_chain"
+N_TUPLES = 900
+DOMAIN = 700
+N_OPS = 100
+
+
+def _stream():
+    vocab = [ALL_QUERIES[n] for n in VOCAB]
+    q = ALL_QUERIES[QUERY]
+    initial = large_random_database(
+        vocab, n_tuples=N_TUPLES, seed=0, domain_size=DOMAIN
+    )
+    db, ops = update_stream(
+        [q], n_ops=N_OPS, seed=1, domain_size=DOMAIN, initial=initial
+    )
+    return db, q, ops
+
+
+def _drive(session, ops, query):
+    values = []
+    for update in ops:
+        session.apply([update])
+        values.append(session.solve(query).value)
+    return values
+
+
+def test_incremental_stream_beats_recompute(benchmark, tmp_path):
+    """Acceptance: warm-cache incremental >= 5x over per-update
+    recomputation on a 100-op stream, identical values op by op."""
+    db, query, ops = _stream()
+    solve(db, query)  # warm imports (HiGHS, scipy) outside all timings
+
+    # Per-update recomputation: every op pays enumeration +
+    # kernelization + search on the mutated database (the witness LRU
+    # is content-keyed, so mutation misses it by design).
+    shadow = db.copy()
+    clear_witness_cache()
+    t0 = time.perf_counter()
+    recompute_values = []
+    for update in ops:
+        apply_update(shadow, update)
+        recompute_values.append(solve(shadow, query).value)
+    t_recompute = time.perf_counter() - t0
+
+    # Cold incremental session: populates the persistent per-component
+    # cache while already skipping re-enumeration.
+    cold = IncrementalSession(db, query, cache_dir=tmp_path)
+    t0 = time.perf_counter()
+    cold_values = _drive(cold, ops, query)
+    t_cold = time.perf_counter() - t0
+    assert cold_values == recompute_values
+
+    # Warm sessions: every solved component comes from disk; only the
+    # delta maintenance and perturbed-component reductions remain.
+    def run():
+        session = IncrementalSession(db, query, cache_dir=tmp_path)
+        return _drive(session, ops, query)
+
+    warm_values = benchmark(run)
+    t_warm = benchmark.stats.stats.mean
+    assert warm_values == recompute_values
+
+    speedup_warm = t_recompute / t_warm
+    benchmark.extra_info["ops"] = N_OPS
+    benchmark.extra_info["initial_tuples"] = len(db)
+    benchmark.extra_info["recompute_seconds"] = round(t_recompute, 3)
+    benchmark.extra_info["cold_seconds"] = round(t_cold, 3)
+    benchmark.extra_info["cold_speedup"] = round(t_recompute / t_cold, 2)
+    benchmark.extra_info["warm_speedup"] = round(speedup_warm, 2)
+    benchmark.extra_info["warm_certified"] = cold.stats.warm_certified
+    assert speedup_warm >= 5.0, (
+        f"incremental with warm cache only {speedup_warm:.2f}x faster "
+        f"than per-update recomputation"
+    )
+
+
+def test_stream_answers_match_scratch_in_bounded_modes(benchmark):
+    """The bounded tiers ride the same incremental machinery: certified
+    intervals after every update must be identical to fresh solves
+    (spot-checked every 5th op to keep the smoke run quick)."""
+    db, query, ops = _stream()
+
+    def run():
+        session = IncrementalSession(db, query)
+        shadow = db.copy()
+        mismatches = 0
+        for i, update in enumerate(ops):
+            session.apply([update])
+            apply_update(shadow, update)
+            if i % 5 == 0:
+                got = session.solve(query, mode="approx")
+                want = solve(shadow, query, mode="approx")
+                if got.interval != want.interval:
+                    mismatches += 1
+        return mismatches
+
+    assert benchmark(run) == 0
+    benchmark.extra_info["checked_ops"] = len(ops) // 5

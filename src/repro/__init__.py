@@ -46,6 +46,12 @@ Package map
     Sharded parallel batch execution: deterministic shard partitioning
     (pair- and witness-component-granular) and the process-pool
     executor behind ``solve_batch(workers=N)``.
+``repro.incremental``
+    Incremental resilience under database updates:
+    :class:`IncrementalSession` maintains witness structures across
+    ``insert``/``delete`` deltas, certifies new optima from the
+    single-tuple delta laws, and reuses per-component results across
+    database states.
 ``repro.workloads``
     Random graphs, CNF formulas, and databases for tests/benchmarks.
 """
@@ -71,10 +77,11 @@ from repro.resilience import (
     resilience_bounds,
     solve,
 )
+from repro.incremental import IncrementalSession, Update
 from repro.structure import Classification, Verdict, classify, normalize
 from repro.witness import ResultCache, WitnessStructure, witness_structure
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Database",
@@ -96,6 +103,8 @@ __all__ = [
     "resilience_anytime",
     "solve",
     "solve_batch",
+    "IncrementalSession",
+    "Update",
     "ResultCache",
     "WitnessStructure",
     "witness_structure",

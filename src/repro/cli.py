@@ -32,7 +32,11 @@ Commands
     workload that exact solving cannot touch.  ``--workers N`` solves
     the batch on a process pool with deterministic sharding, and
     ``--cache-dir PATH`` persists results on disk so reruns skip solved
-    instances (see ``docs/parallelism.md``).
+    instances (see ``docs/parallelism.md``).  ``--updates N`` switches
+    to the dynamic workload: a randomized N-op insert/delete stream
+    solved through an :class:`repro.incremental.IncrementalSession`
+    after every update (``--compare`` then times naive per-update
+    recomputation and checks equality; see ``docs/incremental.md``).
 """
 
 from __future__ import annotations
@@ -142,6 +146,14 @@ def cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.updates is not None:
+        if args.scale:
+            print("--updates and --scale are mutually exclusive", file=sys.stderr)
+            return 2
+        if args.repeat is not None:
+            print("--repeat does not apply to --updates", file=sys.stderr)
+            return 2
+        return _bench_updates(args, budget)
     if args.scale:
         if args.mode == "exact":
             print(
@@ -256,6 +268,95 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _bench_updates(args, budget) -> int:
+    """The ``repro bench --updates N`` dynamic-workload benchmark.
+
+    Generates a reproducible N-op insert/delete stream over the query
+    set, solves every query after every update through an
+    :class:`~repro.incremental.IncrementalSession`, and (with
+    ``--compare``) times naive per-update recomputation and verifies
+    the values agree op by op.
+    """
+    from repro.incremental import IncrementalSession
+    from repro.resilience.solver import dispatch_plan, solve
+    from repro.witness import clear_witness_cache
+    from repro.workloads import apply_update, update_stream
+
+    queries_spec = (
+        args.queries if args.queries is not None else DEFAULT_BENCH_QUERIES
+    )
+    names = [n.strip() for n in queries_spec.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALL_QUERIES]
+    if unknown:
+        print(f"unknown zoo queries: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    queries = [ALL_QUERIES[n] for n in names]
+    domain_size = args.domain_size if args.domain_size is not None else 5
+    density = args.density if args.density is not None else 0.4
+    try:
+        db, stream = update_stream(
+            queries,
+            n_ops=args.updates,
+            seed=args.seed,
+            domain_size=domain_size,
+            density=density,
+        )
+    except ValueError as exc:
+        print(f"incompatible query set: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"workload: {args.updates}-op update stream over {len(queries)} "
+        f"queries, initial n={len(db)} (domain {domain_size}, "
+        f"density {density}, seed {args.seed})"
+    )
+
+    import networkx  # noqa: F401
+    import scipy.optimize  # noqa: F401
+    import scipy.sparse  # noqa: F401
+
+    solve_budget = budget if args.mode == "anytime" else None
+    session = IncrementalSession(
+        db, queries, cache_dir=args.cache_dir, workers=args.workers
+    )
+    t0 = time.perf_counter()
+    per_op_values: List[List[int]] = []
+    for update in stream:
+        session.apply([update])
+        results = session.solve_all(mode=args.mode, budget=solve_budget)
+        per_op_values.append([r.value for r in results])
+    t_incremental = time.perf_counter() - t0
+    rate = len(stream) / t_incremental if t_incremental else float("inf")
+    print(
+        f"incremental: {len(stream)} updates x {len(queries)} queries in "
+        f"{t_incremental:.3f}s ({rate:.0f} updates/s, mode {args.mode})"
+    )
+    for line in session.stats.summary_lines():
+        print(line)
+
+    if args.compare:
+        shadow = db.copy()
+        clear_witness_cache()
+        dispatch_plan.cache_clear()
+        t0 = time.perf_counter()
+        for i, update in enumerate(stream):
+            apply_update(shadow, update)
+            values = [solve(shadow, q).value for q in queries]
+            if values != per_op_values[i]:
+                print(
+                    f"MISMATCH at op {i} ({update!r}): incremental "
+                    f"{per_op_values[i]} vs recompute {values}",
+                    file=sys.stderr,
+                )
+                return 1
+        t_recompute = time.perf_counter() - t0
+        speedup = t_recompute / t_incremental if t_incremental else 0
+        print(
+            f"per-update recompute: {t_recompute:.3f}s -> incremental "
+            f"speedup {speedup:.2f}x"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,6 +448,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="solve the batch on N worker processes with deterministic "
         "sharding (default: serial, or the REPRO_WORKERS env var)",
+    )
+    p.add_argument(
+        "--updates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="benchmark the incremental engine on a randomized N-op "
+        "insert/delete stream, solving after every update "
+        "(--compare times per-update recomputation; not with --scale)",
     )
     p.add_argument(
         "--cache-dir",

@@ -176,6 +176,35 @@ class ResilienceAnalyzer:
             cache_dir=cache_dir,
         )
 
+    def session(
+        self,
+        database: Database,
+        cache_dir=None,
+        workers: Optional[int] = None,
+        warm_start: bool = True,
+    ):
+        """An incremental solving session for this query over ``database``.
+
+        Returns a :class:`~repro.incremental.IncrementalSession` that
+        applies ``insert``/``delete``/``apply`` tuple updates and keeps
+        every answer equal to a from-scratch solve while re-doing only
+        delta work (see ``docs/incremental.md``).  ``cache_dir`` backs
+        the per-component results with the persistent
+        :class:`~repro.witness.cache.ResultCache`; ``workers`` fans
+        uncached component solves out through :mod:`repro.parallel`.
+        """
+        # Imported here: repro.incremental builds on the solver stack
+        # that this module also feeds, so the import stays one-way.
+        from repro.incremental import IncrementalSession
+
+        return IncrementalSession(
+            database,
+            self.query,
+            cache_dir=cache_dir,
+            workers=workers,
+            warm_start=warm_start,
+        )
+
     def explain(self) -> str:
         """Shortcut for ``report().explain()``."""
         return self.report().explain()
@@ -543,10 +572,10 @@ def _solve_units_parallel(
             # The backend is decided per whole structure — the same rule
             # resilience_exact(prefer="auto") applies — so the assembled
             # result names the method a serial solve would have named.
-            largest = max((len(c.sets) for c in ws.components), default=0)
-            use_ilp = largest > 60 or ws.stats.tuples_final > 40
-            backend = "ilp" if use_ilp else "bnb"
-            method_name = "ilp" if use_ilp else "branch-and-bound"
+            from repro.resilience.exact import choose_backend
+
+            backend = choose_backend(ws)
+            method_name = "ilp" if backend == "ilp" else "branch-and-bound"
             comp_ids: List[int] = []
             for comp in ws.components:
                 task_id = len(tasks)

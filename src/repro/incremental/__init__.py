@@ -1,0 +1,16 @@
+"""Incremental resilience under database updates.
+
+Resilience (Definition 1, the Section 2 hitting-set view) over a
+database that changes: :class:`IncrementalSession` applies
+``insert`` / ``delete`` / ``apply`` tuple deltas and keeps the witness
+structure, its kernelization, and the per-component solves incremental,
+certifying updated optima from the single-tuple delta laws
+(``rho_old <= rho(D + t) <= rho_old + 1`` for an endogenous insert,
+``rho_old - 1 <= rho(D - t) <= rho_old`` for an endogenous delete)
+whenever they pin the value.  See :mod:`repro.incremental.session` for
+the engine and ``docs/incremental.md`` for the contract.
+"""
+
+from repro.incremental.session import IncrementalSession, SessionStats, Update
+
+__all__ = ["IncrementalSession", "SessionStats", "Update"]

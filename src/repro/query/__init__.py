@@ -21,6 +21,7 @@ from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.query.evaluation import (
     DatabaseIndex,
+    iter_witnesses_using,
     satisfies,
     witnesses,
     witness_tuple_sets,
@@ -40,6 +41,7 @@ __all__ = [
     "ConjunctiveQuery",
     "parse_query",
     "DatabaseIndex",
+    "iter_witnesses_using",
     "satisfies",
     "witnesses",
     "witness_tuple_sets",

@@ -57,6 +57,28 @@ class _AtomIndex:
             self._indexes[positions] = dict(index)
         return index.get(key, [])
 
+    def add_fact(self, fact: DBTuple) -> None:
+        """Extend the snapshot (and every built position index) by one fact."""
+        self.facts.append(fact)
+        for positions, index in self._indexes.items():
+            key = tuple(fact.values[p] for p in positions)
+            index.setdefault(key, []).append(fact)
+
+    def remove_fact(self, fact: DBTuple) -> None:
+        """Drop one fact from the snapshot and every built position index."""
+        try:
+            self.facts.remove(fact)
+        except ValueError:
+            return
+        for positions, index in self._indexes.items():
+            key = tuple(fact.values[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(fact)
+                except ValueError:
+                    pass
+
 
 class DatabaseIndex:
     """Reusable per-relation :class:`_AtomIndex` caches for one database.
@@ -87,13 +109,32 @@ class DatabaseIndex:
             self._by_relation[name] = index
         return index
 
+    def observe_insert(self, fact: DBTuple) -> None:
+        """Keep already-built indexes valid after inserting ``fact``.
 
-def _order_atoms(query: ConjunctiveQuery) -> List[Atom]:
+        Relations whose index has not been built yet need nothing: their
+        index snapshots the relation at first use.  Callers must apply
+        the database mutation first and notify exactly once per fact
+        actually added (:mod:`repro.incremental` does).
+        """
+        index = self._by_relation.get(fact.relation)
+        if index is not None:
+            index.add_fact(fact)
+
+    def observe_delete(self, fact: DBTuple) -> None:
+        """Keep already-built indexes valid after deleting ``fact``."""
+        index = self._by_relation.get(fact.relation)
+        if index is not None:
+            index.remove_fact(fact)
+
+
+def _order_atoms(query: ConjunctiveQuery, bound=()) -> List[Atom]:
     """Greedy join order: repeatedly pick the atom sharing most variables
-    with those already bound (ties: fewer new variables, then body order)."""
+    with those already bound (ties: fewer new variables, then body order).
+    ``bound`` lists variables a seed valuation has already fixed."""
     remaining = list(query.atoms)
     ordered: List[Atom] = []
-    bound: Set[str] = set()
+    bound: Set[str] = set(bound)
     while remaining:
         def score(atom: Atom) -> Tuple[int, int]:
             vs = set(atom.args)
@@ -123,20 +164,25 @@ def iter_witnesses(
     database: Database,
     query: ConjunctiveQuery,
     index: Optional[DatabaseIndex] = None,
+    seed: Optional[Valuation] = None,
 ) -> Iterator[Valuation]:
     """Lazily enumerate witnesses of ``D |= q``.
 
     Pass a :class:`DatabaseIndex` to reuse atom indexes across calls on
-    the same (unmutated) database.
+    the same (unmutated) database.  A ``seed`` valuation restricts the
+    enumeration to witnesses extending it — every atom is still checked
+    against the database, so the yielded valuations are exactly the
+    witnesses of ``D |= q`` that agree with the seed (the workhorse of
+    :func:`iter_witnesses_using` and incremental maintenance).
     """
-    ordered = _order_atoms(query)
+    ordered = _order_atoms(query, bound=seed or ())
     if index is None:
         index = DatabaseIndex(database)
     indexes: Dict[str, _AtomIndex] = {
         atom.relation: index.for_relation(atom.relation) for atom in ordered
     }
 
-    valuation: Valuation = {}
+    valuation: Valuation = dict(seed) if seed else {}
 
     def extend(depth: int) -> Iterator[Valuation]:
         if depth == len(ordered):
@@ -168,6 +214,42 @@ def iter_witnesses(
                 del valuation[var]
 
     yield from extend(0)
+
+
+def iter_witnesses_using(
+    database: Database,
+    query: ConjunctiveQuery,
+    fact: DBTuple,
+    index: Optional[DatabaseIndex] = None,
+) -> Iterator[Valuation]:
+    """Witnesses of ``D |= q`` that map at least one atom to ``fact``.
+
+    After inserting ``fact`` into ``D``, the witnesses of the new
+    database are exactly the old ones plus the valuations yielded here
+    (a valuation using the new fact could not have existed before), so
+    incremental maintenance only ever runs this constrained join.  For
+    each atom over the fact's relation, the atom is unified with the
+    fact (repeated variables must agree) and the remaining join runs
+    from that seed; a witness using the fact in several atoms is
+    yielded once.
+    """
+    seen: Set[FrozenSet] = set()
+    for atom in query.atoms:
+        if atom.relation != fact.relation or len(atom.args) != len(fact.values):
+            continue
+        seed: Valuation = {}
+        consistent = True
+        for var, value in zip(atom.args, fact.values):
+            if seed.setdefault(var, value) != value:
+                consistent = False
+                break
+        if not consistent:
+            continue
+        for valuation in iter_witnesses(database, query, index=index, seed=seed):
+            key = frozenset(valuation.items())
+            if key not in seen:
+                seen.add(key)
+                yield valuation
 
 
 def satisfies(

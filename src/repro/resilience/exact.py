@@ -158,6 +158,22 @@ def resilience_ilp(
     return _solve_structure(structure, _ilp_component, "ilp")
 
 
+def choose_backend(structure: WitnessStructure) -> str:
+    """The ``prefer="auto"`` rule: ``"ilp"`` or ``"bnb"``.
+
+    ILP for larger *reduced* witness structures, branch and bound for
+    small — decided per structure after preprocessing, so instances
+    that kernelize well stay on the cheap pure-Python path.  The single
+    source of truth for every caller that must replicate the automatic
+    choice (the parallel coordinator and the incremental session both
+    assemble per-component results under this rule).
+    """
+    largest = max((len(c.sets) for c in structure.components), default=0)
+    if largest > 60 or structure.stats.tuples_final > 40:
+        return "ilp"
+    return "bnb"
+
+
 def resilience_exact(
     database: Database,
     query: ConjunctiveQuery,
@@ -167,10 +183,8 @@ def resilience_exact(
 ) -> ResilienceResult:
     """Exact resilience, choosing a backend.
 
-    ``prefer`` is ``"auto"`` (ILP for larger *reduced* witness
-    structures, branch and bound for small), ``"ilp"``, or ``"bnb"``.
-    The choice is made per structure after preprocessing, so instances
-    that kernelize well stay on the cheap pure-Python path.
+    ``prefer`` is ``"auto"`` (the :func:`choose_backend` rule),
+    ``"ilp"``, or ``"bnb"``.
     """
     ws = (
         structure
@@ -183,7 +197,6 @@ def resilience_exact(
         return resilience_branch_and_bound(database, query, structure=ws)
     if prefer != "auto":
         raise ValueError(f"unknown backend preference {prefer!r}")
-    largest = max((len(c.sets) for c in ws.components), default=0)
-    if largest > 60 or ws.stats.tuples_final > 40:
+    if choose_backend(ws) == "ilp":
         return resilience_ilp(database, query, structure=ws)
     return resilience_branch_and_bound(database, query, structure=ws)

@@ -23,6 +23,7 @@ from repro.witness.structure import (
 from repro.witness.cache import (
     ResultCache,
     clear_witness_cache,
+    component_cache_key,
     pair_cache_key,
     witness_cache_info,
     witness_structure,
@@ -34,6 +35,7 @@ __all__ = [
     "UnbreakableQueryError",
     "WitnessComponent",
     "WitnessStructure",
+    "component_cache_key",
     "pair_cache_key",
     "witness_structure",
     "clear_witness_cache",

@@ -159,6 +159,42 @@ def pair_cache_key(
     return hashlib.sha256(material.encode()).hexdigest()
 
 
+def component_cache_key(
+    witness_sets,
+    mode: str = "exact",
+    backend: Optional[str] = None,
+) -> str:
+    """The content-hash key one solved witness *component* is stored under.
+
+    Per-component minimum hitting sets (and certified per-component
+    intervals) are pure functions of the component's witness sets — the
+    database and query only matter through them — so the key hashes just
+    the sets (as sorted fact reprs, the same process-stable text as
+    :func:`pair_cache_key`), the solving tier, the backend that will run
+    (exact tier only; ``bnb`` and ``ilp`` pick different optimal sets),
+    and :data:`CACHE_SCHEMA`.  :class:`repro.incremental.IncrementalSession`
+    keys its per-component store this way, which is what lets witness
+    components untouched by an update hit the cache across database
+    states (and across sessions sharing one ``cache_dir``).
+    """
+    rows = ",".join(
+        sorted(
+            "{" + ";".join(sorted(repr(t) for t in s)) + "}"
+            for s in witness_sets
+        )
+    )
+    material = "\x1f".join(
+        [
+            f"schema={CACHE_SCHEMA}",
+            "granularity=component",
+            f"mode={mode}",
+            f"backend={backend}",
+            rows,
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
 class ResultCache:
     """A persistent, content-hash-keyed store of solved results.
 

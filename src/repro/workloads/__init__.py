@@ -17,10 +17,13 @@ from repro.workloads.formulas import (
 )
 from repro.workloads.graphs import random_graph, Graph
 from repro.workloads.random_queries import random_sjfree_cq, random_ssj_binary_cq
+from repro.workloads.update_stream import apply_update, update_stream
 
 __all__ = [
     "random_sjfree_cq",
     "random_ssj_binary_cq",
+    "apply_update",
+    "update_stream",
     "HARD_SCALING_QUERIES",
     "hard_scaling_workload",
     "large_random_database",

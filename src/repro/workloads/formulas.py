@@ -79,10 +79,19 @@ def exhaustive_assignments(num_vars: int) -> Iterator[Dict[int, bool]]:
 
 
 def random_3cnf(
-    num_vars: int, num_clauses: int, seed: Optional[int] = None
+    num_vars: int,
+    num_clauses: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> CNFFormula:
-    """A random 3CNF formula with distinct variables per clause."""
-    rng = random.Random(seed)
+    """A random 3CNF formula with distinct variables per clause.
+
+    ``rng`` overrides ``seed`` with a caller-owned generator (so update
+    streams and property tests can share one source of randomness);
+    module-global ``random`` state is never consumed either way.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     if num_vars < 3:
         raise ValueError("need at least 3 variables for 3CNF")
     clauses = []
@@ -98,9 +107,14 @@ def random_3cnf(
 def random_2cnf(
     num_vars: int, num_clauses: int, seed: Optional[int] = None,
     allow_unit: bool = True,
+    rng: Optional[random.Random] = None,
 ) -> CNFFormula:
-    """A random 2CNF formula (clauses of size 1 or 2, as in Prop 39)."""
-    rng = random.Random(seed)
+    """A random 2CNF formula (clauses of size 1 or 2, as in Prop 39).
+
+    ``rng`` overrides ``seed`` with a caller-owned generator.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     if num_vars < 2:
         raise ValueError("need at least 2 variables for 2CNF")
     clauses = []

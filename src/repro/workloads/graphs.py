@@ -50,10 +50,18 @@ class Graph:
 
 
 def random_graph(
-    num_vertices: int, edge_probability: float, seed: Optional[int] = None
+    num_vertices: int,
+    edge_probability: float,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> Graph:
-    """An Erdős–Rényi random graph G(n, p)."""
-    rng = random.Random(seed)
+    """An Erdős–Rényi random graph G(n, p).
+
+    ``rng`` overrides ``seed`` with a caller-owned generator; no
+    module-global ``random`` state is consumed either way.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     vertices = range(num_vertices)
     edges = [
         (u, v)

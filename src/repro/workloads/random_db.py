@@ -92,6 +92,7 @@ def random_database_for_queries(
     density: float = 0.35,
     seed: Optional[int] = None,
     densities: Optional[Dict[str, float]] = None,
+    rng: Optional[random.Random] = None,
 ) -> Database:
     """A random database over the *union* vocabulary of several queries.
 
@@ -99,10 +100,13 @@ def random_database_for_queries(
     declares every relation any query mentions (so the same instance is
     well-formed for all of them) and fills each at the given density.
     Raises ``ValueError`` if two queries disagree on a relation's arity
-    or exogenous flag.
+    or exogenous flag.  Pass ``rng`` to share one generator across
+    calls (``seed`` is then ignored); module-global ``random`` state is
+    never consumed either way.
     """
     arities, flags = _union_vocabulary(queries)
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     db = Database()
     for rel_name in sorted(arities):
         db.declare(rel_name, arities[rel_name], exogenous=flags[rel_name])
@@ -117,6 +121,7 @@ def random_database_for_query(
     density: float = 0.35,
     seed: Optional[int] = None,
     densities: Optional[Dict[str, float]] = None,
+    rng: Optional[random.Random] = None,
 ) -> Database:
     """A random database over the query's vocabulary.
 
@@ -124,9 +129,11 @@ def random_database_for_query(
     flag) and filled independently at the given density; ``densities``
     overrides per relation.  Relations of arity >= 3 are filled by
     sampling ``density * domain_size**2`` random vectors, keeping sizes
-    comparable with the binary case.
+    comparable with the binary case.  ``rng`` overrides ``seed`` with a
+    caller-owned generator.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     db = Database()
     flags = query.relation_flags()
     for rel_name, arity in sorted(query.relation_arities().items()):
@@ -160,6 +167,7 @@ def large_random_database(
     seed: Optional[int] = None,
     domain_size: Optional[int] = None,
     unary_fraction: float = 0.4,
+    rng: Optional[random.Random] = None,
 ) -> Database:
     """A sparse random database with *thousands* of tuples.
 
@@ -177,7 +185,8 @@ def large_random_database(
     arities, flags = _union_vocabulary(queries)
     if domain_size is None:
         domain_size = max(8, n_tuples // 3)
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     db = Database()
     for rel_name in sorted(arities):
         arity = arities[rel_name]

@@ -23,6 +23,7 @@ def random_ssj_binary_cq(
     max_extra_atoms: int = 3,
     num_vars: int = 4,
     allow_exogenous: bool = True,
+    rng: Optional[random.Random] = None,
 ) -> ConjunctiveQuery:
     """A random single-self-join binary CQ over variables x, y, z, ...
 
@@ -30,9 +31,12 @@ def random_ssj_binary_cq(
     fresh unary/binary relation names (``A``, ``B``, ...) so the query
     stays ssj.  Generated queries may be disconnected or non-minimal —
     callers exercising Theorem 37 should minimize/normalize first, as
-    the paper prescribes.
+    the paper prescribes.  ``rng`` overrides ``seed`` with a
+    caller-owned generator; module-global ``random`` state is never
+    consumed either way.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     variables = _VARS[:num_vars]
     atoms: List[Atom] = []
     n_r = rng.randint(1, max_r_atoms)
@@ -60,9 +64,14 @@ def random_sjfree_cq(
     seed: Optional[int] = None,
     max_atoms: int = 4,
     num_vars: int = 4,
+    rng: Optional[random.Random] = None,
 ) -> ConjunctiveQuery:
-    """A random self-join-free CQ with unary/binary relations."""
-    rng = random.Random(seed)
+    """A random self-join-free CQ with unary/binary relations.
+
+    ``rng`` overrides ``seed`` with a caller-owned generator.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     variables = _VARS[:num_vars]
     atoms: List[Atom] = []
     names = iter("RSTUVW")

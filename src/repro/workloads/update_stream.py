@@ -1,0 +1,129 @@
+"""Randomized insert/delete streams for the incremental engine.
+
+The dynamic-workload counterpart of :mod:`repro.workloads.random_db`:
+an initial database over a query set's vocabulary plus a reproducible
+stream of single-tuple updates, the input shape of
+:class:`repro.incremental.IncrementalSession` (and of the metamorphic
+update-law tests — the single-tuple delta laws around Definition 1:
+rho is monotone under insertion, and one endogenous insert/delete
+moves it by at most 1).
+
+Determinism contract: given the same ``seed`` (or the same
+pre-positioned ``rng``), :func:`update_stream` returns the same initial
+database and the same update list — present facts are sampled from a
+sorted order, never from set iteration order, so streams reproduce
+across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import insort
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.incremental import Update
+from repro.query.cq import ConjunctiveQuery
+from repro.workloads.random_db import (
+    _union_vocabulary,
+    random_database_for_queries,
+)
+
+# How many fresh-row draws an insert attempts before falling back to a
+# delete (the domain may be saturated for some relation).
+_INSERT_ATTEMPTS = 64
+
+
+def update_stream(
+    queries: Union[ConjunctiveQuery, Sequence[ConjunctiveQuery]],
+    n_ops: int = 100,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    domain_size: int = 6,
+    density: float = 0.3,
+    insert_fraction: float = 0.55,
+    initial: Optional[Database] = None,
+) -> Tuple[Database, List[Update]]:
+    """An initial database plus ``n_ops`` valid single-tuple updates.
+
+    Every insert adds a fact not currently present and every delete
+    removes a present one (tracked across the stream), so the ops apply
+    cleanly in order to the returned database — to an
+    :class:`~repro.incremental.IncrementalSession` via ``apply``, or to
+    a plain copy via :func:`apply_update` for recompute baselines.
+
+    ``queries`` fixes the vocabulary (relations, arities, exogenous
+    flags — the union across the set, as in
+    :func:`~repro.workloads.random_db.random_database_for_queries`);
+    ``initial`` substitutes a caller-built starting instance over the
+    same vocabulary.  ``insert_fraction`` steers the drift: above 0.5
+    the database grows on average, below it shrinks.  Pass ``rng`` to
+    share one generator across several calls; otherwise ``seed`` feeds
+    a private ``random.Random`` and module-global state is never
+    touched.
+    """
+    queries = (
+        [queries] if isinstance(queries, ConjunctiveQuery) else list(queries)
+    )
+    if rng is None:
+        rng = random.Random(seed)
+    arities, flags = _union_vocabulary(queries)
+    if initial is None:
+        db = random_database_for_queries(
+            queries, domain_size=domain_size, density=density, rng=rng
+        )
+    else:
+        db = initial.copy()
+        for name in sorted(arities):
+            db.declare(name, arities[name], exogenous=flags[name])
+
+    rel_names = sorted(arities)
+    present: List[DBTuple] = sorted(db)
+    present_set = set(present)
+    ops: List[Update] = []
+    while len(ops) < n_ops:
+        do_insert = not present or rng.random() < insert_fraction
+        fact: Optional[DBTuple] = None
+        if do_insert:
+            for _attempt in range(_INSERT_ATTEMPTS):
+                name = rel_names[rng.randrange(len(rel_names))]
+                row = tuple(
+                    rng.randrange(domain_size)
+                    for _ in range(arities[name])
+                )
+                candidate = DBTuple(name, row)
+                if candidate not in present_set:
+                    fact = candidate
+                    break
+            if fact is None:
+                do_insert = False  # vocabulary saturated: delete instead
+        if do_insert and fact is not None:
+            ops.append(Update("insert", fact))
+            present_set.add(fact)
+            insort(present, fact)
+        else:
+            # present is non-empty here: an empty database forces
+            # do_insert, and with nothing present every insert draw is
+            # fresh, so the saturation fallback cannot land here empty.
+            fact = present.pop(rng.randrange(len(present)))
+            present_set.discard(fact)
+            ops.append(Update("delete", fact))
+    return db, ops
+
+
+def apply_update(database: Database, update: Update) -> None:
+    """Apply one stream update to a plain :class:`Database` in place.
+
+    The recompute-baseline twin of
+    :meth:`~repro.incremental.IncrementalSession.apply`; unlike
+    :meth:`Database.minus` it deletes exogenous facts too (stream
+    updates are database updates, not contingency deletions).
+    """
+    if update.op == "insert":
+        database.add(update.fact.relation, *update.fact.values)
+    else:
+        rel = database.relations.get(update.fact.relation)
+        if rel is None or update.fact not in rel:
+            raise ValueError(f"{update.fact!r} is not in the database")
+        rel.discard(update.fact)

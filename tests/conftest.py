@@ -5,11 +5,48 @@ to ``REPRO_WORKERS``, which flips the default of every
 ``solve_batch``/``solve_many`` call in the suite to N-worker pool
 execution — so the whole tier-1 suite doubles as a serial/parallel
 equivalence check.
+
+Hypothesis effort is profile-driven: the ``default`` profile keeps the
+property suites fast for tier-1 runs, and the ``ci`` profile (selected
+with ``REPRO_HYPOTHESIS_PROFILE=ci``, or the standard
+``HYPOTHESIS_PROFILE``) raises ``max_examples`` and prints reproduction
+blobs/seeds on failure — the CI ``tests-properties`` leg runs under it.
+Test modules must not pin ``max_examples`` themselves, or the profile
+cannot deepen them.
 """
 
 import os
 
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+_HYPOTHESIS_PROFILE = os.environ.get(
+    "REPRO_HYPOTHESIS_PROFILE", os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
+settings.load_profile(_HYPOTHESIS_PROFILE)
+
+
+def pytest_report_header(config):
+    active = settings()
+    return (
+        f"hypothesis profile: {_HYPOTHESIS_PROFILE} "
+        f"(max_examples={active.max_examples}, "
+        f"print_blob={active.print_blob})"
+    )
+
 
 from repro.db import Database
 

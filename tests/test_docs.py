@@ -20,7 +20,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
 
 # Packages whose modules must anchor themselves in the paper.
-AUDITED_PACKAGES = ("resilience", "witness", "core", "parallel")
+AUDITED_PACKAGES = ("resilience", "witness", "core", "parallel", "incremental")
 
 # Standalone documentation pages every release must ship (each one is
 # also link-checked below like any other Markdown file).
@@ -29,6 +29,7 @@ REQUIRED_DOCS_PAGES = (
     "docs/solvers.md",
     "docs/parallelism.md",
     "docs/api.md",
+    "docs/incremental.md",
 )
 
 # What counts as "naming a paper section or proposition".
@@ -110,7 +111,8 @@ def test_audit_covers_the_expected_packages():
     names = {p.name for p in modules}
     assert "approx.py" in names and "structure.py" in names
     assert "executor.py" in names and "shards.py" in names  # repro.parallel
-    assert len(modules) >= 17
+    assert "session.py" in names  # repro.incremental
+    assert len(modules) >= 19
 
 
 @pytest.mark.parametrize("page", REQUIRED_DOCS_PAGES)
@@ -122,7 +124,9 @@ def test_required_docs_pages_exist(page):
     assert path.read_text().lstrip().startswith("#"), f"{page} has no title"
 
 
-@pytest.mark.parametrize("page", ("docs/parallelism.md", "docs/api.md"))
+@pytest.mark.parametrize(
+    "page", ("docs/parallelism.md", "docs/api.md", "docs/incremental.md")
+)
 def test_readme_links_the_new_pages(page):
     """README's API section must route readers to the reference pages."""
     readme = (REPO_ROOT / "README.md").read_text()

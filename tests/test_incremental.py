@@ -1,0 +1,254 @@
+"""Randomized update-stream equivalence for :mod:`repro.incremental`.
+
+The load-bearing contract: after *every* operation of a randomized
+insert/delete stream, :class:`IncrementalSession` answers exactly what
+a from-scratch ``solve()`` answers on the current database — equal
+exact values (with a feasible minimum contingency set), identical
+certified intervals in the bounded modes — in all three solving tiers,
+serially and with ``workers=2``, with and without a persistent
+``cache_dir``.  The streams mix NP-hard exact-dispatch queries with
+bespoke/flow polynomial ones from the zoo, so every dispatch path is
+exercised under updates.
+"""
+
+import pytest
+
+from repro.core import ResilienceAnalyzer
+from repro.db import Database, DBTuple
+from repro.incremental import IncrementalSession, Update
+from repro.query.parser import parse_query
+from repro.query.zoo import ALL_QUERIES
+from repro.resilience.exact import is_contingency_set
+from repro.resilience.solver import solve
+from repro.resilience.types import Budget, UnbreakableQueryError
+from repro.workloads import apply_update, update_stream
+
+# Zoo mix covering every dispatch kind: q_chain / q_sj1_rats are
+# NP-complete (exact hitting-set path), q_ac_chain adds unary context,
+# q_Aperm dispatches to a bespoke polynomial solver.
+STREAM_QUERIES = ("q_chain", "q_ac_chain", "q_Aperm", "q_sj1_rats")
+
+
+def _zoo(names):
+    return [ALL_QUERIES[n] for n in names]
+
+
+def _assert_matches_scratch(session, shadow, query, mode, budget=None):
+    got = session.solve(query, mode=mode, budget=budget)
+    want = solve(shadow, query, mode=mode, budget=budget)
+    if mode == "exact":
+        assert got.value == want.value, (query.name, got, want)
+        if got.value:
+            assert len(got.contingency_set) == got.value
+            assert is_contingency_set(shadow, query, set(got.contingency_set))
+    else:
+        assert got.interval == want.interval, (query.name, got, want)
+
+
+def _run_stream(
+    n_ops,
+    seed,
+    mode,
+    workers=None,
+    cache_dir=None,
+    queries=STREAM_QUERIES,
+    budget=None,
+    warm_start=True,
+):
+    queries = _zoo(queries)
+    db, stream = update_stream(
+        queries, n_ops=n_ops, seed=seed, domain_size=5, density=0.3
+    )
+    session = IncrementalSession(
+        db, queries, workers=workers, cache_dir=cache_dir, warm_start=warm_start
+    )
+    shadow = db.copy()
+    for update in stream:
+        session.apply([update])
+        apply_update(shadow, update)
+        for query in queries:
+            _assert_matches_scratch(session, shadow, query, mode, budget)
+    assert session.stats.updates == len(stream)
+    return session
+
+
+class TestStreamEquivalence:
+    """The acceptance streams: >= 200 ops, every op checked."""
+
+    @pytest.mark.parametrize("mode", ["exact", "approx", "anytime"])
+    def test_200_op_stream_matches_scratch_serial(self, mode):
+        session = _run_stream(200, seed=11, mode=mode)
+        if mode == "exact":
+            # The delta laws must actually fire on a mixed stream.
+            assert session.stats.warm_certified > 0
+
+    @pytest.mark.parametrize("mode", ["exact", "approx", "anytime"])
+    def test_200_op_stream_matches_scratch_two_workers(self, mode):
+        _run_stream(200, seed=12, mode=mode, workers=2)
+
+    def test_stream_matches_scratch_with_result_cache(self, tmp_path):
+        first = _run_stream(60, seed=13, mode="exact", cache_dir=tmp_path)
+        assert first.stats.components_solved > 0
+        # A fresh session replaying the same stream hits the on-disk
+        # per-component entries the first one wrote.
+        second = _run_stream(
+            60, seed=13, mode="exact", cache_dir=tmp_path, warm_start=False
+        )
+        assert second.stats.cache_hits > 0
+
+    def test_stream_without_warm_start_still_matches(self):
+        session = _run_stream(80, seed=14, mode="exact", warm_start=False)
+        assert session.stats.warm_certified == 0
+
+    def test_finite_anytime_budget_matches_scratch(self):
+        # Node budgets are deterministic, so the session's budgeted
+        # anytime answers must equal a fresh solve's exactly.
+        _run_stream(
+            60, seed=15, mode="anytime", budget=Budget(node_limit=40)
+        )
+
+
+class TestSessionSemantics:
+    def _chain_session(self):
+        db = Database()
+        db.add_all("R", [(1, 2), (2, 3), (3, 3)])
+        return IncrementalSession(db, ALL_QUERIES["q_chain"])
+
+    def test_insert_existing_fact_is_noop(self):
+        session = self._chain_session()
+        before = session.solve().value
+        session.insert("R", 1, 2)
+        assert session.stats.updates == 0
+        assert session.solve().value == before
+
+    def test_delete_missing_fact_raises(self):
+        session = self._chain_session()
+        with pytest.raises(ValueError):
+            session.delete("R", 9, 9)
+
+    def test_delete_then_reinsert_roundtrips(self):
+        session = self._chain_session()
+        before = session.solve()
+        session.delete("R", 3, 3)
+        session.insert("R", 3, 3)
+        after = session.solve()
+        assert after.value == before.value
+
+    def test_apply_batch_equals_single_ops(self):
+        db = Database()
+        db.add_all("R", [(1, 2), (2, 3)])
+        q = ALL_QUERIES["q_chain"]
+        batch = IncrementalSession(db, q)
+        single = IncrementalSession(db, q)
+        updates = [
+            Update("insert", DBTuple("R", (3, 4))),
+            Update("insert", DBTuple("R", (3, 3))),
+            Update("delete", DBTuple("R", (1, 2))),
+        ]
+        assert batch.apply(updates) == 3
+        for update in updates:
+            single.apply([update])
+            single.solve()
+        assert batch.solve().value == single.solve().value
+
+    def test_exogenous_deletes_are_database_updates(self):
+        # q_cfp: R(x,y), H^x(x,z), R(z,y) — deleting the exogenous H
+        # fact is a legal *update* (unlike contingency deletion) and
+        # must destroy the witness.
+        q = ALL_QUERIES["q_cfp"]
+        db = Database()
+        db.add("R", 1, 2)
+        db.add("H", 1, 3)
+        db.add("R", 3, 2)
+        session = IncrementalSession(db, q)
+        assert session.solve().value == solve(db, q).value == 1
+        session.delete("H", 1, 3)
+        assert session.solve().method == "unsatisfied"
+
+    def test_unbreakable_raises_exactly_like_scratch(self):
+        q = parse_query("R^x(x,y), S(y)")
+        db = Database()
+        db.declare("S", 1, exogenous=True)
+        db.add("R", 1, 2)
+        session = IncrementalSession(db, q)
+        assert session.solve().method == "unsatisfied"
+        session.insert("S", 2)
+        with pytest.raises(UnbreakableQueryError):
+            session.solve()
+        with pytest.raises(UnbreakableQueryError):
+            solve(session.database, q)
+        session.delete("S", 2)
+        assert session.solve().method == "unsatisfied"
+
+    def test_warm_start_certifies_pure_inserts(self):
+        # Gamma = {R(1,2)} hits the only witness {R(1,2), R(2,3)}.  The
+        # witness created by inserting R(0,1) also uses R(1,2), so the
+        # delta laws certify rho = 1 without any search; the witness
+        # created by inserting R(3,4) avoids Gamma, forcing a re-solve
+        # that the laws still bound to rho <= 2.
+        db = Database()
+        db.add_all("R", [(1, 2), (2, 3)])
+        session = IncrementalSession(db, ALL_QUERIES["q_chain"])
+        first = session.solve()
+        assert first.value == 1
+        session.insert("R", 0, 1)
+        second = session.solve()
+        assert second.method == "warm-start"
+        assert second.value == 1
+        assert session.stats.warm_certified == 1
+        session.insert("R", 3, 4)
+        third = session.solve()
+        assert third.method != "warm-start"
+        assert third.value == 2
+        assert third.value == solve(session.database, ALL_QUERIES["q_chain"]).value
+
+    def test_multi_query_session_and_solve_all(self):
+        queries = _zoo(("q_chain", "q_Aperm"))
+        db = Database()
+        db.declare("A", 1)
+        db.add_all("R", [(1, 2), (2, 1), (2, 3)])
+        db.add("A", 1)
+        session = IncrementalSession(db, queries)
+        results = session.solve_all()
+        assert [r.value for r in results] == [
+            solve(db, q).value for q in queries
+        ]
+        with pytest.raises(KeyError):
+            session.solve(ALL_QUERIES["q_perm"])
+
+    def test_analyzer_session_entry_point(self):
+        db = Database()
+        db.add_all("R", [(1, 2), (2, 3), (3, 3)])
+        analyzer = ResilienceAnalyzer("R(x,y), R(y,z)")
+        session = analyzer.session(db)
+        assert session.solve().value == analyzer.solve(db).value
+        session.insert("R", 3, 4)
+        current = session.database
+        assert session.solve().value == analyzer.solve(current).value
+
+
+class TestUpdateStreamGenerator:
+    def test_streams_are_reproducible(self):
+        queries = _zoo(("q_chain", "q_ac_chain"))
+        db1, ops1 = update_stream(queries, n_ops=50, seed=7)
+        db2, ops2 = update_stream(queries, n_ops=50, seed=7)
+        assert db1 == db2
+        assert ops1 == ops2
+        db3, ops3 = update_stream(queries, n_ops=50, seed=8)
+        assert ops3 != ops1
+
+    def test_streams_apply_cleanly(self):
+        queries = _zoo(("q_chain",))
+        db, ops = update_stream(queries, n_ops=120, seed=9)
+        for update in ops:
+            apply_update(db, update)  # raises if a delete misses
+
+    def test_insert_fraction_steers_drift(self):
+        # domain_size=8 gives R 64 possible rows, enough headroom that
+        # a 40-op stream at insert_fraction=0.9 never saturates.
+        queries = _zoo(("q_chain",))
+        _db, grow = update_stream(
+            queries, n_ops=40, seed=4, insert_fraction=0.9, domain_size=8
+        )
+        inserts = sum(1 for u in grow if u.op == "insert")
+        assert inserts > 30

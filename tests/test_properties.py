@@ -8,15 +8,33 @@ These check laws the paper relies on implicitly:
 * resilience is monotone under tuple insertion (more tuples, more
   witnesses, never smaller rho);
 * the component rule rho(q, D) = min_i rho(q_i, D) (Lemma 14);
-* solvers agree pairwise.
+* solvers agree pairwise;
+* the metamorphic update laws the incremental engine certifies from
+  (``TestMetamorphicUpdateLaws``): one endogenous insert/delete moves
+  rho by at most 1 in the right direction, exogenous inserts that
+  create no new witnesses leave rho unchanged, and rho is invariant
+  under active-domain renaming and relation declaration/insertion
+  order.
+
+Effort (``max_examples``) comes from the hypothesis profile registered
+in ``conftest.py`` — the CI ``tests-properties`` leg runs the deeper
+``ci`` profile; do not pin ``max_examples`` here.
 """
 
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
 from repro.db import Database, DBTuple
-from repro.query import parse_query, satisfies
-from repro.query.zoo import q_ACconf, q_Aperm, q_chain, q_comp, q_perm, q_vc
+from repro.query import parse_query, satisfies, witness_tuple_sets
+from repro.query.zoo import (
+    q_ACconf,
+    q_Aperm,
+    q_a_chain,
+    q_chain,
+    q_comp,
+    q_perm,
+    q_vc,
+)
 from repro.resilience import (
     resilience_branch_and_bound,
     resilience_exact,
@@ -25,7 +43,6 @@ from repro.resilience import (
 from repro.resilience.flow_special import solve_qACconf, solve_qAperm, solve_qperm
 
 SETTINGS = settings(
-    max_examples=30,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
@@ -176,3 +193,93 @@ class TestVCCorrespondence:
             db.add("S", u, v)
         rho = resilience_branch_and_bound(db, q_vc).value
         assert rho == (graph.vertex_cover_number() if graph.edges else 0)
+
+
+class TestMetamorphicUpdateLaws:
+    """The single-tuple delta laws :mod:`repro.incremental` certifies
+    from: |rho(D ± t) - rho(D)| <= 1 with the right direction for
+    endogenous t, exogenous no-new-witness inserts are invisible, and
+    rho only depends on database *content*, never on naming or
+    declaration order."""
+
+    @given(edges, st.tuples(st.integers(0, 4), st.integers(0, 4)))
+    @SETTINGS
+    def test_endogenous_insert_moves_rho_up_by_at_most_one(
+        self, edge_list, extra
+    ):
+        db = chain_db(edge_list)
+        before = resilience_branch_and_bound(db, q_chain).value
+        db.add("R", *extra)
+        after = resilience_branch_and_bound(db, q_chain).value
+        assert before <= after <= before + 1
+
+    @given(edges)
+    @SETTINGS
+    def test_endogenous_delete_moves_rho_down_by_at_most_one(self, edge_list):
+        db = chain_db(edge_list)
+        before = resilience_branch_and_bound(db, q_chain).value
+        for fact in sorted(db):
+            after = resilience_branch_and_bound(
+                db.minus([fact]), q_chain
+            ).value
+            assert before - 1 <= after <= before
+
+    @given(edges, nodes, st.integers(5, 9))
+    @SETTINGS
+    def test_exogenous_insert_without_new_witnesses_keeps_rho(
+        self, edge_list, a_nodes, fresh
+    ):
+        """A(x), R(x,y), R(y,z) with A exogenous at the instance level:
+        inserting A(c) for a constant outside the R graph creates no
+        witness, so rho must not move (the paper's monotonicity only
+        bounds it from below)."""
+        db = chain_db(edge_list)
+        db.declare("A", 1, exogenous=True)
+        for a in a_nodes:
+            db.add("A", a)
+        witnesses_before = set(witness_tuple_sets(db, q_a_chain))
+        rho_before = resilience_branch_and_bound(db, q_a_chain).value
+        db.add("A", fresh)  # R edges live on 0..4, so no witness appears
+        assert set(witness_tuple_sets(db, q_a_chain)) == witnesses_before
+        rho_after = resilience_branch_and_bound(db, q_a_chain).value
+        assert rho_after == rho_before
+
+    @given(edges)
+    @SETTINGS
+    def test_rho_invariant_under_active_domain_renaming(self, edge_list):
+        db = chain_db(edge_list)
+        before = resilience_branch_and_bound(db, q_chain).value
+        renamed = Database()
+        renamed.declare("R", 2)
+        for (u, v) in edge_list:
+            renamed.add("R", f"n{u}", f"n{v}")  # injective renaming
+        after = resilience_branch_and_bound(renamed, q_chain).value
+        assert after == before
+
+    @given(edges, nodes)
+    @SETTINGS
+    def test_result_invariant_under_declaration_and_insertion_order(
+        self, edge_list, a_nodes
+    ):
+        """Full result equality — value, contingency set, and method —
+        when the same content is declared and inserted in different
+        orders (determinism is part of the solver contract)."""
+        forward = Database()
+        forward.declare("A", 1)
+        forward.declare("R", 2)
+        for (u, v) in edge_list:
+            forward.add("R", u, v)
+        for a in a_nodes:
+            forward.add("A", a)
+        backward = Database()
+        for a in reversed(a_nodes):
+            backward.add("A", a)
+        backward.declare("R", 2)
+        for (u, v) in reversed(edge_list):
+            backward.add("R", u, v)
+        backward.declare("A", 1)
+        r1 = resilience_exact(forward, q_a_chain)
+        r2 = resilience_exact(backward, q_a_chain)
+        assert r1.value == r2.value
+        assert r1.contingency_set == r2.contingency_set
+        assert r1.method == r2.method
