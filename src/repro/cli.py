@@ -123,6 +123,82 @@ DEFAULT_BENCH_QUERIES = (
 )
 
 
+def _warm_imports() -> None:
+    """Pay one-time library import costs (HiGHS, networkx, csgraph)
+    before timing anything, so whichever strategy runs first is not
+    penalized."""
+    import networkx  # noqa: F401
+    import scipy.optimize  # noqa: F401
+    import scipy.sparse  # noqa: F401
+    import scipy.sparse.csgraph  # noqa: F401
+
+
+def _engine_backends() -> dict:
+    """The engine backend selection in effect (for ``--json`` records)."""
+    from repro.query.columnar import join_backend
+    from repro.resilience.flownet import flow_backend
+    from repro.witness.structure import _kernel_backend
+
+    return {
+        "join": join_backend(),
+        "kernel": _kernel_backend(),
+        "flow": flow_backend(),
+    }
+
+
+def _stats_payload(stats) -> dict:
+    """A :class:`~repro.core.analyzer.BatchStats` as plain JSON data."""
+    r = stats.reductions
+    return {
+        "pairs": stats.pairs,
+        "unique_pairs": stats.unique_pairs,
+        "mode": stats.mode,
+        "methods": dict(sorted(stats.methods.items())),
+        "structures": stats.structures,
+        "time_total": stats.time_total,
+        "workers": stats.workers,
+        "shards": stats.shards,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "intervals_exact": stats.intervals_exact,
+        "gap_total": stats.gap_total,
+        "reductions": {
+            "witnesses_raw": r.witnesses_raw,
+            "witnesses_distinct": r.witnesses_distinct,
+            "witnesses_minimal": r.witnesses_minimal,
+            "witnesses_final": r.witnesses_final,
+            "tuples_raw": r.tuples_raw,
+            "tuples_final": r.tuples_final,
+            "forced_tuples": r.forced_tuples,
+            "dominated_tuples": r.dominated_tuples,
+            "components": r.components,
+            "rounds": r.rounds,
+            "time_enumerate": r.time_enumerate,
+            "time_reduce": r.time_reduce,
+        },
+    }
+
+
+def _write_bench_json(path: str, payload: dict) -> None:
+    """Write one machine-readable benchmark record (the ``BENCH_*.json``
+    trajectory format; see ``docs/performance.md``)."""
+    import repro
+    from repro.query.columnar import backend_counters
+
+    record = {
+        "schema": 1,
+        "bench": "repro-bench-cli",
+        "version": repro.__version__,
+        "backends": _engine_backends(),
+        "join_backend_counters": backend_counters(),
+    }
+    record.update(payload)
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
 def cmd_bench(args) -> int:
     """Randomized batch-solving benchmark with reduction statistics."""
     from repro.resilience.solver import dispatch_plan, solve
@@ -232,11 +308,7 @@ def cmd_bench(args) -> int:
             f"(domain {domain_size}, density {density}, seed {args.seed})"
         )
 
-    # Pay one-time library import costs (HiGHS, networkx) before timing
-    # anything, so whichever strategy runs first is not penalized.
-    import networkx  # noqa: F401
-    import scipy.optimize  # noqa: F401
-    import scipy.sparse  # noqa: F401
+    _warm_imports()
 
     clear_witness_cache()
     dispatch_plan.cache_clear()
@@ -249,6 +321,22 @@ def cmd_bench(args) -> int:
     )
     for line in batch.stats.summary_lines():
         print(line)
+    if args.json:
+        _write_bench_json(
+            args.json,
+            {
+                "command": "bench",
+                "workload": {
+                    "kind": "scale" if args.scale else "static",
+                    "pairs": len(pairs),
+                    "databases": args.databases,
+                    "seed": args.seed,
+                    "scale": args.scale,
+                },
+                "stats": _stats_payload(batch.stats),
+                "values": batch.values(),
+            },
+        )
 
     if args.compare:
         # Fresh caches so the per-pair loop pays the same cold costs the
@@ -310,9 +398,7 @@ def _bench_updates(args, budget) -> int:
         f"density {density}, seed {args.seed})"
     )
 
-    import networkx  # noqa: F401
-    import scipy.optimize  # noqa: F401
-    import scipy.sparse  # noqa: F401
+    _warm_imports()
 
     solve_budget = budget if args.mode == "anytime" else None
     session = IncrementalSession(
@@ -332,6 +418,22 @@ def _bench_updates(args, budget) -> int:
     )
     for line in session.stats.summary_lines():
         print(line)
+    if args.json:
+        _write_bench_json(
+            args.json,
+            {
+                "command": "bench --updates",
+                "workload": {
+                    "kind": "updates",
+                    "updates": args.updates,
+                    "queries": len(queries),
+                    "seed": args.seed,
+                },
+                "mode": args.mode,
+                "incremental_seconds": t_incremental,
+                "updates_per_second": rate if t_incremental else None,
+            },
+        )
 
     if args.compare:
         shadow = db.copy()
@@ -464,6 +566,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persist results in a content-hash-keyed on-disk cache; "
         "reruns over the same instances are served from disk",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also write a machine-readable benchmark record (the "
+        "BENCH_*.json trajectory format, see docs/performance.md): "
+        "workload, engine backends, batch statistics, values",
     )
     p.set_defaults(func=cmd_bench)
 

@@ -1,0 +1,497 @@
+"""Columnar (vectorized) witness enumeration.
+
+The reference evaluator of :mod:`repro.query.evaluation` enumerates the
+witnesses of ``D |= q`` (Section 2) with a Python backtracking join:
+per-valuation dict copies, per-fact index probes, per-atom loops.  That
+is the dominant cost of building a
+:class:`~repro.witness.structure.WitnessStructure` on the scaling
+workloads, so this module re-implements the *same* enumeration as a
+vectorized hash/sort-merge join over dictionary-encoded relations:
+
+1. :class:`ColumnarDatabase` interns every constant of the database
+   into a dense integer code and stores each relation as a
+   ``(n, arity)`` numpy int64 code matrix plus a parallel vector of
+   global tuple ids (positions into one flat fact list);
+2. the join processes atoms in the exact order the reference evaluator
+   uses (:func:`repro.query.evaluation._order_atoms`), keeping the
+   frontier of partial valuations as numpy columns — one array per
+   bound variable, one array of matched tuple ids per processed atom —
+   and extends it per atom with a sort/searchsorted equi-join on the
+   composite key of already-bound positions;
+3. the result is the witness → tuple-id incidence *directly*: a
+   ``(witnesses, atoms)`` matrix of global tuple ids, from which the
+   endogenous witness tuple sets of Section 2 / Definition 1 (the input
+   of every resilience solver) are produced by columnwise filtering,
+   rowwise sorting, and row deduplication — no Python valuation dicts
+   on the hot path.
+
+The enumerations are equivalent: both realize exactly the set of
+valuations ``w`` with ``D |= q[w/x]``, and the property suite in
+``tests/test_columnar.py`` checks multiset equality of the valuations
+themselves against the reference evaluator on random databases and
+queries.
+
+Backend selection
+-----------------
+``REPRO_JOIN_BACKEND`` chooses the enumeration backend for
+:func:`repro.query.evaluation.witness_tuple_sets`:
+
+* ``columnar`` (default) — use this module when the database has at
+  least ``REPRO_COLUMNAR_MIN_TUPLES`` tuples (default
+  :data:`MIN_TUPLES_DEFAULT`; tiny instances stay on the reference path
+  where numpy call overhead would dominate);
+* ``reference`` — always use the backtracking evaluator.
+
+:func:`backend_counters` reports how often each path actually ran —
+``columnar`` (vectorized), ``reference`` (disabled or below the size
+threshold), ``fallback`` (eligible but unsupported, e.g. an
+atom/relation arity mismatch or a frontier larger than
+:data:`MAX_FRONTIER_ROWS`).  The CI perf-smoke job fails when an
+eligible workload silently falls back.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.cq import ConjunctiveQuery
+
+#: Databases smaller than this (in tuples) stay on the reference
+#: evaluator by default: the vectorized join pays fixed numpy call
+#: overhead per atom that only amortizes on non-trivial instances.
+MIN_TUPLES_DEFAULT = 128
+
+#: Hard cap on the join frontier (partial valuations held at once).
+#: Above it the enumeration falls back to the constant-memory reference
+#: evaluator instead of materializing an enormous intermediate.
+MAX_FRONTIER_ROWS = 4_000_000
+
+_counters = {"columnar": 0, "reference": 0, "fallback": 0}
+
+
+def join_backend() -> str:
+    """The enumeration backend selected by ``REPRO_JOIN_BACKEND``."""
+    backend = os.environ.get("REPRO_JOIN_BACKEND", "columnar")
+    if backend not in ("columnar", "reference"):
+        raise ValueError(
+            f"REPRO_JOIN_BACKEND={backend!r} (expected 'columnar' or 'reference')"
+        )
+    return backend
+
+
+def min_columnar_tuples() -> int:
+    """The size threshold selected by ``REPRO_COLUMNAR_MIN_TUPLES``."""
+    raw = os.environ.get("REPRO_COLUMNAR_MIN_TUPLES")
+    if raw is None:
+        return MIN_TUPLES_DEFAULT
+    try:
+        return int(raw)
+    except ValueError:
+        return MIN_TUPLES_DEFAULT
+
+
+def backend_counters() -> Dict[str, int]:
+    """``{"columnar": runs, "reference": runs, "fallback": runs}`` so far."""
+    return dict(_counters)
+
+
+def reset_backend_counters() -> None:
+    """Zero the run counters (benchmarks isolate phases this way)."""
+    for key in _counters:
+        _counters[key] = 0
+
+
+class ColumnarDatabase:
+    """A dictionary-encoded snapshot of one :class:`Database`.
+
+    ``facts`` is the flat, deterministic (sorted per relation, relations
+    in sorted name order) list of all facts; a *global tuple id* is a
+    position into it.  ``relations`` maps each relation name to a
+    ``(codes, ids)`` pair: an ``(n, arity)`` int64 matrix of interned
+    constant codes and the parallel ``(n,)`` vector of global tuple
+    ids.  ``constants`` is the reverse intern table (code → constant).
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.facts: List[DBTuple] = []
+        self.relations: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self._ranges: List[Tuple[str, int, np.ndarray]] = []
+        self._const_reprs: Optional[List[str]] = None
+        intern: Dict[Hashable, int] = {}
+        for name in sorted(database.relations):
+            rel = database.relations[name]
+            # Relation iteration order (a set) is process-dependent, like
+            # the reference evaluator's probe order; every consumer is
+            # order-insensitive past the deterministic kernelization.
+            facts = list(rel)
+            codes = np.empty((len(facts), rel.arity), dtype=np.int64)
+            ids = np.arange(
+                len(self.facts), len(self.facts) + len(facts), dtype=np.int64
+            )
+            for i, fact in enumerate(facts):
+                for j, value in enumerate(fact.values):
+                    code = intern.get(value)
+                    if code is None:
+                        code = len(intern)
+                        intern[value] = code
+                    codes[i, j] = code
+            self._ranges.append((name, len(self.facts), codes))
+            self.facts.extend(facts)
+            self.relations[name] = (codes, ids)
+        self.constants: List[Hashable] = list(intern)
+        self.n_constants = max(1, len(intern))
+
+    def sort_keys_for(self, gids: np.ndarray) -> List[Tuple[str, Tuple[str, ...]]]:
+        """:meth:`DBTuple.sort_key` for each (ascending) global tuple id.
+
+        Built from per-constant ``repr`` strings cached once, instead of
+        re-``repr``-ing every value of every fact per comparison.
+        """
+        if self._const_reprs is None:
+            self._const_reprs = [repr(c) for c in self.constants]
+        reprs = self._const_reprs
+        keys: List[Tuple[str, Tuple[str, ...]]] = []
+        for name, start, codes in self._ranges:
+            lo, hi = np.searchsorted(gids, [start, start + len(codes)])
+            if lo == hi:
+                continue
+            rows = codes[gids[lo:hi] - start]
+            keys.extend(
+                (name, tuple(reprs[c] for c in row)) for row in rows.tolist()
+            )
+        return keys
+
+
+# ---------------------------------------------------------------------------
+# The vectorized join
+# ---------------------------------------------------------------------------
+
+def _combine_keys(
+    rel_cols: List[np.ndarray], probe_cols: List[np.ndarray], base: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold multi-column join keys into single int64 keys on both sides.
+
+    Codes are dense (< ``base``), so columns combine positionally as
+    digits base-``base``; when the running magnitude would overflow
+    int64, both sides are re-compressed to dense codes first (one
+    ``np.unique`` over the concatenation keeps the two sides aligned).
+    """
+    limit = 1 << 62
+    key_a = rel_cols[0].astype(np.int64, copy=True)
+    key_b = probe_cols[0].astype(np.int64, copy=True)
+    cur_max = base
+    for col_a, col_b in zip(rel_cols[1:], probe_cols[1:]):
+        if cur_max >= limit // base:
+            both = np.concatenate([key_a, key_b])
+            _, inverse = np.unique(both, return_inverse=True)
+            key_a = inverse[: len(key_a)].astype(np.int64)
+            key_b = inverse[len(key_a):].astype(np.int64)
+            cur_max = len(both) + 1
+        key_a = key_a * base + col_a
+        key_b = key_b * base + col_b
+        cur_max *= base
+    return key_a, key_b
+
+
+def _match_runs(
+    rel_key: np.ndarray, probe_key: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort-merge match: all (probe row, rel row) pairs with equal keys.
+
+    Returns ``(probe_idx, rel_idx)`` — parallel arrays enumerating every
+    match, probe-major (ascending probe row, then ascending sorted rel
+    position), which keeps the expansion deterministic.
+    """
+    order = np.argsort(rel_key, kind="stable")
+    sorted_rel = rel_key[order]
+    starts = np.searchsorted(sorted_rel, probe_key, side="left")
+    ends = np.searchsorted(sorted_rel, probe_key, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    probe_idx = np.repeat(np.arange(len(probe_key), dtype=np.int64), counts)
+    if total:
+        run_offsets = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(run_offsets, counts)
+        rel_idx = order[np.repeat(starts, counts) + within]
+    else:
+        rel_idx = np.empty(0, dtype=np.int64)
+    return probe_idx, rel_idx
+
+
+def _enumerate_fact_matrix(
+    cdb: ColumnarDatabase, query: ConjunctiveQuery
+) -> Optional[np.ndarray]:
+    """The witness → tuple-id incidence of ``D |= q``.
+
+    Returns a ``(witnesses, len(query.atoms))`` int64 matrix whose entry
+    ``[w, a]`` is the global tuple id the witness ``w`` uses at atom
+    ``a`` (columns in ``query.atoms`` order), or ``None`` when the
+    instance is unsupported (arity mismatch, frontier overflow) and the
+    caller must fall back to the reference evaluator.
+    """
+    from repro.query.evaluation import _order_atoms
+
+    ordered = _order_atoms(query)
+    var_slot: Dict[str, int] = {}
+    var_cols: List[np.ndarray] = []
+    fact_cols: List[np.ndarray] = []
+    n_rows: Optional[int] = None  # None = one empty valuation (no atom yet)
+
+    for atom in ordered:
+        entry = cdb.relations.get(atom.relation)
+        if entry is None:
+            codes = np.empty((0, atom.arity), dtype=np.int64)
+            ids = np.empty(0, dtype=np.int64)
+        else:
+            codes, ids = entry
+            if codes.shape[1] != atom.arity:
+                return None
+        # Within-atom repeated variables constrain facts before joining.
+        first_pos: Dict[str, int] = {}
+        mask = None
+        for j, var in enumerate(atom.args):
+            if var in first_pos:
+                agree = codes[:, first_pos[var]] == codes[:, j]
+                mask = agree if mask is None else (mask & agree)
+            else:
+                first_pos[var] = j
+        if mask is not None:
+            codes = codes[mask]
+            ids = ids[mask]
+
+        bound = [(var, j) for var, j in first_pos.items() if var in var_slot]
+        free = [(var, j) for var, j in first_pos.items() if var not in var_slot]
+
+        if n_rows is None:
+            for var, j in free:
+                var_slot[var] = len(var_cols)
+                var_cols.append(codes[:, j].copy())
+            fact_cols.append(ids.copy())
+        elif not bound:
+            n_new = len(ids)
+            if n_rows * n_new > MAX_FRONTIER_ROWS:
+                return None
+            old_idx = np.repeat(np.arange(n_rows, dtype=np.int64), n_new)
+            new_idx = np.tile(np.arange(n_new, dtype=np.int64), n_rows)
+            var_cols = [col[old_idx] for col in var_cols]
+            fact_cols = [col[old_idx] for col in fact_cols]
+            for var, j in free:
+                var_slot[var] = len(var_cols)
+                var_cols.append(codes[new_idx, j])
+            fact_cols.append(ids[new_idx])
+        else:
+            rel_cols = [codes[:, j] for _var, j in bound]
+            probe_cols = [var_cols[var_slot[var]] for var, _j in bound]
+            rel_key, probe_key = _combine_keys(
+                rel_cols, probe_cols, cdb.n_constants
+            )
+            probe_idx, rel_idx = _match_runs(rel_key, probe_key)
+            if len(probe_idx) > MAX_FRONTIER_ROWS:
+                return None
+            var_cols = [col[probe_idx] for col in var_cols]
+            fact_cols = [col[probe_idx] for col in fact_cols]
+            for var, j in free:
+                var_slot[var] = len(var_cols)
+                var_cols.append(codes[rel_idx, j])
+            fact_cols.append(ids[rel_idx])
+        n_rows = len(fact_cols[0])
+        if n_rows == 0:
+            break
+
+    n_rows = n_rows or 0
+    out = np.empty((n_rows, len(query.atoms)), dtype=np.int64)
+    positions = {atom.signature(): i for i, atom in enumerate(query.atoms)}
+    for atom, col in zip(ordered, fact_cols):
+        out[:, positions[atom.signature()]] = col
+    return out
+
+
+def columnar_valuations(
+    database: Database, query: ConjunctiveQuery
+) -> Optional[List[Dict[str, Hashable]]]:
+    """Every witness of ``D |= q`` as a variable valuation (decoded).
+
+    The vectorized counterpart of
+    :func:`repro.query.evaluation.witnesses` — same valuations, possibly
+    in a different order.  Returns ``None`` when the instance is
+    unsupported.  Exposed for the equivalence property suite; the hot
+    path feeds solvers through :func:`columnar_witness_tuple_sets`
+    without ever building these dicts.
+    """
+    cdb = ColumnarDatabase(database)
+    matrix = _enumerate_fact_matrix(cdb, query)
+    if matrix is None:
+        return None
+    out: List[Dict[str, Hashable]] = []
+    facts = cdb.facts
+    for row in matrix:
+        valuation: Dict[str, Hashable] = {}
+        for atom, tid in zip(query.atoms, row):
+            fact = facts[tid]
+            for var, value in zip(atom.args, fact.values):
+                valuation[var] = value
+        out.append(valuation)
+    return out
+
+
+def _distinct_witness_rows(
+    cdb: ColumnarDatabase, query: ConjunctiveQuery, endogenous_only: bool
+) -> Optional[np.ndarray]:
+    """Deduplicated witness rows of global tuple ids (or ``None``).
+
+    Rows are ascending with ``-1`` padding in *front* (within-row
+    duplicates — one fact matched by several atoms — and exogenous
+    columns are normalized away), one row per distinct witness tuple
+    set.  A width-0 row set encodes the all-exogenous-atoms case.
+    """
+    matrix = _enumerate_fact_matrix(cdb, query)
+    if matrix is None:
+        return None
+    flags = dict(query.relation_flags())
+    for name, rel in cdb.database.relations.items():
+        if rel.exogenous:
+            flags[name] = True
+    if endogenous_only:
+        keep_cols = [
+            i
+            for i, atom in enumerate(query.atoms)
+            if not flags.get(atom.relation, False)
+        ]
+    else:
+        keep_cols = list(range(len(query.atoms)))
+    if matrix.shape[0] == 0:
+        return np.empty((0, len(keep_cols)), dtype=np.int64)
+    if not keep_cols:
+        # Every atom is exogenous: each witness restricts to the empty
+        # set (the unbreakable case the structure builder rejects).
+        return np.empty((1, 0), dtype=np.int64)
+    sub = np.sort(matrix[:, keep_cols], axis=1)
+    if sub.shape[1] > 1:
+        # Normalize within-row duplicates (the same fact matched by
+        # several atoms) to -1 so set-equal rows become array-equal.
+        dup = np.zeros(sub.shape, dtype=bool)
+        dup[:, 1:] = sub[:, 1:] == sub[:, :-1]
+        sub = np.where(dup, np.int64(-1), sub)
+        sub = np.sort(sub, axis=1)
+    return np.unique(sub, axis=0)
+
+
+def _columnar_snapshot(database: Database, index) -> ColumnarDatabase:
+    """The database's columnar encoding, reused from ``index`` when a
+    :class:`~repro.query.evaluation.DatabaseIndex` was provided."""
+    if index is not None:
+        return index.columnar()
+    return ColumnarDatabase(database)
+
+
+def columnar_witness_tuple_sets(
+    database: Database,
+    query: ConjunctiveQuery,
+    endogenous_only: bool = True,
+    index=None,
+) -> Optional[List[FrozenSet[DBTuple]]]:
+    """The deduplicated witness tuple sets, enumerated vectorized.
+
+    Produces exactly the sets
+    :func:`repro.query.evaluation.witness_tuple_sets` produces (order
+    may differ; every consumer is order-insensitive past the
+    deterministic kernelization), or ``None`` when the instance is
+    unsupported and the caller must fall back.
+    """
+    cdb = _columnar_snapshot(database, index)
+    rows = _distinct_witness_rows(cdb, query, endogenous_only)
+    if rows is None:
+        return None
+    facts = cdb.facts
+    return [
+        frozenset(facts[tid] for tid in row if tid >= 0)
+        for row in rows.tolist()
+    ]
+
+
+def columnar_witness_incidence(
+    database: Database, query: ConjunctiveQuery, index=None
+) -> Optional[Tuple[Tuple[DBTuple, ...], np.ndarray]]:
+    """The witness structure's raw input, fully vectorized.
+
+    Returns ``(universe, matrix)``: the endogenous tuples appearing in
+    any witness sorted by :meth:`DBTuple.sort_key` (a tuple's id is its
+    position, exactly as ``WitnessStructure`` assigns ids), and one row
+    per distinct witness tuple set over those local ids — ascending,
+    right-padded with ``len(universe)``.  A ``(1, 0)`` matrix encodes
+    an all-exogenous witness (the unbreakable case); ``None`` means the
+    instance is unsupported and the caller must enumerate via the
+    reference evaluator.
+    """
+    cdb = _columnar_snapshot(database, index)
+    rows = _distinct_witness_rows(cdb, query, endogenous_only=True)
+    if rows is None:
+        return None
+    if rows.shape[0] == 0 or rows.shape[1] == 0:
+        return (), rows
+    used = np.unique(rows)
+    used = used[used >= 0]
+    facts = cdb.facts
+    keys = cdb.sort_keys_for(used)
+    order = sorted(range(len(used)), key=keys.__getitem__)
+    universe = tuple(facts[used[i]] for i in order)
+    local_of = np.empty(len(used), dtype=np.int64)
+    for local, i in enumerate(order):
+        local_of[i] = local
+    pad = len(universe)
+    pos = np.searchsorted(used, np.clip(rows, 0, None))
+    local = np.where(rows < 0, np.int64(pad), local_of[pos])
+    local.sort(axis=1)
+    return universe, local
+
+
+def try_witness_incidence(
+    database: Database, query: ConjunctiveQuery, index=None
+) -> Optional[Tuple[Tuple[DBTuple, ...], np.ndarray]]:
+    """Backend dispatcher for :meth:`WitnessStructure.build`.
+
+    Same gating and counter accounting as
+    :func:`try_witness_tuple_sets`, returning the
+    :func:`columnar_witness_incidence` payload instead of fact sets.
+    """
+    if join_backend() != "columnar" or len(database) < min_columnar_tuples():
+        _counters["reference"] += 1
+        return None
+    result = columnar_witness_incidence(database, query, index=index)
+    if result is None:
+        _counters["fallback"] += 1
+        return None
+    _counters["columnar"] += 1
+    return result
+
+
+def try_witness_tuple_sets(
+    database: Database,
+    query: ConjunctiveQuery,
+    endogenous_only: bool = True,
+    index=None,
+) -> Optional[List[FrozenSet[DBTuple]]]:
+    """The backend dispatcher used by ``witness_tuple_sets``.
+
+    Returns the columnar result when the backend is enabled, the
+    database meets the size threshold, and the instance is supported;
+    ``None`` otherwise (the caller runs the reference evaluator).  Every
+    outcome is tallied in :func:`backend_counters`.
+    """
+    if join_backend() != "columnar" or len(database) < min_columnar_tuples():
+        _counters["reference"] += 1
+        return None
+    result = columnar_witness_tuple_sets(
+        database, query, endogenous_only=endogenous_only, index=index
+    )
+    if result is None:
+        _counters["fallback"] += 1
+        return None
+    _counters["columnar"] += 1
+    return result

@@ -98,6 +98,7 @@ class DatabaseIndex:
     def __init__(self, database):
         self.database = database
         self._by_relation: Dict[str, _AtomIndex] = {}
+        self._columnar = None
 
     def for_relation(self, name: str) -> _AtomIndex:
         """The (lazily built) atom index for relation ``name``."""
@@ -109,6 +110,19 @@ class DatabaseIndex:
             self._by_relation[name] = index
         return index
 
+    def columnar(self):
+        """The (lazily built) columnar encoding of the database.
+
+        Shared by every columnar enumeration through this index, so a
+        batch of queries over one database dictionary-encodes it once.
+        Dropped (and rebuilt on next use) when a mutation is observed.
+        """
+        if self._columnar is None:
+            from repro.query.columnar import ColumnarDatabase
+
+            self._columnar = ColumnarDatabase(self.database)
+        return self._columnar
+
     def observe_insert(self, fact: DBTuple) -> None:
         """Keep already-built indexes valid after inserting ``fact``.
 
@@ -117,12 +131,14 @@ class DatabaseIndex:
         the database mutation first and notify exactly once per fact
         actually added (:mod:`repro.incremental` does).
         """
+        self._columnar = None
         index = self._by_relation.get(fact.relation)
         if index is not None:
             index.add_fact(fact)
 
     def observe_delete(self, fact: DBTuple) -> None:
         """Keep already-built indexes valid after deleting ``fact``."""
+        self._columnar = None
         index = self._by_relation.get(fact.relation)
         if index is not None:
             index.remove_fact(fact)
@@ -291,6 +307,36 @@ def witness_tuple_sets(
 
     Duplicate tuple sets are collapsed (several valuations may use the
     same facts, e.g. ``(3, 3, 3)`` for ``qchain``).
+
+    Large instances run on the vectorized columnar join of
+    :mod:`repro.query.columnar` (same sets, enumerated as numpy
+    incidence instead of Python valuations; ``REPRO_JOIN_BACKEND``
+    selects, see that module); everything else uses the backtracking
+    evaluator of :func:`_witness_tuple_sets_reference`.
+    """
+    from repro.query.columnar import try_witness_tuple_sets
+
+    columnar = try_witness_tuple_sets(
+        database, query, endogenous_only=endogenous_only, index=index
+    )
+    if columnar is not None:
+        return columnar
+    return _witness_tuple_sets_reference(
+        database, query, endogenous_only=endogenous_only, index=index
+    )
+
+
+def _witness_tuple_sets_reference(
+    database: Database,
+    query: ConjunctiveQuery,
+    endogenous_only: bool = True,
+    index: Optional[DatabaseIndex] = None,
+) -> List[FrozenSet[DBTuple]]:
+    """The backtracking-evaluator witness sets (no columnar dispatch).
+
+    Callers that already attempted the columnar join (and fell back)
+    use this entry point directly so the vectorized attempt is not
+    repeated — and not double-counted in the backend counters.
     """
     flags = dict(query.relation_flags())
     for name, rel in database.relations.items():

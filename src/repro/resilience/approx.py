@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import math
 import time
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
@@ -154,6 +155,15 @@ def greedy_ratio_bound(sets: Sequence[FrozenSet[T]]) -> float:
 # LP relaxation (lower bound + rounding)
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=1)
+def _linprog():
+    """scipy's ``linprog``, imported once on first use (not per call,
+    not at module import)."""
+    from scipy.optimize import linprog
+
+    return linprog
+
+
 def _lp_component(component: WitnessComponent):
     """Solve the LP relaxation of one component's hitting-set IP.
 
@@ -161,7 +171,7 @@ def _lp_component(component: WitnessComponent):
     sorted position within ``component.tuple_ids``), or ``(None, None)``
     if the LP solver fails (the caller falls back to the packing bound).
     """
-    from scipy.optimize import linprog
+    linprog = _linprog()
 
     A = component.incidence_matrix()
     m, n = A.shape
@@ -328,6 +338,17 @@ class _BudgetMeter:
         return True
 
 
+# Above this many distinct tuples per component the bitmask search
+# falls back to the frozenset reference (masks would span many machine
+# words while witness sets stay tiny).  Both paths explore identically.
+_BNB_BITSET_MAX_TUPLES = 4096
+
+# Below this many witness sets the search is trivial and the per-call
+# mask conversion costs more than it saves; the dispatch is
+# output-invisible (both paths return identical results).
+_BNB_BITSET_MIN_SETS = 12
+
+
 def _budgeted_bnb(
     sets: Sequence[FrozenSet[int]], seed: Set[int], meter: _BudgetMeter
 ) -> Tuple[int, Set[int], bool]:
@@ -342,7 +363,25 @@ def _budgeted_bnb(
 
     Returns ``(lower_bound, incumbent_set, completed)``; when
     ``completed`` is True the incumbent is exactly optimal.
+
+    The search runs on Python-int bitmasks over the component's tuple
+    universe (AND/OR/popcount per node) unless ``REPRO_KERNEL_BACKEND``
+    selects the frozenset reference; exploration order, node
+    accounting, incumbents, and bounds are identical either way.
     """
+    from repro.witness.structure import _kernel_backend
+
+    if len(sets) >= _BNB_BITSET_MIN_SETS and _kernel_backend() == "bitset":
+        universe = sorted({t for s in sets for t in s})
+        if len(universe) <= _BNB_BITSET_MAX_TUPLES:
+            return _budgeted_bnb_bitset(sets, seed, meter, universe)
+    return _budgeted_bnb_reference(sets, seed, meter)
+
+
+def _budgeted_bnb_reference(
+    sets: Sequence[FrozenSet[int]], seed: Set[int], meter: _BudgetMeter
+) -> Tuple[int, Set[int], bool]:
+    """The frozenset search (the oracle the bitmask path must match)."""
     best: List = [len(seed), set(seed)]
     abandoned: List[int] = [len(seed) + 1]  # sentinel above any real bound
 
@@ -368,6 +407,110 @@ def _budgeted_bnb(
     completed = abandoned[0] > best[0]
     lower = best[0] if completed else min(best[0], abandoned[0])
     return lower, best[1], completed
+
+
+def _budgeted_bnb_bitset(
+    sets: Sequence[FrozenSet[int]],
+    seed: Set[int],
+    meter: _BudgetMeter,
+    universe: List[int],
+) -> Tuple[int, Set[int], bool]:
+    """The bitmask mirror of :func:`_budgeted_bnb_reference`.
+
+    Tuple ids are remapped to dense local bits (ascending, so every
+    ordering tie-break coincides with the reference), witness sets
+    become int masks, and each node's work — filtering hit witnesses,
+    the disjoint-packing bound, branching on the smallest unhit witness
+    — reduces to AND/OR/popcount.
+    """
+    local = {t: i for i, t in enumerate(universe)}
+    popcount = int.bit_count
+    # Holding the witness list sorted by (popcount, input position) —
+    # an invariant filtering preserves, since masks never shrink —
+    # makes the reference's two order-sensitive steps free: its packing
+    # bound iterates exactly this order (stable sort by size), and its
+    # branch target (first smallest witness in input order) is simply
+    # the head of the list.
+    masks = sorted(
+        (_mask_from_ids(local[t] for t in s) for s in sets), key=popcount
+    )
+    best_count = [len(seed)]
+    best_set: List[Set[int]] = [set(seed)]
+    abandoned = [len(seed) + 1]  # sentinel above any real bound
+
+    def packing_bound(remaining: List[int]) -> int:
+        used = 0
+        count = 0
+        for mask in remaining:
+            if not (mask & used):
+                used |= mask
+                count += 1
+        return count
+
+    def search(
+        remaining: List[int], packing: int, chosen: int, n_chosen: int
+    ) -> None:
+        # ``packing`` is packing_bound(remaining), computed by the
+        # parent in the same pass that filtered the list.
+        if not remaining:
+            if n_chosen < best_count[0]:
+                best_count[0] = n_chosen
+                best_set[0] = {universe[i] for i in _iter_bits(chosen)}
+            return
+        bound = n_chosen + packing
+        if bound >= best_count[0]:
+            return
+        if not meter.spend_node():
+            abandoned[0] = min(abandoned[0], bound)
+            return
+        target = remaining[0]
+        for i in _iter_bits(target):
+            # A child node prunes (before spending a node or touching
+            # the incumbent/abandoned state) as soon as its packing
+            # bound reaches best - (n_chosen + 1); the partial packing
+            # count only grows, so the moment it crosses the threshold
+            # the recursion can be skipped without building the rest of
+            # the child — outcomes and node accounting are unchanged.
+            threshold = best_count[0] - n_chosen - 1
+            if threshold <= 0:
+                break
+            bit = 1 << i
+            child: List[int] = []
+            append = child.append
+            used = 0
+            count = 0
+            for mask in remaining:
+                if mask & bit:
+                    continue
+                append(mask)
+                if not (mask & used):
+                    used |= mask
+                    count += 1
+                    if count >= threshold:
+                        break
+            else:
+                search(child, count, chosen | bit, n_chosen + 1)
+
+    search(masks, packing_bound(masks), 0, 0)
+    completed = abandoned[0] > best_count[0]
+    lower = best_count[0] if completed else min(best_count[0], abandoned[0])
+    return lower, best_set[0], completed
+
+
+def _mask_from_ids(ids) -> int:
+    """OR together ``1 << i`` for every local id."""
+    mask = 0
+    for i in ids:
+        mask |= 1 << i
+    return mask
+
+
+def _iter_bits(mask: int):
+    """The set bits of ``mask``, ascending (= sorted local ids)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ historical private aliases below keep old imports working).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import FrozenSet, Optional, Sequence, Set, TypeVar
 
 import numpy as np
@@ -82,6 +83,20 @@ def _bnb_component(sets: Sequence[FrozenSet[int]]) -> Set[int]:
     return best_set
 
 
+@lru_cache(maxsize=1)
+def _milp_tools():
+    """The scipy.optimize symbols the ILP backend needs, resolved once.
+
+    Import-time safe: ``repro.resilience.exact`` stays importable
+    without paying the scipy.optimize import, but per-call solves no
+    longer re-execute the import machinery either (the old code
+    imported inside ``_ilp_component`` on every component).
+    """
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    return Bounds, LinearConstraint, milp
+
+
 def _ilp_component(component: WitnessComponent) -> Set[int]:
     """Minimum hitting set of one component as a 0/1 integer program.
 
@@ -89,7 +104,7 @@ def _ilp_component(component: WitnessComponent) -> Set[int]:
     component's CSR incidence matrix; solved by scipy's HiGHS-backed
     ``milp``.
     """
-    from scipy.optimize import Bounds, LinearConstraint, milp
+    Bounds, LinearConstraint, milp = _milp_tools()
 
     A = component.incidence_matrix()
     m, n = A.shape

@@ -38,6 +38,7 @@ directly from the same ids via :meth:`WitnessStructure.incidence_matrix`
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -46,13 +47,36 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
+
+import numpy as np
 
 from repro.db.database import Database
 from repro.db.tuples import DBTuple
 from repro.query.cq import ConjunctiveQuery
-from repro.query.evaluation import DatabaseIndex, witness_tuple_sets
+from repro.query.evaluation import (
+    DatabaseIndex,
+    _witness_tuple_sets_reference,
+)
+
+
+def _kernel_backend() -> str:
+    """The kernelization backend selected by ``REPRO_KERNEL_BACKEND``.
+
+    ``bitset`` (default) runs the reduction fixpoint on a padded numpy
+    id matrix with Python-int bitsets over witness rows; ``reference``
+    runs the original frozenset pipeline.  Both produce bit-identical
+    structures (sets, order, forced ids, statistics) — the property
+    suite in ``tests/test_bitset_kernel.py`` enforces it.
+    """
+    backend = os.environ.get("REPRO_KERNEL_BACKEND", "bitset")
+    if backend not in ("bitset", "reference"):
+        raise ValueError(
+            f"REPRO_KERNEL_BACKEND={backend!r} (expected 'bitset' or 'reference')"
+        )
+    return backend
 
 
 class UnbreakableQueryError(ValueError):
@@ -168,16 +192,21 @@ class WitnessStructure:
         database: Database,
         query: ConjunctiveQuery,
         universe: Tuple[DBTuple, ...],
-        raw_sets: Tuple[FrozenSet[int], ...],
+        raw_sets: Optional[Tuple[FrozenSet[int], ...]],
         sets: Tuple[FrozenSet[int], ...],
         forced_ids: FrozenSet[int],
         stats: ReductionStats,
+        raw_matrix=None,
     ):
         self.database = database
         self.query = query
         self.universe = universe
         self.tuple_index: Dict[DBTuple, int] = {t: i for i, t in enumerate(universe)}
-        self.raw_sets = raw_sets
+        # raw_sets may arrive as the padded id matrix of the columnar
+        # fast path; the frozenset view is materialized on first access
+        # (the hot path never reads it).
+        self._raw_sets = tuple(raw_sets) if raw_sets is not None else None
+        self._raw_matrix = raw_matrix
         self.sets = sets
         self.forced_ids = forced_ids
         self.stats = stats
@@ -204,48 +233,119 @@ class WitnessStructure:
         cross-checking that the reductions preserve the optimum.  An
         existing :class:`DatabaseIndex` may be passed to reuse per-atom
         hash indexes across many builds on the same database.
+
+        Large instances enumerate through the vectorized columnar join
+        (:func:`repro.query.columnar.try_witness_incidence`), which
+        hands over the sorted universe and the witness→tuple-id matrix
+        directly; otherwise the reference evaluator runs and the ids
+        are assigned here.  Either way the ids, sets, and statistics
+        are identical.
         """
+        from repro.query.columnar import try_witness_incidence
+
         t0 = time.perf_counter()
-        tuple_sets = witness_tuple_sets(
-            database, query, endogenous_only=True, index=index
-        )
-        for s in tuple_sets:
-            if not s:
+        incidence = try_witness_incidence(database, query, index=index)
+        if incidence is not None:
+            universe, matrix = incidence
+            pad = len(universe)
+            if matrix.shape[0] and (
+                matrix.shape[1] == 0 or bool((matrix[:, 0] == pad).any())
+            ):
                 raise UnbreakableQueryError(
                     "a witness uses only exogenous tuples; the query cannot "
                     "be falsified by endogenous deletions"
                 )
-        t1 = time.perf_counter()
-
-        universe = tuple(sorted({t for s in tuple_sets for t in s}))
-        idx = {t: i for i, t in enumerate(universe)}
-        raw = tuple(frozenset(idx[t] for t in s) for s in tuple_sets)
+            t1 = time.perf_counter()
+            raw = None
+            n_raw = matrix.shape[0]
+        else:
+            # try_witness_incidence already attempted (and counted) the
+            # columnar path; enumerate via the reference evaluator
+            # directly rather than re-dispatching.
+            tuple_sets = _witness_tuple_sets_reference(
+                database, query, endogenous_only=True, index=index
+            )
+            for s in tuple_sets:
+                if not s:
+                    raise UnbreakableQueryError(
+                        "a witness uses only exogenous tuples; the query "
+                        "cannot be falsified by endogenous deletions"
+                    )
+            t1 = time.perf_counter()
+            # key= computes each repr-based sort key once instead of per
+            # comparison — on thousands of tuples this is a 10x sort.
+            universe = tuple(
+                sorted({t for s in tuple_sets for t in s}, key=DBTuple.sort_key)
+            )
+            idx = {t: i for i, t in enumerate(universe)}
+            raw = tuple(frozenset(idx[t] for t in s) for s in tuple_sets)
+            n_raw = len(raw)
+            matrix = None
 
         stats = ReductionStats(
-            witnesses_raw=len(raw),
+            witnesses_raw=n_raw,
             tuples_raw=len(universe),
             time_enumerate=t1 - t0,
         )
-        stats.witnesses_distinct = len(set(raw))
-        if reduce:
-            sets, forced, dominated = _reduce(list(raw), stats)
+        # Both enumeration paths deduplicate witness sets already.
+        stats.witnesses_distinct = n_raw if raw is None else len(set(raw))
+        if (
+            reduce
+            and matrix is not None
+            and n_raw >= _BITSET_MIN_SETS
+            and matrix.shape[1] <= _MINIMAL_SUBSET_ENUM_MAX_LEN
+            and _kernel_backend() == "bitset"
+        ):
+            # The matrix is already the bitset kernel's working
+            # representation — skip the frozenset round-trip.
+            out, forced_ids, dominated = _reduce_matrix(
+                matrix, len(universe), stats
+            )
+            sets: List[FrozenSet[int]] = _sets_from_matrix(out, len(universe))
+            forced = frozenset(forced_ids)
         else:
-            sets, forced, dominated = list(raw), frozenset(), 0
-            stats.witnesses_minimal = len(raw)
+            if raw is None:
+                raw = tuple(
+                    frozenset(t for t in row if t != len(universe))
+                    for row in matrix.tolist()
+                )
+            if reduce:
+                sets, forced, dominated = _reduce(list(raw), stats)
+            else:
+                sets, forced, dominated = list(raw), frozenset(), 0
+                stats.witnesses_minimal = len(raw)
         stats.forced_tuples = len(forced)
         stats.dominated_tuples = dominated
         stats.time_reduce = time.perf_counter() - t1
         return cls(
-            database, query, universe, raw, tuple(sets), frozenset(forced), stats
+            database,
+            query,
+            universe,
+            raw,
+            tuple(sets),
+            frozenset(forced),
+            stats,
+            raw_matrix=matrix,
         )
 
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
     @property
+    def raw_sets(self) -> Tuple[FrozenSet[int], ...]:
+        """Witness sets before preprocessing (materialized lazily)."""
+        if self._raw_sets is None:
+            pad = len(self.universe)
+            self._raw_sets = tuple(
+                frozenset(t for t in row if t != pad)
+                for row in self._raw_matrix.tolist()
+            )
+        return self._raw_sets
+
+    @property
     def satisfied(self) -> bool:
         """``D |= q`` — the structure has at least one witness."""
-        return bool(self.raw_sets)
+        return self.stats.witnesses_raw > 0
 
     @property
     def forced(self) -> FrozenSet[DBTuple]:
@@ -263,7 +363,7 @@ class WitnessStructure:
 
     def __repr__(self) -> str:
         return (
-            f"WitnessStructure(witnesses={len(self.raw_sets)}->{len(self.sets)}, "
+            f"WitnessStructure(witnesses={self.stats.witnesses_raw}->{len(self.sets)}, "
             f"tuples={len(self.universe)}->{self.stats.tuples_final}, "
             f"forced={len(self.forced_ids)}, components={len(self.components)})"
         )
@@ -377,7 +477,34 @@ def _reduce(
     maintained is that ``opt(original) = len(forced) + opt(reduced)``
     and that any hitting set of ``reduced_sets`` together with the
     forced tuples hits every original witness set.
+
+    Dispatches between the vectorized bitset kernel (default) and the
+    frozenset reference pipeline per :func:`_kernel_backend`; outputs
+    are identical either way, including the deterministic
+    ``(len, sorted elements)`` order of the reduced sets.  Tiny systems
+    (fewer than :data:`_BITSET_MIN_SETS` sets) stay on the reference
+    path, where per-call numpy overhead would dominate.
     """
+    if (
+        _kernel_backend() == "reference"
+        or len(sets) < _BITSET_MIN_SETS
+        or any(not s for s in sets)
+        # The matrix minimality stage enumerates 2^width subset
+        # patterns per row length; wide witness sets stay on the
+        # reference pipeline's pairwise scan (same guard it applies
+        # to its own subset-enumeration fast path).
+        or max(len(s) for s in sets) > _MINIMAL_SUBSET_ENUM_MAX_LEN
+    ):
+        return _reduce_reference(sets, stats)
+    matrix, pad = _matrix_from_sets(sets)
+    matrix, forced, dominated_total = _reduce_matrix(matrix, pad, stats)
+    return _sets_from_matrix(matrix, pad), frozenset(forced), dominated_total
+
+
+def _reduce_reference(
+    sets: List[FrozenSet[int]], stats: ReductionStats
+) -> Tuple[List[FrozenSet[int]], FrozenSet[int], int]:
+    """The original frozenset reduction fixpoint (the kernel oracle)."""
     forced: set = set()
     dominated_total = 0
     first = True
@@ -408,8 +535,327 @@ def _reduce(
     return sets, frozenset(forced), dominated_total
 
 
+# ---------------------------------------------------------------------------
+# The bitset kernel (vectorized reduction pipeline)
+# ---------------------------------------------------------------------------
+
+# Below this many witness sets the frozenset pipeline wins (fixed numpy
+# call overhead per reduction stage); the dispatch is output-invisible
+# because both pipelines produce identical results.
+_BITSET_MIN_SETS = 48
+#
+# Witness sets are held as one padded numpy int64 matrix: row = witness
+# set with its tuple ids ascending, right-padded with ``pad`` (one past
+# the largest id, so ascending row sort keeps real ids in front).
+# Superset elimination probes subset keys against hashed row keys,
+# unit forcing and dominated-tuple elimination run on numpy masks and
+# Python-int row bitsets (AND/OR/popcount) — no frozenset algebra on
+# the hot path.  Every stage reproduces the reference pipeline's
+# deterministic output order exactly.
+
+def _matrix_from_sets(
+    sets: Sequence[FrozenSet[int]],
+) -> Tuple[np.ndarray, int]:
+    """Pack id sets into a padded, row-sorted matrix; returns (mat, pad)."""
+    m = len(sets)
+    lengths = np.fromiter((len(s) for s in sets), dtype=np.int64, count=m)
+    width = int(lengths.max()) if m else 0
+    flat = np.fromiter(
+        (t for s in sets for t in s), dtype=np.int64, count=int(lengths.sum())
+    )
+    pad = int(flat.max()) + 1 if len(flat) else 1
+    mat = np.full((m, width), pad, dtype=np.int64)
+    offsets = np.cumsum(lengths) - lengths
+    row_idx = np.repeat(np.arange(m, dtype=np.int64), lengths)
+    col_idx = np.arange(len(flat), dtype=np.int64) - np.repeat(offsets, lengths)
+    mat[row_idx, col_idx] = flat
+    mat.sort(axis=1)
+    return mat, pad
+
+
+def _sets_from_matrix(mat: np.ndarray, pad: int) -> List[FrozenSet[int]]:
+    """Unpack matrix rows back into frozensets (plain Python ints)."""
+    return [
+        frozenset(t for t in row if t != pad) for row in mat.tolist()
+    ]
+
+
+def _row_keys(mat: np.ndarray, base: int) -> Optional[np.ndarray]:
+    """Combine each row's columns into one int64 key, or ``None`` when
+    the positional encoding would overflow (the caller then falls back
+    to per-pattern key compression)."""
+    m, k = mat.shape
+    if k == 0:
+        return np.zeros(m, dtype=np.int64)
+    if k * np.log2(base) >= 62:
+        return None
+    powers = base ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    return mat @ powers
+
+
+def _minimal_matrix(mat: np.ndarray, pad: int) -> np.ndarray:
+    """Deduplicate, order by ``(len, elements)``, drop non-minimal rows.
+
+    A row is non-minimal iff one of its proper subsets is also a row;
+    subsets are enumerated per (length, position-pattern) and probed
+    vectorized against the hashed row keys — the bitset analogue of the
+    reference ``_minimal_sets`` (same output, same order).
+    """
+    from itertools import combinations
+
+    base = pad + 1
+    k = mat.shape[1]
+    keys = _row_keys(mat, base)
+    if keys is not None and (k + 1) * float(base) ** k < 2**62:
+        # Fast path: one int64 key per row already realizes the
+        # deduplication *and* the (len, elements) order — rows of equal
+        # length share their padding digits, so the positional encoding
+        # compares exactly like the element tuples.
+        lengths = (mat != pad).sum(axis=1)
+        combined = lengths * np.int64(base) ** k + keys
+        order = np.argsort(combined, kind="stable")
+        combined = combined[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = combined[1:] != combined[:-1]
+        mat = mat[order[first]]
+        keys = keys[order[first]]
+    else:
+        mat = np.unique(mat, axis=0)
+        lengths = (mat != pad).sum(axis=1)
+        order = np.lexsort(
+            tuple(mat[:, j] for j in range(k - 1, -1, -1)) + (lengths,)
+        )
+        mat = mat[order]
+        keys = _row_keys(mat, base)
+    m = mat.shape[0]
+    lengths = (mat != pad).sum(axis=1)
+    if m == 0 or k <= 1:
+        return mat
+
+    if keys is not None:
+        sorted_keys = np.sort(keys)
+        powers = base ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    drop = np.zeros(m, dtype=bool)
+    for length in np.unique(lengths):
+        length = int(length)
+        if length < 2:
+            continue
+        rows = np.flatnonzero(lengths == length)
+        for r in range(1, length):
+            for pattern in combinations(range(length), r):
+                cols = [mat[rows, j] for j in pattern]
+                if keys is not None:
+                    probe = sum(
+                        col * powers[i] for i, col in enumerate(cols)
+                    ) + int(pad * powers[r:].sum())
+                    pos = np.searchsorted(sorted_keys, probe)
+                    pos_c = np.minimum(pos, len(sorted_keys) - 1)
+                    hit = (pos < len(sorted_keys)) & (
+                        sorted_keys[pos_c] == probe
+                    )
+                else:
+                    from repro.query.columnar import _combine_keys
+
+                    pad_col = np.full(len(rows), pad, dtype=np.int64)
+                    probe_cols = list(cols) + [pad_col] * (k - r)
+                    present_cols = [mat[:, j] for j in range(k)]
+                    present_key, probe_key = _combine_keys(
+                        present_cols, probe_cols, base
+                    )
+                    sorted_present = np.sort(present_key)
+                    pos = np.searchsorted(sorted_present, probe_key)
+                    pos_c = np.minimum(pos, len(sorted_present) - 1)
+                    hit = (pos < len(sorted_present)) & (
+                        sorted_present[pos_c] == probe_key
+                    )
+                drop[rows[hit]] = True
+    return mat[~drop]
+
+
+def _dominated_matrix(mat: np.ndarray, pad: int) -> List[int]:
+    """The dominated tuples of a padded matrix (ascending ids).
+
+    Identical semantics to the reference :func:`_dominated_tuples`:
+    tuples scanned ascending, candidate dominators drawn from the
+    tuple's lowest row ascending, equal row sets keep the smallest id.
+    The subset test ``rows(t) ⊆ rows(u)`` becomes a counting identity —
+    ``|rows(t) ∩ rows(u)| == deg(t)`` — over a vectorized co-occurrence
+    table, so no per-pair set algebra survives on the hot path.
+    """
+    m, k = mat.shape
+    if m == 0:
+        return []
+    base = pad + 1
+    if base > 3_000_000_000:  # pragma: no cover - ids are dense indices
+        return _dominated_tuples(_sets_from_matrix(mat, pad))
+    rows = np.repeat(np.arange(m, dtype=np.int64), k)
+    vals = mat.ravel()
+    keep = vals != pad
+    rows = rows[keep]
+    vals = vals[keep]
+    order = np.argsort(vals, kind="stable")
+    vals_s = vals[order]
+    rows_s = rows[order]
+    uniq, starts, counts = np.unique(
+        vals_s, return_index=True, return_counts=True
+    )
+    deg = dict(zip(uniq.tolist(), counts.tolist()))
+    lowest = dict(zip(uniq.tolist(), rows_s[starts].tolist()))
+
+    pair_keys = []
+    for i in range(k):
+        a = mat[:, i]
+        for j in range(k):
+            if i == j:
+                continue
+            b = mat[:, j]
+            valid = (a != pad) & (b != pad)
+            if valid.any():
+                pair_keys.append(a[valid] * base + b[valid])
+    co: Dict[int, int] = {}
+    if pair_keys:
+        keys, key_counts = np.unique(
+            np.concatenate(pair_keys), return_counts=True
+        )
+        co = dict(zip(keys.tolist(), key_counts.tolist()))
+
+    row_lists = mat.tolist()
+    dominated: Set[int] = set()
+    for t in uniq.tolist():
+        deg_t = deg[t]
+        key_base = t * base
+        for u in row_lists[lowest[t]]:
+            if u == pad:
+                break  # rows are ascending; padding is the tail
+            if u == t or u in dominated:
+                continue
+            if co.get(key_base + u, 0) == deg_t and (deg[u] != deg_t or u < t):
+                dominated.add(t)
+                break
+    return sorted(dominated)
+
+
+def _reduce_matrix(
+    mat: np.ndarray, pad: int, stats: ReductionStats
+) -> Tuple[np.ndarray, List[int], int]:
+    """The stages 1–3 fixpoint on the padded matrix representation.
+
+    Mirrors :func:`_reduce_reference` round for round (same ``rounds``
+    and ``witnesses_minimal`` accounting, same fixpoint condition) and
+    returns ``(final_matrix, forced_ids, n_dominated)``.
+    """
+    forced: Set[int] = set()
+    dominated_total = 0
+    first = True
+    changed = True
+    while changed:
+        stats.rounds += 1
+        changed = False
+
+        minimal = _minimal_matrix(mat, pad)
+        if minimal.shape[0] != mat.shape[0]:
+            changed = True
+        mat = minimal
+        if first:
+            stats.witnesses_minimal = mat.shape[0]
+            first = False
+
+        lengths = (mat != pad).sum(axis=1) if mat.size else np.zeros(0, int)
+        units = np.unique(mat[lengths == 1, 0]) if mat.size else np.zeros(0, int)
+        if units.size:
+            forced.update(int(u) for u in units)
+            keep = ~np.isin(mat, units).any(axis=1)
+            mat = mat[keep]
+            changed = True
+
+        dominated = _dominated_matrix(mat, pad)
+        if dominated:
+            dominated_total += len(dominated)
+            dom = np.array(dominated, dtype=np.int64)
+            mat = np.where(np.isin(mat, dom), np.int64(pad), mat)
+            mat.sort(axis=1)
+            changed = True
+    return mat, sorted(forced), dominated_total
+
+
 def _decompose(sets: Sequence[FrozenSet[int]]) -> Tuple[WitnessComponent, ...]:
-    """Connected components of the tuple/witness incidence graph."""
+    """Connected components of the tuple/witness incidence graph.
+
+    Large structures route through :func:`scipy.sparse.csgraph`
+    (:func:`_decompose_matrix`); the union-find below is the reference
+    implementation and the small-input fast path.  Output is identical:
+    components ordered by smallest member id, members ascending, each
+    component's sets in input order.
+    """
+    if (
+        len(sets) >= 512
+        and _kernel_backend() == "bitset"
+        and all(sets)
+    ):
+        return _decompose_matrix(list(sets))
+    return _decompose_reference(sets)
+
+
+def _decompose_matrix(sets: List[FrozenSet[int]]) -> Tuple[WitnessComponent, ...]:
+    """csgraph-backed connected components (same output as reference).
+
+    Consecutive elements of each (ascending) row chain the row's tuples
+    together, so the tuple–tuple graph of those edges has exactly the
+    components of the bipartite tuple/witness graph.
+    """
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    mat, pad = _matrix_from_sets(sets)
+    m, k = mat.shape
+    flat = mat[mat != pad]
+    nodes = np.unique(flat)
+    n = len(nodes)
+    edges_a: List[np.ndarray] = []
+    edges_b: List[np.ndarray] = []
+    for j in range(k - 1):
+        a = mat[:, j]
+        b = mat[:, j + 1]
+        valid = (a != pad) & (b != pad)
+        if valid.any():
+            edges_a.append(np.searchsorted(nodes, a[valid]))
+            edges_b.append(np.searchsorted(nodes, b[valid]))
+    if edges_a:
+        row_idx = np.concatenate(edges_a)
+        col_idx = np.concatenate(edges_b)
+        data = np.ones(len(row_idx), dtype=np.int8)
+        graph = coo_matrix((data, (row_idx, col_idx)), shape=(n, n))
+    else:
+        graph = coo_matrix((n, n), dtype=np.int8)
+    _, labels = connected_components(graph, directed=False)
+
+    # Components ordered by smallest member: nodes are ascending, so the
+    # first occurrence of each label is its minimal member.
+    _, first_pos = np.unique(labels, return_index=True)
+    rank_of_label = np.empty(len(first_pos), dtype=np.int64)
+    rank_of_label[np.argsort(first_pos, kind="stable")] = np.arange(
+        len(first_pos)
+    )
+    comp_of_node = rank_of_label[labels]
+    n_comps = len(first_pos)
+    members: List[List[int]] = [[] for _ in range(n_comps)]
+    for node, comp in zip(nodes.tolist(), comp_of_node.tolist()):
+        members[comp].append(node)
+    comp_sets: List[List[FrozenSet[int]]] = [[] for _ in range(n_comps)]
+    first_col = np.searchsorted(nodes, mat[:, 0])
+    row_comp = comp_of_node[first_col]
+    for s, comp in zip(sets, row_comp.tolist()):
+        comp_sets[comp].append(s)
+    return tuple(
+        WitnessComponent(tuple(ts), tuple(ss))
+        for ts, ss in zip(members, comp_sets)
+    )
+
+
+def _decompose_reference(
+    sets: Sequence[FrozenSet[int]],
+) -> Tuple[WitnessComponent, ...]:
+    """Union-find decomposition (the reference implementation)."""
     parent: Dict[int, int] = {}
 
     def find(x: int) -> int:
