@@ -37,6 +37,13 @@ Commands
     solved through an :class:`repro.incremental.IncrementalSession`
     after every update (``--compare`` then times naive per-update
     recomputation and checks equality; see ``docs/incremental.md``).
+
+``serve``
+    Run the resilience HTTP daemon (``POST /solve`` / ``/solve_batch``,
+    ``GET /health`` / ``/metrics``) with request coalescing, admission
+    control, and optional on-disk result caching; ``--check`` binds,
+    probes ``/health``, and exits (the CI smoke path).  See
+    ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -56,20 +63,17 @@ from repro.structure.classifier import classify
 
 
 def load_database(path: str) -> Database:
-    """Load a database from the JSON schema documented in the module."""
+    """Load a database from the JSON schema documented in the module.
+
+    The file format is exactly the serving tier's wire form, so a
+    database file works unchanged as the ``"database"`` field of a
+    ``POST /solve`` payload (and vice versa).
+    """
+    from repro.serving.wire import database_from_spec
+
     with open(path) as handle:
         spec = json.load(handle)
-    db = Database()
-    for name, rel_spec in spec.get("relations", {}).items():
-        arity = rel_spec["arity"]
-        db.declare(name, arity, exogenous=rel_spec.get("exogenous", False))
-        for row in rel_spec.get("tuples", []):
-            values = row if isinstance(row, list) else [row]
-            if len(values) != arity:
-                raise ValueError(f"{name}: row {row!r} does not match arity {arity}")
-            # JSON lists arrive as lists; values must be hashable.
-            db.add(name, *(tuple(v) if isinstance(v, list) else v for v in values))
-    return db
+    return database_from_spec(spec)
 
 
 def cmd_classify(args) -> int:
@@ -459,6 +463,38 @@ def _bench_updates(args, budget) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the serving daemon (``repro serve``)."""
+    from repro.serving import AdmissionPolicy, ResilienceServer, ServingClient
+
+    server = ResilienceServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        policy=AdmissionPolicy.from_env(),
+        workers=args.workers,
+    )
+    print(
+        f"serving resilience on {server.address} "
+        f"(workers={server.app.workers}, "
+        f"cache={'on: ' + args.cache_dir if args.cache_dir else 'off'})"
+    )
+    if args.check:
+        # CI smoke: bind, round-trip /health over a real socket, exit.
+        server.start()
+        try:
+            payload = ServingClient(server.address, timeout=10).health()
+        finally:
+            server.stop()
+        print(f"health: {json.dumps(payload, sort_keys=True)}")
+        return 0 if payload.get("status") == "ok" else 1
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -576,6 +612,37 @@ def build_parser() -> argparse.ArgumentParser:
         "workload, engine backends, batch statistics, values",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="run the resilience HTTP serving daemon"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="listening port (0 binds an ephemeral port)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool size for /solve_batch (default 1: batches "
+        "solve in the request thread)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist solved results across restarts (content-hash keyed)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="bind, probe /health over a real socket, and exit (CI smoke)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -351,6 +351,7 @@ def solve_batch(
     workers: Optional[int] = None,
     cache_dir=None,
     split_components: Union[int, bool, None] = None,
+    pool=None,
 ) -> BatchResult:
     """Solve many (database, query) pairs, amortizing shared work.
 
@@ -395,6 +396,12 @@ def solve_batch(
     are served from disk, and newly solved ones are written back, so
     repeated CLI / benchmark runs skip solved instances entirely.
 
+    ``pool`` accepts a persistent :class:`repro.parallel.WorkerPool` to
+    execute on instead of a per-call executor — long-lived callers (the
+    serving tier) amortize worker start-up across batches this way.
+    When a pool is passed and ``workers`` is not, the pool's own worker
+    count is used.
+
     Results come back in input order inside a :class:`BatchResult`
     carrying aggregate reduction, interval, shard, and cache
     statistics.
@@ -402,7 +409,7 @@ def solve_batch(
     pair_list = list(pairs)
     t0 = time.perf_counter()
     if workers is None:
-        workers = _default_workers()
+        workers = pool.workers if pool is not None else _default_workers()
     workers = max(1, int(workers))
     stats = BatchStats(pairs=len(pair_list), mode=mode, workers=workers)
     indexes: Dict[int, DatabaseIndex] = {}
@@ -485,6 +492,7 @@ def solve_batch(
             budget=budget,
             workers=workers,
             split_components=split_components,
+            pool=pool,
         )
 
     if cache is not None:
@@ -518,6 +526,7 @@ def _solve_units_parallel(
     budget,
     workers: int,
     split_components: Union[int, bool, None],
+    pool=None,
 ) -> None:
     """The ``workers > 1`` arm of :func:`solve_batch`.
 
@@ -592,7 +601,7 @@ def _solve_units_parallel(
             pair_task_units[task_id] = key
 
     shards = build_shards(group_by_database(tasks), workers)
-    outcomes, telemetry = execute_shards(shards, workers)
+    outcomes, telemetry = execute_shards(shards, workers, pool=pool)
     stats.shards = len(shards)
     for telem in telemetry:
         stats.structures += telem.structures

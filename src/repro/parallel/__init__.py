@@ -22,6 +22,7 @@ shards, runs them here, and merges results back into input order; see
 
 from repro.parallel.executor import (
     ShardOutcome,
+    WorkerPool,
     WorkerTelemetry,
     execute_shards,
     run_shard,
@@ -39,6 +40,7 @@ __all__ = [
     "PairTask",
     "Shard",
     "ShardOutcome",
+    "WorkerPool",
     "WorkerTelemetry",
     "build_shards",
     "execute_shards",

@@ -30,9 +30,10 @@ repeated structures within a shard are built once per worker.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.query.evaluation import DatabaseIndex
 from repro.witness import ReductionStats, witness_cache_info, witness_structure
@@ -136,8 +137,71 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+class WorkerPool:
+    """A reusable process pool for repeated :func:`execute_shards` calls.
+
+    :func:`execute_shards` normally creates and tears down a
+    ``ProcessPoolExecutor`` per batch — fine for one-shot CLI runs, but
+    a long-lived serving tier (:mod:`repro.serving`) pays worker
+    start-up (fork + module imports) on every request.  A ``WorkerPool``
+    keeps one executor alive across calls; pass it to
+    :func:`execute_shards` (or ``solve_batch(pool=...)``) to reuse it.
+
+    The underlying executor is created lazily and replaced
+    transparently if it breaks (a worker killed mid-task marks the pool
+    broken): the *failing* call still raises — its results are gone —
+    but the next call gets a fresh pool instead of inheriting a wedged
+    one.  Thread-safe; per-worker warm caches (the witness-structure
+    LRU) survive across calls, which is the second half of the reuse
+    win.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, creating or replacing it as needed."""
+        with self._lock:
+            if self._executor is not None and getattr(
+                self._executor, "_broken", False
+            ):
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=_pool_context()
+                )
+            return self._executor
+
+    def reset(self) -> None:
+        """Discard the current executor (the next use creates a new one)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+
+    def shutdown(self) -> None:
+        """Tear the pool down for good (idempotent)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return f"WorkerPool(workers={self.workers}, {state})"
+
+
 def execute_shards(
-    shards: Sequence[Shard], workers: int
+    shards: Sequence[Shard], workers: int, pool: Optional[WorkerPool] = None
 ) -> Tuple[Dict[int, object], List[WorkerTelemetry]]:
     """Run shards on ``workers`` processes; merge deterministically.
 
@@ -146,17 +210,31 @@ def execute_shards(
     which keeps merged counters independent of completion timing).
     With one shard or one worker the pool is skipped entirely and the
     shard runs in-process.
+
+    ``pool`` substitutes a persistent :class:`WorkerPool` for the
+    per-call executor; if the pool breaks mid-batch the error
+    propagates (after marking the pool for replacement) — outcomes are
+    all-or-nothing either way.
     """
     shards = list(shards)
     if not shards:
         return {}, []
     if workers <= 1 or len(shards) == 1:
         results = [run_shard(shard) for shard in shards]
+    elif pool is not None:
+        executor = pool.executor()
+        try:
+            futures = [executor.submit(run_shard, shard) for shard in shards]
+            # Collect in submission (= shard) order, not completion order.
+            results = [f.result() for f in futures]
+        except BrokenExecutor:
+            pool.reset()
+            raise
     else:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(shards)), mp_context=_pool_context()
-        ) as pool:
-            futures = [pool.submit(run_shard, shard) for shard in shards]
+        ) as executor:
+            futures = [executor.submit(run_shard, shard) for shard in shards]
             # Collect in submission (= shard) order, not completion order.
             results = [f.result() for f in futures]
     outcomes: Dict[int, object] = {}

@@ -49,7 +49,17 @@ from __future__ import annotations
 import math
 import time
 from functools import lru_cache
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
@@ -567,6 +577,7 @@ def resilience_anytime(
     budget: Optional[Budget] = None,
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
+    on_interval: Optional[Callable[[int, int], None]] = None,
 ) -> BoundedResilienceResult:
     """Anytime resilience: certified interval, refined within a budget.
 
@@ -578,17 +589,49 @@ def resilience_anytime(
     returned interval is valid whatever the budget.  With an unlimited
     budget (the default) the search completes and the result is exact —
     equal to :func:`repro.resilience.exact.resilience_exact`.
+
+    ``on_interval`` streams progress: it is called with the *global*
+    certified interval ``(lb, ub)`` once after the polynomial bounds
+    and again whenever refinement tightens it — each published interval
+    is itself certified, ``lb`` never decreases, ``ub`` never
+    increases, and the final call matches the returned result (the
+    serving tier's streaming responses are exactly this sequence).  The
+    callback must not raise; it observes the solve, never steers it.
     """
     budget = Budget.coerce(budget)
     if structure is None:
         structure = witness_structure(database, query, index=index)
     if not structure.satisfied:
+        if on_interval is not None:
+            on_interval(0, 0)
         return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
 
     meter = _BudgetMeter(budget)
     intervals: List[Tuple[int, Set[int]]] = []
     for component in structure.components:
         intervals.append(_component_interval(component))
+
+    forced = len(structure.forced_ids)
+
+    def _global_interval() -> Tuple[int, int]:
+        # Components partition the tuple universe (and exclude forced
+        # tuples), so the global interval is a plain sum.
+        lo = forced + sum(lb_c for lb_c, _ in intervals)
+        hi = forced + sum(len(ub_set) for _, ub_set in intervals)
+        return lo, hi
+
+    last_published: Optional[Tuple[int, int]] = None
+
+    def _publish() -> None:
+        nonlocal last_published
+        if on_interval is None:
+            return
+        current = _global_interval()
+        if current != last_published:
+            last_published = current
+            on_interval(*current)
+
+    _publish()
 
     # Refine smallest-gap components first: their searches finish
     # fastest, so a tight budget closes as many intervals as possible.
@@ -608,6 +651,7 @@ def resilience_anytime(
             ub_set = bnb_set
         lb_c = len(ub_set) if completed else max(lb_c, bnb_lb)
         intervals[i] = (lb_c, ub_set)
+        _publish()
 
     lower = len(structure.forced_ids)
     chosen: Set[int] = set(structure.forced_ids)

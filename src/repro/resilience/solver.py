@@ -154,6 +154,7 @@ def solve(
     index: Optional[DatabaseIndex] = None,
     mode: str = "exact",
     budget=None,
+    on_interval=None,
 ):
     """Compute resilience, dispatching to the appropriate algorithm.
 
@@ -181,14 +182,27 @@ def solve(
     passed to skip re-enumeration on the exact path, and a
     :class:`~repro.query.evaluation.DatabaseIndex` to reuse evaluation
     indexes for the satisfiability probe.
+
+    ``on_interval`` (bounded modes only) streams certified ``(lb, ub)``
+    intervals as the solve tightens them — see
+    :func:`~repro.resilience.approx.resilience_anytime`; instances
+    dispatch solves exactly report their closed interval once.
     """
     if mode not in ("exact", "approx", "anytime"):
         raise ValueError(f"unknown mode {mode!r}")
+    if on_interval is not None and mode == "exact":
+        raise ValueError("on_interval requires a bounded mode")
     if mode != "exact":
         if method is not None:
             raise ValueError("method forcing requires mode='exact'")
         return _solve_bounded(
-            database, query, mode, budget, structure=structure, index=index
+            database,
+            query,
+            mode,
+            budget,
+            structure=structure,
+            index=index,
+            on_interval=on_interval,
         )
     if method == "exact":
         return resilience_exact(database, query, structure=structure, index=index)
@@ -217,12 +231,16 @@ def _solve_bounded(
     budget,
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
+    on_interval=None,
 ) -> BoundedResilienceResult:
     """The ``mode="approx"`` / ``mode="anytime"`` paths of :func:`solve`.
 
     Polynomial-time dispatch targets (bespoke specials and linear flow,
     cases 1–3 of the module doc) stay exact and come back as closed
     intervals; only the exact-search fallback is approximated.
+    ``on_interval`` observes the certified interval: anytime solves
+    stream every tightening, while the other paths report their final
+    (for dispatch-exact instances: closed) interval once.
     """
     budget = Budget.coerce(budget)
     if structure is not None:
@@ -230,18 +248,32 @@ def _solve_bounded(
     else:
         satisfied = satisfies(database, query, index=index)
     if not satisfied:
+        if on_interval is not None:
+            on_interval(0, 0)
         return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
 
     plan = dispatch_plan(query)
     if plan.kind != "exact":
         exact = plan.run(database)
+        if on_interval is not None:
+            on_interval(exact.value, exact.value)
         return BoundedResilienceResult(
             exact.value, exact.value, exact.contingency_set, method=exact.method
         )
     if mode == "approx":
-        return resilience_bounds(database, query, structure=structure, index=index)
+        result = resilience_bounds(
+            database, query, structure=structure, index=index
+        )
+        if on_interval is not None:
+            on_interval(result.lower_bound, result.upper_bound)
+        return result
     return resilience_anytime(
-        database, query, budget=budget, structure=structure, index=index
+        database,
+        query,
+        budget=budget,
+        structure=structure,
+        index=index,
+        on_interval=on_interval,
     )
 
 

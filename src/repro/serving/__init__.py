@@ -1,0 +1,75 @@
+"""Resilience-as-a-service: the async serving tier.
+
+This package serves the paper's central primitive — resilience
+``rho(q, D)``, the minimum number of endogenous tuples whose deletion
+makes ``D`` stop satisfying ``q`` (Definition 1, and the Section 2
+hitting-set view the solvers compute with) — over HTTP to many
+concurrent clients.  The daemon exposes ``POST /solve``,
+``POST /solve_batch``, ``GET /health``, and ``GET /metrics``, and
+rests on three determinism-backed mechanisms:
+
+* **request coalescing** — concurrent identical instances (equal
+  :func:`~repro.witness.cache.pair_cache_key`) share one solve;
+* **admission control** — exact solving is NP-complete in general
+  (Theorem 24), so oversized exact requests are rerouted to certified
+  anytime intervals under server-owned budgets instead of being
+  allowed to monopolize the host;
+* **streaming** — anytime solves can emit their certified ``[lb, ub]``
+  intervals as branch and bound tightens them.
+
+Everything is stdlib (``http.server`` / ``http.client`` / threads):
+the serving tier adds no dependencies to the solver stack.  Start a
+daemon with ``repro serve`` or programmatically::
+
+    from repro.serving import ResilienceServer, ServingClient
+
+    with ResilienceServer(port=0, workers=2) as server:
+        client = ServingClient(server.address)
+        result, meta = client.solve(db, query)
+
+See ``docs/serving.md`` for the protocol and operational guidance.
+"""
+
+from repro.serving.admission import AdmissionDecision, AdmissionPolicy
+from repro.serving.client import ServingClient, ServingClientError
+from repro.serving.server import (
+    BatchTooLargeError,
+    CapacityError,
+    CoalesceTimeoutError,
+    ResilienceServer,
+    ServerMetrics,
+    ServingApp,
+    ServingError,
+    SolveFailedError,
+)
+from repro.serving.wire import (
+    WIRE_SCHEMA,
+    SolveRequest,
+    WireError,
+    decode_request,
+    decode_result,
+    encode_request,
+    encode_result,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "BatchTooLargeError",
+    "CapacityError",
+    "CoalesceTimeoutError",
+    "ResilienceServer",
+    "ServerMetrics",
+    "ServingApp",
+    "ServingClient",
+    "ServingClientError",
+    "ServingError",
+    "SolveFailedError",
+    "SolveRequest",
+    "WIRE_SCHEMA",
+    "WireError",
+    "decode_request",
+    "decode_result",
+    "encode_request",
+    "encode_result",
+]

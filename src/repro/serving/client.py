@@ -1,0 +1,234 @@
+"""A minimal blocking client for the serving tier.
+
+Pure :mod:`http.client` — the same no-third-party-deps constraint as
+the server.  One :class:`ServingClient` wraps one base URL; each call
+opens a fresh connection (the serving protocol is stateless, and the
+fault-injection tests need connections they can sever independently).
+
+The solve helpers return *decoded* results
+(:class:`~repro.resilience.types.ResilienceResult` /
+:class:`~repro.resilience.types.BoundedResilienceResult`) plus the
+response metadata, so callers can compare served answers — resilience
+values and witnessing contingency sets per Definition 1 — against
+direct :func:`repro.resilience.solver.solve` calls bit-for-bit; that
+equality is what the test suite and the E19 benchmark are built on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.serving.wire import (
+    SolveRequest,
+    decode_result,
+    encode_request,
+)
+
+
+class ServingClientError(Exception):
+    """A non-2xx response, with the server's status and error payload."""
+
+    def __init__(self, status: int, payload: Any, retry_after: Optional[str] = None):
+        message = payload.get("error") if isinstance(payload, dict) else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+
+
+class ServingClient:
+    """Blocking client for one :class:`~repro.serving.server.ResilienceServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r}")
+        netloc = parts.netloc or parts.path
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    # ------------------------------------------------------------------
+    # raw access (fault-injection tests post malformed bodies here)
+    # ------------------------------------------------------------------
+    def post(
+        self, path: str, body: bytes, headers: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """POST raw bytes; returns ``(status, json-or-text, headers)``."""
+        conn = self._connect()
+        try:
+            all_headers = {"Content-Type": "application/json"}
+            if headers:
+                all_headers.update(headers)
+            conn.request("POST", path, body=body, headers=all_headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            try:
+                payload = json.loads(data)
+            except ValueError:
+                payload = data.decode("utf-8", "replace")
+            return resp.status, payload, dict(resp.getheaders())
+        finally:
+            conn.close()
+
+    def get(self, path: str) -> Tuple[int, Any]:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def _post_json(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        status, body, headers = self.post(
+            path, json.dumps(payload).encode("utf-8")
+        )
+        if status != 200:
+            raise ServingClientError(
+                status, body, retry_after=headers.get("Retry-After")
+            )
+        return body
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        status, payload = self.get("/health")
+        if status != 200:
+            raise ServingClientError(status, payload)
+        return payload
+
+    def metrics(self) -> Dict[str, Any]:
+        status, payload = self.get("/metrics")
+        if status != 200:
+            raise ServingClientError(status, payload)
+        return payload
+
+    def solve(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        mode: str = "exact",
+        method: Optional[str] = None,
+        budget=None,
+    ) -> Tuple[Any, Dict[str, Any]]:
+        """Solve one instance; returns ``(result, response_metadata)``.
+
+        ``result`` is the decoded
+        :class:`~repro.resilience.types.ResilienceResult` or
+        :class:`~repro.resilience.types.BoundedResilienceResult`;
+        the metadata dict carries ``coalesced`` / ``cache`` / ``tier``
+        / ``rerouted`` / ``mode``.
+        """
+        from repro.resilience.types import Budget
+
+        request = SolveRequest(
+            database=database,
+            query=query,
+            mode=mode,
+            method=method,
+            budget=Budget.coerce(budget) if budget is not None else None,
+        )
+        body = self._post_json("/solve", encode_request(request))
+        result = decode_result(body["result"])
+        meta = {k: v for k, v in body.items() if k != "result"}
+        return result, meta
+
+    def solve_batch(
+        self,
+        pairs,
+        mode: str = "exact",
+        method: Optional[str] = None,
+        budget=None,
+    ) -> Tuple[list, Dict[str, Any]]:
+        """Solve many (database, query) pairs in one round trip."""
+        from repro.serving.wire import (
+            WIRE_SCHEMA,
+            budget_to_spec,
+            database_to_spec,
+            query_to_spec,
+        )
+        from repro.resilience.types import Budget
+
+        payload: Dict[str, Any] = {
+            "wire_schema": WIRE_SCHEMA,
+            "pairs": [
+                {"database": database_to_spec(db), "query": query_to_spec(q)}
+                for db, q in pairs
+            ],
+            "mode": mode,
+        }
+        if method is not None:
+            payload["method"] = method
+        if budget is not None:
+            payload["budget"] = budget_to_spec(Budget.coerce(budget))
+        body = self._post_json("/solve_batch", payload)
+        results = [decode_result(r) for r in body["results"]]
+        meta = {k: v for k, v in body.items() if k != "results"}
+        return results, meta
+
+    def stream_solve(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        budget=None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream an anytime solve's certified intervals.
+
+        Yields the ndjson frames as dicts: ``interval`` frames with
+        monotone ``lower_bound``/``upper_bound``, then one terminal
+        ``result`` (with ``"result"`` decoded in place) or ``error``
+        frame.  Raises :class:`ServingClientError` if the server
+        refuses the stream outright.
+        """
+        from repro.resilience.types import Budget
+
+        request = SolveRequest(
+            database=database,
+            query=query,
+            mode="anytime",
+            budget=Budget.coerce(budget) if budget is not None else None,
+            stream=True,
+        )
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST",
+                "/solve",
+                body=json.dumps(encode_request(request)).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            if resp.status != 200:
+                data = resp.read()
+                try:
+                    payload = json.loads(data)
+                except ValueError:
+                    payload = data.decode("utf-8", "replace")
+                raise ServingClientError(resp.status, payload)
+            # http.client undoes the chunked framing; frames arrive as
+            # newline-delimited JSON.
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                frame = json.loads(line)
+                if frame.get("event") == "result":
+                    frame["result"] = decode_result(frame["result"])
+                yield frame
+                if frame.get("event") in ("result", "error"):
+                    return
+        finally:
+            conn.close()

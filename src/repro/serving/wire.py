@@ -1,0 +1,390 @@
+"""Wire schema for the serving tier: JSON ↔ solver arguments.
+
+One request describes one resilience instance — the decision-problem
+input of Definition 1: a database, a conjunctive query, a solving tier
+(``mode``), an optional forced backend, and an optional
+:class:`~repro.resilience.types.Budget`.  The codec is *lossless* with
+respect to solving: decoding an encoded request reproduces arguments
+whose :func:`~repro.witness.cache.pair_cache_key` is bit-identical to
+the original's, which is the property request coalescing and the
+result cache stand on (``tests/test_serving_wire.py`` proves it by
+Hypothesis round-trip).
+
+Design notes:
+
+* Queries travel *structurally* (a list of atom objects), not as
+  Datalog text — the surface syntax's trailing-``x`` exogenous marker
+  makes relation names ending in ``x`` ambiguous in text form
+  (``Tx(a)`` parses as ``T^x(a)``), and the wire format must not
+  inherit that ambiguity.  Text is still *accepted* on input as a
+  convenience (parsed by :func:`repro.query.parser.parse_query`).
+* Database values are JSON scalars, with JSON arrays decoding to the
+  tuple-valued composite constants the reductions use — the same
+  convention as the ``repro solve`` CLI's database files.
+* Every payload carries ``wire_schema`` (:data:`WIRE_SCHEMA`); a
+  mismatched or missing version is rejected up front, mirroring how
+  :data:`~repro.witness.cache.CACHE_SCHEMA` salts the result-cache
+  keys — schema drift must fail loudly, never deserialize garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.resilience.types import (
+    BoundedResilienceResult,
+    Budget,
+    ResilienceResult,
+)
+
+# Bumped whenever request/response payload layouts change; requests
+# carrying another version are rejected with a clean 400.
+WIRE_SCHEMA = 1
+
+MODES = ("exact", "approx", "anytime")
+METHODS = (None, "exact", "flow")
+
+
+class WireError(ValueError):
+    """A malformed or unsupported payload (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One decoded ``/solve`` request, ready to hand to the solver."""
+
+    database: Database
+    query: ConjunctiveQuery
+    mode: str = "exact"
+    method: Optional[str] = None
+    budget: Optional[Budget] = None
+    stream: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Databases
+# ---------------------------------------------------------------------------
+
+
+def _decode_value(value: Any):
+    """JSON value -> hashable constant (arrays become tuples)."""
+    if isinstance(value, list):
+        return tuple(_decode_value(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise WireError(f"unsupported tuple value {value!r}")
+
+
+def _encode_value(value: Any):
+    """Hashable constant -> JSON value (tuples become arrays)."""
+    if isinstance(value, tuple):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def database_from_spec(spec: Any) -> Database:
+    """Build a :class:`Database` from its wire/JSON specification.
+
+    The schema is ``{"relations": {name: {"arity": k, "exogenous":
+    bool, "tuples": [[v, ...], ...]}}}``; a row may be a bare scalar
+    for a unary relation.  Raises :class:`WireError` on any structural
+    problem (wrong types, arity mismatches, non-scalar values).
+    """
+    if not isinstance(spec, dict):
+        raise WireError(f"database spec must be an object, got {type(spec).__name__}")
+    relations = spec.get("relations", {})
+    if not isinstance(relations, dict):
+        raise WireError("database 'relations' must be an object")
+    db = Database()
+    for name, rel_spec in relations.items():
+        if not isinstance(rel_spec, dict):
+            raise WireError(f"relation {name!r}: spec must be an object")
+        arity = rel_spec.get("arity")
+        if not isinstance(arity, int) or isinstance(arity, bool) or arity < 1:
+            raise WireError(f"relation {name!r}: arity must be a positive integer")
+        exogenous = rel_spec.get("exogenous", False)
+        if not isinstance(exogenous, bool):
+            raise WireError(f"relation {name!r}: exogenous must be a boolean")
+        db.declare(name, arity, exogenous=exogenous)
+        rows = rel_spec.get("tuples", [])
+        if not isinstance(rows, list):
+            raise WireError(f"relation {name!r}: tuples must be an array")
+        for row in rows:
+            values = row if isinstance(row, list) else [row]
+            if len(values) != arity:
+                raise WireError(
+                    f"relation {name!r}: row {row!r} does not match arity {arity}"
+                )
+            db.add(name, *(_decode_value(v) for v in values))
+    return db
+
+
+def database_to_spec(database: Database) -> Dict[str, Any]:
+    """The wire/JSON specification of ``database`` (deterministic:
+    relations and rows in sorted order)."""
+    relations: Dict[str, Any] = {}
+    for name in sorted(database.relations):
+        rel = database.relations[name]
+        rows = sorted((t for t in rel), key=DBTuple.sort_key)
+        relations[name] = {
+            "arity": rel.arity,
+            "exogenous": rel.exogenous,
+            "tuples": [[_encode_value(v) for v in t.values] for t in rows],
+        }
+    return {"relations": relations}
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+def query_from_spec(spec: Any) -> ConjunctiveQuery:
+    """Build a :class:`ConjunctiveQuery` from its wire form.
+
+    Accepts either Datalog text (``"R(x,y), R(y,z)"``) or the
+    unambiguous structural form ``{"atoms": [{"relation": "R", "args":
+    ["x", "y"], "exogenous": false}, ...], "name": "q"}``.
+    """
+    if isinstance(spec, str):
+        try:
+            return parse_query(spec)
+        except Exception as exc:
+            raise WireError(f"unparseable query text {spec!r}: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise WireError(f"query must be text or an object, got {type(spec).__name__}")
+    atoms_spec = spec.get("atoms")
+    if not isinstance(atoms_spec, list) or not atoms_spec:
+        raise WireError("query 'atoms' must be a non-empty array")
+    atoms: List[Atom] = []
+    for atom_spec in atoms_spec:
+        if not isinstance(atom_spec, dict):
+            raise WireError(f"atom {atom_spec!r} must be an object")
+        relation = atom_spec.get("relation")
+        if not isinstance(relation, str) or not relation:
+            raise WireError(f"atom {atom_spec!r}: relation must be a name")
+        args = atom_spec.get("args")
+        if (
+            not isinstance(args, list)
+            or not args
+            or not all(isinstance(a, str) and a for a in args)
+        ):
+            raise WireError(
+                f"atom {atom_spec!r}: args must be a non-empty array of variables"
+            )
+        exogenous = atom_spec.get("exogenous", False)
+        if not isinstance(exogenous, bool):
+            raise WireError(f"atom {atom_spec!r}: exogenous must be a boolean")
+        atoms.append(Atom(relation, tuple(args), exogenous=exogenous))
+    name = spec.get("name")
+    if name is not None and not isinstance(name, str):
+        raise WireError("query 'name' must be a string")
+    try:
+        return ConjunctiveQuery(atoms, name=name)
+    except ValueError as exc:
+        raise WireError(str(exc)) from exc
+
+
+def query_to_spec(query: ConjunctiveQuery) -> Dict[str, Any]:
+    """The unambiguous structural wire form of ``query``."""
+    spec: Dict[str, Any] = {
+        "atoms": [
+            {
+                "relation": a.relation,
+                "args": list(a.args),
+                "exogenous": a.exogenous,
+            }
+            for a in query.atoms
+        ]
+    }
+    if query.name:
+        spec["name"] = query.name
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Budgets
+# ---------------------------------------------------------------------------
+
+
+def budget_from_spec(spec: Any) -> Optional[Budget]:
+    """``None`` | seconds | ``{"time_limit", "node_limit"}`` -> Budget."""
+    if spec is None:
+        return None
+    if isinstance(spec, bool):
+        raise WireError(f"budget cannot be a boolean ({spec!r})")
+    if isinstance(spec, (int, float)):
+        if spec <= 0:
+            raise WireError(f"budget seconds must be positive, got {spec!r}")
+        return Budget(time_limit=float(spec))
+    if isinstance(spec, dict):
+        unknown = set(spec) - {"time_limit", "node_limit"}
+        if unknown:
+            raise WireError(f"unknown budget fields {sorted(unknown)}")
+        time_limit = spec.get("time_limit")
+        node_limit = spec.get("node_limit")
+        if time_limit is not None:
+            if isinstance(time_limit, bool) or not isinstance(
+                time_limit, (int, float)
+            ) or time_limit <= 0:
+                raise WireError(f"budget time_limit must be positive seconds")
+            time_limit = float(time_limit)
+        if node_limit is not None:
+            if isinstance(node_limit, bool) or not isinstance(node_limit, int) \
+                    or node_limit < 0:
+                raise WireError("budget node_limit must be a non-negative integer")
+        return Budget(time_limit=time_limit, node_limit=node_limit)
+    raise WireError(f"cannot interpret {spec!r} as a budget")
+
+
+def budget_to_spec(budget: Optional[Budget]) -> Optional[Dict[str, Any]]:
+    """Budget -> wire form (``None`` for no budget)."""
+    if budget is None:
+        return None
+    return {"time_limit": budget.time_limit, "node_limit": budget.node_limit}
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+def decode_request(payload: Any) -> SolveRequest:
+    """Validate and decode one ``/solve`` payload.
+
+    Raises :class:`WireError` with a client-actionable message on any
+    problem; a successfully decoded request is guaranteed to reach the
+    solver without type errors.
+    """
+    if not isinstance(payload, dict):
+        raise WireError(f"request must be an object, got {type(payload).__name__}")
+    schema = payload.get("wire_schema")
+    if schema != WIRE_SCHEMA:
+        raise WireError(
+            f"unsupported wire_schema {schema!r} (this server speaks "
+            f"{WIRE_SCHEMA})"
+        )
+    unknown = set(payload) - {
+        "wire_schema", "database", "query", "mode", "method", "budget", "stream",
+    }
+    if unknown:
+        raise WireError(f"unknown request fields {sorted(unknown)}")
+    if "database" not in payload:
+        raise WireError("request is missing 'database'")
+    if "query" not in payload:
+        raise WireError("request is missing 'query'")
+    mode = payload.get("mode", "exact")
+    if mode not in MODES:
+        raise WireError(f"unknown mode {mode!r} (expected one of {MODES})")
+    method = payload.get("method")
+    if method not in METHODS:
+        raise WireError(f"unknown method {method!r} (expected one of {METHODS})")
+    if method is not None and mode != "exact":
+        raise WireError("method forcing requires mode='exact'")
+    stream = payload.get("stream", False)
+    if not isinstance(stream, bool):
+        raise WireError("'stream' must be a boolean")
+    budget = budget_from_spec(payload.get("budget"))
+    if budget is not None and mode != "anytime":
+        raise WireError("a budget only applies to mode='anytime'")
+    return SolveRequest(
+        database=database_from_spec(payload["database"]),
+        query=query_from_spec(payload["query"]),
+        mode=mode,
+        method=method,
+        budget=budget,
+        stream=stream,
+    )
+
+
+def encode_request(request: SolveRequest) -> Dict[str, Any]:
+    """The wire payload for ``request`` (decodes back to equal solver
+    arguments — same :func:`~repro.witness.cache.pair_cache_key`)."""
+    payload: Dict[str, Any] = {
+        "wire_schema": WIRE_SCHEMA,
+        "database": database_to_spec(request.database),
+        "query": query_to_spec(request.query),
+        "mode": request.mode,
+    }
+    if request.method is not None:
+        payload["method"] = request.method
+    if request.budget is not None:
+        payload["budget"] = budget_to_spec(request.budget)
+    if request.stream:
+        payload["stream"] = True
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+def _encode_contingency(tuples) -> List[List[Any]]:
+    """A contingency set as sorted ``[relation, [values...]]`` rows —
+    the same total order (:meth:`DBTuple.sort_key`) every solver uses
+    for deterministic output, so equal results encode bit-identically."""
+    return [
+        [t.relation, [_encode_value(v) for v in t.values]]
+        for t in sorted(tuples, key=DBTuple.sort_key)
+    ]
+
+
+def _decode_contingency(rows: Any) -> frozenset:
+    if not isinstance(rows, list):
+        raise WireError("contingency_set must be an array")
+    out = []
+    for row in rows:
+        if not (isinstance(row, list) and len(row) == 2 and isinstance(row[0], str)):
+            raise WireError(f"bad contingency row {row!r}")
+        out.append(DBTuple(row[0], tuple(_decode_value(v) for v in row[1])))
+    return frozenset(out)
+
+
+def encode_result(result) -> Dict[str, Any]:
+    """A solver result as a wire payload.
+
+    Exact results carry ``kind="exact"``; bounded results carry
+    ``kind="bounded"`` with the certified interval.  Both include the
+    witnessing contingency set and the producing method.
+    """
+    if isinstance(result, BoundedResilienceResult):
+        return {
+            "kind": "bounded",
+            "lower_bound": result.lower_bound,
+            "upper_bound": result.upper_bound,
+            "value": result.value,
+            "exact": result.is_exact,
+            "method": result.method,
+            "contingency_set": _encode_contingency(result.contingency_set),
+        }
+    if isinstance(result, ResilienceResult):
+        return {
+            "kind": "exact",
+            "value": result.value,
+            "method": result.method,
+            "contingency_set": _encode_contingency(result.contingency_set),
+        }
+    raise TypeError(f"cannot encode {type(result).__name__} as a wire result")
+
+
+def decode_result(payload: Any):
+    """The inverse of :func:`encode_result`."""
+    if not isinstance(payload, dict):
+        raise WireError("result payload must be an object")
+    kind = payload.get("kind")
+    gamma = _decode_contingency(payload.get("contingency_set", []))
+    method = payload.get("method", "")
+    if kind == "exact":
+        return ResilienceResult(payload["value"], gamma, method=method)
+    if kind == "bounded":
+        return BoundedResilienceResult(
+            payload["lower_bound"], payload["upper_bound"], gamma, method=method
+        )
+    raise WireError(f"unknown result kind {kind!r}")

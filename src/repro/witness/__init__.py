@@ -21,6 +21,8 @@ from repro.witness.structure import (
     WitnessStructure,
 )
 from repro.witness.cache import (
+    InFlightGroup,
+    InFlightRegistry,
     ResultCache,
     clear_witness_cache,
     component_cache_key,
@@ -30,6 +32,8 @@ from repro.witness.cache import (
 )
 
 __all__ = [
+    "InFlightGroup",
+    "InFlightRegistry",
     "ReductionStats",
     "ResultCache",
     "UnbreakableQueryError",

@@ -20,6 +20,12 @@ database contents, the query signature, the solving tier and budget,
 and a schema salt — anything that could change the answer changes the
 key, so invalidation is automatic (see ``docs/parallelism.md`` for the
 exact key semantics).
+
+:class:`InFlightRegistry` is the *in-flight* complement the serving
+tier (:mod:`repro.serving`) builds on: identical concurrent requests —
+same :func:`pair_cache_key` — share one solve instead of racing the
+result cache, which the determinism contract makes safe (equal keys
+mean equal answers, so any requester may consume the leader's result).
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Tuple, Union
@@ -43,6 +50,10 @@ _cache: "OrderedDict[Tuple[frozenset, frozenset, bool], WitnessStructure]" = (
 )
 _hits = 0
 _misses = 0
+# The serving tier calls witness_structure from many handler threads at
+# once; OrderedDict reordering/eviction is not atomic, so every cache
+# touch happens under this lock (builds themselves run outside it).
+_cache_lock = threading.RLock()
 
 
 def witness_structure(
@@ -55,34 +66,40 @@ def witness_structure(
 
     The key covers the full database contents, so the cache is safe
     under mutation: any change to tuples or exogenous flags produces a
-    fresh build.  ``index`` is only consulted on a miss.
+    fresh build.  ``index`` is only consulted on a miss.  Thread-safe;
+    concurrent misses on the same key may build twice (the builds are
+    pure, so either result is correct and the last one is kept).
     """
     global _hits, _misses
     key = (database.canonical_form(), query.canonical_signature(), reduce)
-    cached = _cache.get(key)
-    if cached is not None:
-        _hits += 1
-        _cache.move_to_end(key)
-        return cached
-    _misses += 1
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _hits += 1
+            _cache.move_to_end(key)
+            return cached
+        _misses += 1
     ws = WitnessStructure.build(database, query, reduce=reduce, index=index)
-    _cache[key] = ws
-    while len(_cache) > _MAXSIZE:
-        _cache.popitem(last=False)
+    with _cache_lock:
+        _cache[key] = ws
+        while len(_cache) > _MAXSIZE:
+            _cache.popitem(last=False)
     return ws
 
 
 def clear_witness_cache() -> None:
     """Drop every cached structure (and reset the hit/miss counters)."""
     global _hits, _misses
-    _cache.clear()
-    _hits = 0
-    _misses = 0
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
 
 
 def witness_cache_info() -> Tuple[int, int, int]:
     """``(hits, misses, currsize)`` — mirrors ``lru_cache.cache_info``."""
-    return _hits, _misses, len(_cache)
+    with _cache_lock:
+        return _hits, _misses, len(_cache)
 
 
 # ---------------------------------------------------------------------------
@@ -206,11 +223,20 @@ class ResultCache:
     deleted and reported as misses, then transparently recomputed and
     rewritten by the caller.
 
-    The store is safe to share between sequential invocations and
-    between coordinator processes writing distinct keys; results for
-    the *same* key are identical by construction (exact tier) or
-    equally valid certified intervals (bounded tiers), so last-writer
-    wins is harmless.
+    The store is safe to share between concurrent processes — even two
+    writers landing on the *same* key: each ``os.replace`` installs a
+    complete entry, so the survivor is whichever finished last, and
+    results for equal keys are identical by construction (exact tier)
+    or equally valid certified intervals (bounded tiers).  Two
+    guarantees make this hold under load:
+
+    * in-progress temp files use a ``.part`` suffix, outside the
+      ``*.pkl`` entry namespace, so they are never read, counted, or
+      cleared as entries mid-write;
+    * corrupted-entry eviction is *guarded*: the bad file is unlinked
+      only if it is still the same file that failed validation
+      (``st_ino``/``st_dev`` comparison), so a reader that lost a race
+      with a concurrent valid rewrite never deletes the fresh entry.
     """
 
     def __init__(self, cache_dir: Union[str, Path]):
@@ -231,27 +257,54 @@ class ResultCache:
         """
         path = self._path(key)
         try:
-            with open(path, "rb") as handle:
-                schema, stored_key, result = pickle.load(handle)
-            if schema != CACHE_SCHEMA or stored_key != key:
-                raise ValueError("cache entry does not match its key")
+            handle = open(path, "rb")
         except FileNotFoundError:
             self.misses += 1
             return None
+        try:
+            with handle:
+                stamp = os.fstat(handle.fileno())
+                schema, stored_key, result = pickle.load(handle)
+            if schema != CACHE_SCHEMA or stored_key != key:
+                raise ValueError("cache entry does not match its key")
         except Exception:
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._evict_if_unchanged(path, stamp)
             return None
         self.hits += 1
         return result
 
+    def _evict_if_unchanged(self, path: Path, stamp) -> None:
+        """Unlink ``path`` only if it is still the file ``stamp`` was
+        taken from.
+
+        Between a failed read and the eviction, a concurrent writer may
+        have atomically replaced the entry with a valid one; deleting
+        blindly would throw that fresh result away (and, with a reader
+        hammering the key, could starve the cache indefinitely).  A
+        replaced entry is a different inode, so the comparison is exact
+        on POSIX filesystems.
+        """
+        try:
+            current = os.stat(path)
+        except OSError:
+            return
+        if (current.st_ino, current.st_dev) == (stamp.st_ino, stamp.st_dev):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def put(self, key: str, result) -> None:
-        """Store ``result`` under ``key`` atomically."""
+        """Store ``result`` under ``key`` atomically.
+
+        The temp file's ``.part`` suffix keeps half-written entries out
+        of the ``*.pkl`` namespace that :meth:`get`, :meth:`__len__`,
+        and :meth:`clear` operate on — a concurrent ``clear()`` cannot
+        unlink an entry mid-write out from under ``os.replace``.
+        """
         fd, tmp = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=".tmp-", suffix=".pkl"
+            dir=self.cache_dir, prefix=".tmp-", suffix=".part"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -268,12 +321,17 @@ class ResultCache:
         return sum(1 for _ in self.cache_dir.glob("*.pkl"))
 
     def clear(self) -> None:
-        """Delete every entry (and reset the hit/miss counters)."""
-        for path in self.cache_dir.glob("*.pkl"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        """Delete every entry (and reset the hit/miss counters).
+
+        Also sweeps stale ``.part`` temp files left behind by writers
+        that died mid-:meth:`put`.
+        """
+        for pattern in ("*.pkl", ".tmp-*.part"):
+            for path in self.cache_dir.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         self.hits = 0
         self.misses = 0
 
@@ -286,3 +344,104 @@ class ResultCache:
             f"ResultCache({str(self.cache_dir)!r}, entries={len(self)}, "
             f"hits={self.hits}, misses={self.misses})"
         )
+
+
+# ---------------------------------------------------------------------------
+# In-flight request coalescing
+# ---------------------------------------------------------------------------
+
+
+class InFlightGroup:
+    """One in-flight solve and the requests waiting on it.
+
+    Created by :meth:`InFlightRegistry.lease`; consumers block on
+    :meth:`InFlightRegistry.result`.  The outcome slots are written
+    exactly once (by ``resolve``/``fail``) before ``done`` is set, so
+    readers need no further synchronization after the event fires.
+    """
+
+    __slots__ = ("key", "done", "followers", "result", "error")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.done = threading.Event()
+        self.followers = 0
+        self.result = None
+        self.error: Optional[BaseException] = None
+
+
+class InFlightRegistry:
+    """Coalesces identical concurrent solves onto one computation.
+
+    Requests for the same :func:`pair_cache_key` are provably the same
+    problem — the key covers the database contents, query signature,
+    tier, backend, and budget, and every tier is deterministic for a
+    fixed key — so while one solve is in flight, later arrivals wait
+    for its result instead of recomputing (Definition 1's decision
+    problem answered once per distinct instance, however many clients
+    ask).
+
+    The first caller to :meth:`lease` a key becomes the *leader* and
+    must eventually call :meth:`resolve` or :meth:`fail`; both remove
+    the group **before** publishing the outcome, so a failed group
+    never poisons the key — the next request simply starts a fresh
+    solve.  All methods are thread-safe.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._groups: dict = {}
+
+    def lease(self, key: str) -> Tuple[bool, InFlightGroup]:
+        """Join (or start) the in-flight group for ``key``.
+
+        Returns ``(leader, group)``: the leader runs the solve and owes
+        the group a :meth:`resolve`/:meth:`fail`; followers pass the
+        group to :meth:`result` and block.
+        """
+        with self._lock:
+            group = self._groups.get(key)
+            if group is not None:
+                group.followers += 1
+                return False, group
+            group = InFlightGroup(key)
+            self._groups[key] = group
+            return True, group
+
+    def resolve(self, key: str, result) -> None:
+        """Publish the leader's result to every waiter and retire the group."""
+        with self._lock:
+            group = self._groups.pop(key, None)
+        if group is not None:
+            group.result = result
+            group.done.set()
+
+    def fail(self, key: str, error: BaseException) -> None:
+        """Propagate the leader's failure to every waiter and retire the
+        group (so the next identical request retries from scratch)."""
+        with self._lock:
+            group = self._groups.pop(key, None)
+        if group is not None:
+            group.error = error
+            group.done.set()
+
+    def result(self, group: InFlightGroup, timeout: Optional[float] = None):
+        """Block until ``group`` resolves; re-raise the leader's error."""
+        if not group.done.wait(timeout):
+            raise TimeoutError(
+                f"coalesced solve for {group.key[:16]}… did not finish "
+                f"within {timeout}s"
+            )
+        if group.error is not None:
+            raise group.error
+        return group.result
+
+    def waiters(self) -> int:
+        """Total followers currently blocked across all groups."""
+        with self._lock:
+            return sum(g.followers for g in self._groups.values())
+
+    def __len__(self) -> int:
+        """Number of distinct solves currently in flight."""
+        with self._lock:
+            return len(self._groups)

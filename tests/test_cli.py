@@ -106,3 +106,11 @@ class TestCommands:
              "--domain-size", "4"]
         ) == 0
         assert "2 queries" in capsys.readouterr().out
+
+    def test_serve_check(self, capsys):
+        """`repro serve --check` binds an ephemeral port, round-trips
+        /health over a real socket, and exits cleanly (the CI smoke)."""
+        assert main(["serve", "--check", "--port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving resilience on http://127.0.0.1:" in out
+        assert '"status": "ok"' in out

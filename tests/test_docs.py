@@ -20,7 +20,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
 
 # Packages whose modules must anchor themselves in the paper.
-AUDITED_PACKAGES = ("resilience", "witness", "core", "parallel", "incremental")
+AUDITED_PACKAGES = (
+    "resilience",
+    "witness",
+    "core",
+    "parallel",
+    "incremental",
+    "serving",
+)
 
 # Standalone documentation pages every release must ship (each one is
 # also link-checked below like any other Markdown file).
@@ -31,6 +38,7 @@ REQUIRED_DOCS_PAGES = (
     "docs/api.md",
     "docs/incremental.md",
     "docs/performance.md",
+    "docs/serving.md",
 )
 
 # Modules outside the audited packages that must still anchor
@@ -120,7 +128,8 @@ def test_audit_covers_the_expected_packages():
     assert "executor.py" in names and "shards.py" in names  # repro.parallel
     assert "session.py" in names  # repro.incremental
     assert "columnar.py" in names  # the vectorized join layer
-    assert len(modules) >= 20
+    assert {"server.py", "wire.py", "admission.py", "client.py"} <= names
+    assert len(modules) >= 25
 
 
 @pytest.mark.parametrize("page", REQUIRED_DOCS_PAGES)
@@ -133,7 +142,13 @@ def test_required_docs_pages_exist(page):
 
 
 @pytest.mark.parametrize(
-    "page", ("docs/parallelism.md", "docs/api.md", "docs/incremental.md")
+    "page",
+    (
+        "docs/parallelism.md",
+        "docs/api.md",
+        "docs/incremental.md",
+        "docs/serving.md",
+    ),
 )
 def test_readme_links_the_new_pages(page):
     """README's API section must route readers to the reference pages."""
@@ -169,6 +184,39 @@ def test_bench_trajectory_record_exists():
     }
     for layer in record["layers"].values():
         assert layer["speedup"] >= layer["gate"]
+
+
+def test_serving_page_documents_the_protocol():
+    """docs/serving.md must cover the endpoints, the coalescing story,
+    and every serving environment variable."""
+    page = (REPO_ROOT / "docs" / "serving.md").read_text()
+    for needle in (
+        "POST /solve",
+        "POST /solve_batch",
+        "GET /health",
+        "GET /metrics",
+        "coalesc",  # coalescing / coalesced
+        "admission",
+        "wire_schema",
+        "Retry-After",
+        "repro serve",
+        "REPRO_SERVING_MAX_EXACT_TUPLES",
+        "REPRO_SERVING_MAX_CONCURRENT",
+        "BENCH_e19_serving.json",
+    ):
+        assert needle in page, f"docs/serving.md does not mention {needle}"
+
+
+def test_serving_bench_record_exists():
+    """The E19 serving benchmark has committed its trajectory record."""
+    import json
+
+    record = json.loads((REPO_ROOT / "BENCH_e19_serving.json").read_text())
+    assert record["bench"] == "e19_serving"
+    gates = record["gates"]
+    assert gates["coalescing_speedup"]["value"] >= gates["coalescing_speedup"]["gate"]
+    assert gates["warm_p99_ms"]["value"] <= gates["warm_p99_ms"]["gate"]
+    assert record["answers_bit_identical"] is True
 
 
 def test_api_reference_tracks_the_package_version():

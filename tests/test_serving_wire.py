@@ -1,0 +1,390 @@
+"""Property tests for the serving wire schema (``repro.serving.wire``).
+
+The property that matters is not JSON prettiness but *key stability*:
+decoding an encoded request must reproduce solver arguments whose
+:func:`~repro.witness.cache.pair_cache_key` is bit-identical to the
+original's.  That key equality is what licenses request coalescing and
+the shared result cache — if the codec ever drifted (lost a tuple,
+reordered meaningfully, coerced a budget), two "identical" requests
+could stop being identical, or worse, two *different* requests could
+collide.
+
+Every round trip goes through real ``json.dumps``/``json.loads`` so
+the bytes on the wire, not just the Python dicts, are exercised.
+Relation names ending in ``x`` get a dedicated regression strategy:
+the Datalog surface syntax reads a trailing ``x`` as the exogenous
+marker (``Tx(a)`` parses as ``T^x(a)``), which is exactly why requests
+travel structurally.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.resilience.types import (
+    BoundedResilienceResult,
+    Budget,
+    ResilienceResult,
+)
+from repro.serving.wire import (
+    WIRE_SCHEMA,
+    SolveRequest,
+    WireError,
+    budget_from_spec,
+    budget_to_spec,
+    database_from_spec,
+    database_to_spec,
+    decode_request,
+    decode_result,
+    encode_request,
+    encode_result,
+    query_from_spec,
+    query_to_spec,
+)
+from repro.witness.cache import pair_cache_key
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+# Relation names deliberately include trailing-x names (the parser
+# ambiguity) and single letters.
+relation_names = st.sampled_from(["R", "S", "T", "Tx", "Ax", "Wxx", "Rel"])
+
+# Scalar values JSON can carry losslessly; composite values are nested
+# tuples (JSON arrays on the wire).  Floats are excluded: the solvers
+# never produce float constants and NaN breaks equality.
+scalar_values = st.one_of(
+    st.integers(min_value=-10, max_value=10),
+    st.text(alphabet="abcxyz", min_size=0, max_size=4),
+    st.booleans(),
+    st.none(),
+)
+tuple_values = st.recursive(
+    scalar_values,
+    lambda children: st.lists(children, min_size=1, max_size=3).map(tuple),
+    max_leaves=4,
+)
+
+variables = st.sampled_from(["x", "y", "z", "u", "v", "w"])
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    names = draw(
+        st.lists(relation_names, min_size=1, max_size=3, unique=True)
+    )
+    for name in names:
+        arity = draw(st.integers(min_value=1, max_value=3))
+        exogenous = draw(st.booleans())
+        db.declare(name, arity, exogenous=exogenous)
+        rows = draw(
+            st.lists(
+                st.tuples(*([tuple_values] * arity)), min_size=0, max_size=5
+            )
+        )
+        for row in rows:
+            db.add(name, *row)
+    return db
+
+
+@st.composite
+def queries(draw):
+    n_atoms = draw(st.integers(min_value=1, max_value=3))
+    # The exogenous flag must be consistent per relation across atoms.
+    flags = {}
+    atoms = []
+    for _ in range(n_atoms):
+        name = draw(relation_names)
+        arity = draw(st.integers(min_value=1, max_value=3))
+        if name not in flags:
+            flags[name] = draw(st.booleans())
+        args = tuple(draw(variables) for _ in range(arity))
+        atoms.append(Atom(name, args, exogenous=flags[name]))
+    # Atoms of one relation must agree on arity too; regenerate arity
+    # clashes away by keying on (name -> arity).
+    arities = {}
+    fixed = []
+    for atom in atoms:
+        arity = arities.setdefault(atom.relation, atom.arity)
+        args = (atom.args * 3)[:arity]
+        fixed.append(Atom(atom.relation, args, exogenous=atom.exogenous))
+    name = draw(st.one_of(st.none(), st.sampled_from(["q", "q_test"])))
+    return ConjunctiveQuery(fixed, name=name)
+
+
+budgets = st.one_of(
+    st.none(),
+    st.floats(min_value=0.01, max_value=100, allow_nan=False).map(
+        lambda s: Budget(time_limit=s)
+    ),
+    st.builds(
+        Budget,
+        time_limit=st.one_of(
+            st.none(), st.floats(min_value=0.01, max_value=100, allow_nan=False)
+        ),
+        node_limit=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+    ),
+)
+
+
+@st.composite
+def solve_requests(draw):
+    mode = draw(st.sampled_from(["exact", "approx", "anytime"]))
+    method = draw(st.sampled_from([None, "exact", "flow"])) if mode == "exact" else None
+    budget = draw(budgets) if mode == "anytime" else None
+    return SolveRequest(
+        database=draw(databases()),
+        query=draw(queries()),
+        mode=mode,
+        method=method,
+        budget=budget,
+        stream=draw(st.booleans()) if mode == "anytime" else False,
+    )
+
+
+def json_round_trip(payload):
+    """Actual bytes on the wire, not just dict identity."""
+    return json.loads(json.dumps(payload))
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+
+class TestDatabaseRoundTrip:
+    @given(databases())
+    def test_database_round_trip_is_equal(self, db):
+        spec = json_round_trip(database_to_spec(db))
+        assert database_from_spec(spec) == db
+
+    @given(databases())
+    def test_encoding_is_deterministic(self, db):
+        # Canonical ordering: equal databases produce byte-equal specs.
+        a = json.dumps(database_to_spec(db), sort_keys=True)
+        b = json.dumps(database_to_spec(db.copy()), sort_keys=True)
+        assert a == b
+
+
+class TestQueryRoundTrip:
+    @given(queries())
+    def test_query_round_trip_preserves_signature(self, query):
+        spec = json_round_trip(query_to_spec(query))
+        back = query_from_spec(spec)
+        assert back.canonical_signature() == query.canonical_signature()
+        assert [a.signature() for a in back.atoms] == [
+            a.signature() for a in query.atoms
+        ]
+        assert [a.exogenous for a in back.atoms] == [
+            a.exogenous for a in query.atoms
+        ]
+
+    def test_trailing_x_relation_survives_structurally(self):
+        """The parser reads "Tx(a)" as exogenous T; the structural wire
+        form must not (the regression that forces structural transport)."""
+        query = ConjunctiveQuery([Atom("Tx", ("a",), exogenous=False)])
+        back = query_from_spec(json_round_trip(query_to_spec(query)))
+        assert back.atoms[0].relation == "Tx"
+        assert back.atoms[0].exogenous is False
+
+    def test_exogenous_trailing_x_also_survives(self):
+        query = ConjunctiveQuery([Atom("Tx", ("a",), exogenous=True)])
+        back = query_from_spec(json_round_trip(query_to_spec(query)))
+        assert back.atoms[0].relation == "Tx"
+        assert back.atoms[0].exogenous is True
+
+    def test_text_queries_accepted_on_input(self):
+        q = query_from_spec("R(x,y), R(y,z)")
+        assert len(q.atoms) == 2
+
+
+class TestBudgetRoundTrip:
+    @given(budgets)
+    def test_budget_round_trip(self, budget):
+        spec = json_round_trip(budget_to_spec(budget))
+        assert budget_from_spec(spec) == (budget if budget is not None else None)
+
+    def test_bare_seconds_accepted(self):
+        assert budget_from_spec(2.5) == Budget(time_limit=2.5)
+
+    @pytest.mark.parametrize(
+        "bad", [-1, 0, True, "fast", {"time_limit": -3}, {"nodes": 5}, [1]]
+    )
+    def test_malformed_budgets_rejected(self, bad):
+        with pytest.raises(WireError):
+            budget_from_spec(bad)
+
+
+class TestRequestRoundTrip:
+    @given(solve_requests())
+    def test_request_round_trip_preserves_pair_cache_key(self, request):
+        """THE coalescing-safety property: the decoded request maps to
+        the same cache key as the original, bit for bit."""
+        decoded = decode_request(json_round_trip(encode_request(request)))
+        original_key = pair_cache_key(
+            request.database,
+            request.query,
+            mode=request.mode,
+            method=request.method,
+            budget=request.budget,
+        )
+        decoded_key = pair_cache_key(
+            decoded.database,
+            decoded.query,
+            mode=decoded.mode,
+            method=decoded.method,
+            budget=decoded.budget,
+        )
+        assert decoded_key == original_key
+        assert decoded.database == request.database
+        assert decoded.mode == request.mode
+        assert decoded.method == request.method
+        assert decoded.budget == request.budget
+        assert decoded.stream == request.stream
+
+    @given(solve_requests())
+    def test_double_encode_is_stable(self, request):
+        once = encode_request(request)
+        twice = encode_request(decode_request(json_round_trip(once)))
+        assert json.dumps(once, sort_keys=True) == json.dumps(twice, sort_keys=True)
+
+    def test_schema_salt_missing_is_rejected(self):
+        payload = encode_request(
+            SolveRequest(Database(), ConjunctiveQuery([Atom("R", ("x",))]))
+        )
+        del payload["wire_schema"]
+        with pytest.raises(WireError, match="wire_schema"):
+            decode_request(payload)
+
+    @pytest.mark.parametrize("salt", [0, WIRE_SCHEMA + 1, "1", None, -1])
+    def test_schema_salt_mismatch_is_rejected(self, salt):
+        payload = encode_request(
+            SolveRequest(Database(), ConjunctiveQuery([Atom("R", ("x",))]))
+        )
+        payload["wire_schema"] = salt
+        with pytest.raises(WireError, match="wire_schema"):
+            decode_request(payload)
+
+    def test_budget_on_exact_mode_is_rejected(self):
+        payload = encode_request(
+            SolveRequest(Database(), ConjunctiveQuery([Atom("R", ("x",))]))
+        )
+        payload["budget"] = 5.0
+        with pytest.raises(WireError, match="budget"):
+            decode_request(payload)
+
+    def test_method_on_bounded_mode_is_rejected(self):
+        payload = encode_request(
+            SolveRequest(Database(), ConjunctiveQuery([Atom("R", ("x",))]))
+        )
+        payload["mode"] = "approx"
+        payload["method"] = "flow"
+        with pytest.raises(WireError, match="method"):
+            decode_request(payload)
+
+
+# ---------------------------------------------------------------------------
+# Result round trips
+# ---------------------------------------------------------------------------
+
+contingency_sets = st.frozensets(
+    st.builds(
+        DBTuple,
+        relation_names,
+        st.tuples(tuple_values, tuple_values),
+    ),
+    max_size=5,
+)
+
+
+class TestResultRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=50),
+        contingency_sets,
+        st.sampled_from(["ilp", "branch-and-bound", "linear-flow", ""]),
+    )
+    def test_exact_result_round_trip(self, value, gamma, method):
+        result = ResilienceResult(value, gamma, method=method)
+        back = decode_result(json_round_trip(encode_result(result)))
+        assert back == result
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+        contingency_sets,
+        st.sampled_from(["anytime", "lp+greedy", ""]),
+    )
+    def test_bounded_result_round_trip(self, lb, extra, gamma, method):
+        result = BoundedResilienceResult(lb, lb + extra, gamma, method=method)
+        back = decode_result(json_round_trip(encode_result(result)))
+        assert back == result
+        assert back.interval == result.interval
+        assert back.is_exact == result.is_exact
+
+    def test_unknown_result_kind_rejected(self):
+        with pytest.raises(WireError, match="kind"):
+            decode_result({"kind": "mystery", "value": 3})
+
+
+# ---------------------------------------------------------------------------
+# Value-edge coverage the generators might miss
+# ---------------------------------------------------------------------------
+
+
+class TestValueEdgeCases:
+    def test_nested_tuple_values_round_trip(self):
+        db = Database()
+        db.declare("R", 2)
+        db.add("R", (1, (2, "a")), None)
+        assert database_from_spec(json_round_trip(database_to_spec(db))) == db
+
+    def test_unary_scalar_rows_accepted(self):
+        spec = {"relations": {"A": {"arity": 1, "tuples": [1, 2, 3]}}}
+        assert len(database_from_spec(spec)) == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not an object",
+            {"relations": []},
+            {"relations": {"R": {"arity": 0, "tuples": []}}},
+            {"relations": {"R": {"arity": "two", "tuples": []}}},
+            {"relations": {"R": {"arity": True, "tuples": []}}},
+            {"relations": {"R": {"arity": 2, "exogenous": "yes", "tuples": []}}},
+            {"relations": {"R": {"arity": 2, "tuples": [[1]]}}},
+            {"relations": {"R": {"arity": 1, "tuples": [{"v": 1}]}}},
+        ],
+    )
+    def test_malformed_database_specs_rejected(self, bad):
+        with pytest.raises(WireError):
+            database_from_spec(bad)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            {"atoms": []},
+            {"atoms": "R(x)"},
+            {"atoms": [{"relation": "", "args": ["x"]}]},
+            {"atoms": [{"relation": "R", "args": []}]},
+            {"atoms": [{"relation": "R", "args": [1]}]},
+            {"atoms": [{"relation": "R", "args": ["x"], "exogenous": "yes"}]},
+            # Inconsistent exogenous flags across occurrences.
+            {
+                "atoms": [
+                    {"relation": "R", "args": ["x"], "exogenous": True},
+                    {"relation": "R", "args": ["y"], "exogenous": False},
+                ]
+            },
+        ],
+    )
+    def test_malformed_query_specs_rejected(self, bad):
+        with pytest.raises(WireError):
+            query_from_spec(bad)
