@@ -33,7 +33,8 @@ Package map
     Exact solvers, all of the paper's polynomial-time flow algorithms,
     and the certified approximate/anytime tier (LP relaxation + greedy
     bounds + budgeted search), behind a dispatching :func:`solve` with
-    ``mode="exact" | "approx" | "anytime"``.
+    ``mode="exact" | "approx" | "anytime"`` and a ``weighted=True``
+    min-cost objective over per-tuple deletion costs.
 ``repro.core``
     The high-level API: :class:`ResilienceAnalyzer`,
     :func:`solve_batch`, and deletion propagation.
@@ -81,7 +82,7 @@ from repro.incremental import IncrementalSession, Update
 from repro.structure import Classification, Verdict, classify, normalize
 from repro.witness import ResultCache, WitnessStructure, witness_structure
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Database",

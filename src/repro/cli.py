@@ -32,7 +32,9 @@ Commands
     workload that exact solving cannot touch.  ``--workers N`` solves
     the batch on a process pool with deterministic sharding, and
     ``--cache-dir PATH`` persists results on disk so reruns skip solved
-    instances (see ``docs/parallelism.md``).  ``--updates N`` switches
+    instances (see ``docs/parallelism.md``).  ``--weighted`` assigns
+    skewed per-tuple deletion costs and solves the min-cost weighted
+    objective (see ``docs/solvers.md``).  ``--updates N`` switches
     to the dynamic workload: a randomized N-op insert/delete stream
     solved through an :class:`repro.incremental.IncrementalSession`
     after every update (``--compare`` then times naive per-update
@@ -210,8 +212,10 @@ def cmd_bench(args) -> int:
     from repro.witness import clear_witness_cache
     from repro.workloads import (
         HARD_SCALING_QUERIES,
+        assign_skewed_costs,
         hard_scaling_workload,
         random_database_for_queries,
+        weighted_hard_scaling_workload,
     )
 
     budget = Budget(
@@ -232,6 +236,9 @@ def cmd_bench(args) -> int:
             return 2
         if args.repeat is not None:
             print("--repeat does not apply to --updates", file=sys.stderr)
+            return 2
+        if args.weighted:
+            print("--weighted does not apply to --updates", file=sys.stderr)
             return 2
         return _bench_updates(args, budget)
     if args.scale:
@@ -268,13 +275,19 @@ def cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        pairs = hard_scaling_workload(
-            n_tuples=args.scale, n_databases=args.databases, seed=args.seed
-        )
+        if args.weighted:
+            pairs = weighted_hard_scaling_workload(
+                n_tuples=args.scale, n_databases=args.databases, seed=args.seed
+            )
+        else:
+            pairs = hard_scaling_workload(
+                n_tuples=args.scale, n_databases=args.databases, seed=args.seed
+            )
         print(
             f"workload: {len(HARD_SCALING_QUERIES)} NP-hard queries x "
             f"{args.databases} shared databases of ~{args.scale} tuples per "
-            f"binary relation = {len(pairs)} pairs (seed {args.seed})"
+            f"binary relation = {len(pairs)} pairs (seed {args.seed}"
+            f"{', skewed costs' if args.weighted else ''})"
         )
     else:
         queries_spec = (
@@ -305,11 +318,15 @@ def cmd_bench(args) -> int:
             # e.g. q_chain (binary R) mixed with q_vc (unary R)
             print(f"incompatible query set: {exc}", file=sys.stderr)
             return 2
+        if args.weighted:
+            for i, db in enumerate(dbs):
+                assign_skewed_costs(db, seed=args.seed + 7919 * (i + 1))
         pairs = [(db, q) for db in dbs for q in queries] * repeat
         print(
             f"workload: {len(queries)} queries x {len(dbs)} shared databases "
             f"x {repeat} repeats = {len(pairs)} pairs "
-            f"(domain {domain_size}, density {density}, seed {args.seed})"
+            f"(domain {domain_size}, density {density}, seed {args.seed}"
+            f"{', skewed costs' if args.weighted else ''})"
         )
 
     _warm_imports()
@@ -322,6 +339,7 @@ def cmd_bench(args) -> int:
         budget=budget,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        weighted=args.weighted,
     )
     for line in batch.stats.summary_lines():
         print(line)
@@ -336,6 +354,7 @@ def cmd_bench(args) -> int:
                     "databases": args.databases,
                     "seed": args.seed,
                     "scale": args.scale,
+                    "weighted": bool(args.weighted),
                 },
                 "stats": _stats_payload(batch.stats),
                 "values": batch.values(),
@@ -348,7 +367,7 @@ def cmd_bench(args) -> int:
         clear_witness_cache()
         dispatch_plan.cache_clear()
         t0 = time.perf_counter()
-        singles = [solve(db, q) for db, q in pairs]
+        singles = [solve(db, q, weighted=args.weighted) for db, q in pairs]
         t_single = time.perf_counter() - t0
         if [r.value for r in singles] != batch.values():
             print("MISMATCH between batch and per-pair values!", file=sys.stderr)
@@ -586,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="solve the batch on N worker processes with deterministic "
         "sharding (default: serial, or the REPRO_WORKERS env var)",
+    )
+    p.add_argument(
+        "--weighted",
+        action="store_true",
+        help="assign skewed per-tuple deletion costs and solve the "
+        "min-cost (weighted resilience) objective; not with --updates",
     )
     p.add_argument(
         "--updates",

@@ -140,17 +140,25 @@ class ResilienceAnalyzer:
         )
         return self._report
 
-    def solve(self, database: Database, mode: str = "exact", budget=None):
+    def solve(
+        self,
+        database: Database,
+        mode: str = "exact",
+        budget=None,
+        weighted: bool = False,
+    ):
         """Resilience of this query over ``database`` (auto dispatch).
 
-        ``mode`` and ``budget`` pass through to
+        ``mode``, ``budget``, and ``weighted`` pass through to
         :func:`repro.resilience.solver.solve`: ``"exact"`` (default)
         returns a :class:`ResilienceResult`; ``"approx"`` /
         ``"anytime"`` return a certified
         :class:`~repro.resilience.types.BoundedResilienceResult`
         interval, the latter refined within ``budget``.
         """
-        return solve(database, self.query, mode=mode, budget=budget)
+        return solve(
+            database, self.query, mode=mode, budget=budget, weighted=weighted
+        )
 
     def solve_many(
         self,
@@ -159,6 +167,7 @@ class ResilienceAnalyzer:
         budget=None,
         workers: Optional[int] = None,
         cache_dir=None,
+        weighted: bool = False,
     ) -> "BatchResult":
         """Solve this query over many databases through the batch engine.
 
@@ -174,6 +183,7 @@ class ResilienceAnalyzer:
             budget=budget,
             workers=workers,
             cache_dir=cache_dir,
+            weighted=weighted,
         )
 
     def session(
@@ -352,6 +362,7 @@ def solve_batch(
     cache_dir=None,
     split_components: Union[int, bool, None] = None,
     pool=None,
+    weighted: bool = False,
 ) -> BatchResult:
     """Solve many (database, query) pairs, amortizing shared work.
 
@@ -402,6 +413,11 @@ def solve_batch(
     When a pool is passed and ``workers`` is not, the pool's own worker
     count is used.
 
+    ``weighted=True`` solves the weighted problem per pair, exactly as
+    :func:`~repro.resilience.solver.solve` would — pairs over all-unit
+    databases delegate to the unweighted path, bit for bit, and the
+    persistent cache keys cover the flag and the cost assignments.
+
     Results come back in input order inside a :class:`BatchResult`
     carrying aggregate reduction, interval, shard, and cache
     statistics.
@@ -443,7 +459,8 @@ def solve_batch(
         cache = cache_dir if isinstance(cache_dir, ResultCache) else ResultCache(cache_dir)
         for key, (db, query) in units.items():
             ck = pair_cache_key(
-                db, query, mode=mode, method=method, budget=budget
+                db, query, mode=mode, method=method, budget=budget,
+                weighted=weighted,
             )
             cache_keys[key] = ck
             hit = cache.get(ck)
@@ -472,7 +489,7 @@ def solve_batch(
 
         budget_obj = None if budget is None else Budget.coerce(budget)
         tasks = tuple(
-            PairTask(i, db, query, method, mode, budget_obj)
+            PairTask(i, db, query, method, mode, budget_obj, weighted)
             for i, (key, db, query) in enumerate(todo)
         )
         outcome = run_shard(Shard(0, tasks))
@@ -493,6 +510,7 @@ def solve_batch(
             workers=workers,
             split_components=split_components,
             pool=pool,
+            weighted=weighted,
         )
 
     if cache is not None:
@@ -527,6 +545,7 @@ def _solve_units_parallel(
     workers: int,
     split_components: Union[int, bool, None],
     pool=None,
+    weighted: bool = False,
 ) -> None:
     """The ``workers > 1`` arm of :func:`solve_batch`.
 
@@ -559,8 +578,15 @@ def _solve_units_parallel(
     # unit key -> (structure, method name, component task ids)
     assemblies: Dict[Tuple[frozenset, frozenset], Tuple[object, str, List[int]]] = {}
 
+    # unit key -> effective weighted flag (all-unit pairs delegate)
+    unit_weighted: Dict[Tuple[frozenset, frozenset], bool] = {}
+
     for key, db, query in todo:
-        exact_path = method is None and dispatch_plan(query).kind == "exact"
+        w = weighted and db.has_weighted_costs()
+        unit_weighted[key] = w
+        exact_path = (
+            method is None and dispatch_plan(query, weighted=w).kind == "exact"
+        )
         if (
             exact_path
             and mode == "exact"
@@ -569,7 +595,7 @@ def _solve_units_parallel(
         ):
             index = _index(db)
             _, misses_before, _ = witness_cache_info()
-            ws = witness_structure(db, query, index=index)
+            ws = witness_structure(db, query, index=index, weighted=w)
             _, misses_after, _ = witness_cache_info()
             if misses_after > misses_before:
                 _count_structure_build(ws)
@@ -588,15 +614,22 @@ def _solve_units_parallel(
             comp_ids: List[int] = []
             for comp in ws.components:
                 task_id = len(tasks)
+                comp_costs = (
+                    tuple((t, ws.costs[t]) for t in comp.tuple_ids)
+                    if w
+                    else None
+                )
                 tasks.append(
-                    ComponentTask(task_id, comp.tuple_ids, comp.sets, backend)
+                    ComponentTask(
+                        task_id, comp.tuple_ids, comp.sets, backend, comp_costs
+                    )
                 )
                 comp_ids.append(task_id)
             assemblies[key] = (ws, method_name, comp_ids)
         else:
             task_id = len(tasks)
             tasks.append(
-                PairTask(task_id, db, query, method, mode, budget_obj)
+                PairTask(task_id, db, query, method, mode, budget_obj, weighted)
             )
             pair_task_units[task_id] = key
 
@@ -613,6 +646,7 @@ def _solve_units_parallel(
         chosen = set(ws.forced_ids)
         for task_id in comp_ids:
             chosen |= outcomes[task_id]
+        value = ws.cost_of(chosen) if unit_weighted[key] else len(chosen)
         unit_results[key] = ResilienceResult(
-            len(chosen), ws.tuples(chosen), method=method_name
+            value, ws.tuples(chosen), method=method_name
         )

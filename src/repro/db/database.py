@@ -11,7 +11,14 @@ Databases support:
 * the deletion operator ``D - Gamma`` used throughout the paper
   (:meth:`Database.minus`), which refuses to delete exogenous facts;
 * the active domain ``dom(D)``;
-* structural hashing for memoised solvers.
+* structural hashing for memoised solvers;
+* per-tuple costs (positive ints, default 1) for *weighted* resilience:
+  ``db.add("R", 1, 2, cost=5)``, :meth:`Database.cost`,
+  :meth:`Database.total_cost`.  Exogenous facts may carry costs but are
+  never charged — contingency sets cannot contain them (Definition 1) —
+  so only endogenous costs are semantically meaningful; a database with
+  all endogenous costs at 1 behaves (and hashes) exactly like an
+  unweighted one.
 """
 
 from __future__ import annotations
@@ -57,12 +64,16 @@ class Database:
         self.relations[name] = rel
         return rel
 
-    def add(self, name: str, *values: Hashable) -> DBTuple:
-        """Insert fact ``name(values...)``, declaring the relation if new."""
+    def add(self, name: str, *values: Hashable, cost: Optional[int] = None) -> DBTuple:
+        """Insert fact ``name(values...)``, declaring the relation if new.
+
+        ``cost`` (positive int) sets the fact's weighted-resilience cost;
+        omitted, the fact keeps its current cost (1 for a new fact).
+        """
         rel = self.relations.get(name)
         if rel is None:
             rel = self.declare(name, len(values))
-        return rel.add(*values)
+        return rel.add(*values, cost=cost)
 
     def add_all(self, name: str, rows: Iterable) -> None:
         """Insert many facts into relation ``name``.
@@ -82,6 +93,39 @@ class Database:
             if name not in self.relations:
                 raise KeyError(f"unknown relation {name!r}")
             self.relations[name].exogenous = True
+
+    def set_cost(self, fact: DBTuple, cost: int) -> None:
+        """Set the cost of a present fact (``ValueError`` if absent)."""
+        rel = self.relations.get(fact.relation)
+        if rel is None or fact not in rel:
+            raise ValueError(f"{fact!r} is not in the database")
+        rel.set_cost(fact, cost)
+
+    def cost(self, fact: DBTuple) -> int:
+        """The cost of ``fact`` (1 unless explicitly set; ``ValueError``
+        if the fact is not in the database)."""
+        rel = self.relations.get(fact.relation)
+        if rel is None or fact not in rel:
+            raise ValueError(f"{fact!r} is not in the database")
+        return rel.cost(fact)
+
+    def total_cost(self, facts: Iterable[DBTuple]) -> int:
+        """The summed cost of ``facts`` (each must be in the database)."""
+        return sum(self.cost(fact) for fact in facts)
+
+    def has_weighted_costs(self) -> bool:
+        """Does any *endogenous* fact carry a non-unit cost?
+
+        Exogenous costs are ignored: exogenous facts can never be
+        charged, so they do not make an instance weighted.  Solvers use
+        this to route all-unit ``weighted=True`` calls through the
+        unweighted fast paths (bit-identical results by construction).
+        """
+        return any(
+            rel.has_weighted_costs
+            for rel in self.relations.values()
+            if not rel.exogenous
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -155,12 +199,18 @@ class Database:
         """A hashable snapshot of the database contents.
 
         Two databases are equal as instances iff their canonical forms
-        are equal (relation flags included).
+        are equal (relation flags and endogenous non-unit costs
+        included).  Cost parts are emitted only when present, so an
+        all-unit database has exactly the pre-weighting canonical form —
+        content-hash caches and memo keys are unchanged by the weighted
+        machinery until someone actually assigns a cost.
         """
         parts: List = []
         for name in sorted(self.relations):
             rel = self.relations[name]
             parts.append((name, rel.arity, rel.exogenous, rel.tuples))
+            if not rel.exogenous and rel.has_weighted_costs:
+                parts.append(("__costs__", name, rel.cost_items()))
         return frozenset(parts)
 
     def __eq__(self, other: object) -> bool:

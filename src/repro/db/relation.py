@@ -7,13 +7,28 @@ Exogenous relations (atoms written with a superscript ``x`` in the paper,
 e.g. ``W^x(x, y, z)``) provide context: their tuples may participate in
 witnesses but may never be deleted, i.e. they never appear in contingency
 sets.  Endogenous relations are the ones interventions may touch.
+
+Each fact optionally carries a positive integer *cost* (default 1), the
+weight it contributes to a contingency set in the weighted resilience
+problem.  Costs live on the relation (keyed by fact), not on
+:class:`~repro.db.tuples.DBTuple`, so fact identity — and therefore
+every set/frozenset the solvers build — is untouched by weighting.
+Only non-unit costs are stored; an all-unit relation is bit-for-bit
+the pre-weighting representation.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.db.tuples import DBTuple
+
+
+def _check_cost(cost) -> int:
+    """Validate a tuple cost: a positive ``int`` (bools rejected)."""
+    if isinstance(cost, bool) or not isinstance(cost, int) or cost < 1:
+        raise ValueError(f"tuple cost must be a positive integer, got {cost!r}")
+    return cost
 
 
 class Relation:
@@ -47,6 +62,9 @@ class Relation:
         self.arity = arity
         self.exogenous = exogenous
         self._tuples: Set[DBTuple] = set()
+        # fact -> cost, for non-unit costs only (unit is the implicit
+        # default, so an unweighted relation stores nothing extra).
+        self._costs: Dict[DBTuple, int] = {}
         if tuples is not None:
             for values in tuples:
                 self.add(*values)
@@ -54,10 +72,13 @@ class Relation:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def add(self, *values: Hashable) -> DBTuple:
+    def add(self, *values: Hashable, cost: Optional[int] = None) -> DBTuple:
         """Insert the fact ``name(values...)`` and return it.
 
-        Re-inserting an existing fact is a no-op (set semantics).
+        Re-inserting an existing fact is a no-op (set semantics), except
+        that an explicit ``cost`` always takes effect (last writer wins).
+        ``cost`` must be a positive integer; omitting it leaves the
+        fact's current cost alone (1 for a new fact).
         """
         if len(values) != self.arity:
             raise ValueError(
@@ -65,11 +86,38 @@ class Relation:
             )
         fact = DBTuple(self.name, tuple(values))
         self._tuples.add(fact)
+        if cost is not None:
+            self.set_cost(fact, cost)
         return fact
 
     def discard(self, fact: DBTuple) -> None:
         """Remove ``fact`` if present."""
         self._tuples.discard(fact)
+        self._costs.pop(fact, None)
+
+    def set_cost(self, fact: DBTuple, cost: int) -> None:
+        """Set the cost of a present fact (cost 1 clears the entry)."""
+        cost = _check_cost(cost)
+        if fact not in self._tuples:
+            raise ValueError(f"{fact!r} is not in relation {self.name}")
+        if cost == 1:
+            self._costs.pop(fact, None)
+        else:
+            self._costs[fact] = cost
+
+    def cost(self, fact: DBTuple) -> int:
+        """The cost of ``fact`` (1 unless explicitly set)."""
+        return self._costs.get(fact, 1)
+
+    @property
+    def has_weighted_costs(self) -> bool:
+        """Does any fact of this relation carry a non-unit cost?"""
+        return bool(self._costs)
+
+    def cost_items(self) -> frozenset:
+        """The non-unit cost assignments as ``(values, cost)`` pairs —
+        the canonical-form contribution of this relation's weighting."""
+        return frozenset((t.values, c) for t, c in self._costs.items())
 
     # ------------------------------------------------------------------
     # Queries
@@ -97,9 +145,11 @@ class Relation:
         return {t.values for t in self._tuples}
 
     def copy(self) -> "Relation":
-        """An independent copy (same name/arity/exogenous flag and facts)."""
+        """An independent copy (same name/arity/exogenous flag, facts,
+        and costs)."""
         clone = Relation(self.name, self.arity, exogenous=self.exogenous)
         clone._tuples = set(self._tuples)
+        clone._costs = dict(self._costs)
         return clone
 
     def __repr__(self) -> str:

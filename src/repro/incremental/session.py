@@ -414,17 +414,21 @@ class IncrementalSession:
             return fact
         return DBTuple(fact, tuple(values))
 
-    def insert(self, fact, *values) -> DBTuple:
+    def insert(self, fact, *values, cost: Optional[int] = None) -> DBTuple:
         """Insert a fact (``insert(DBTuple)`` or ``insert("R", 1, 2)``).
 
-        Re-inserting an existing fact is a no-op (set semantics).  New
-        witnesses are discovered by the constrained delta join only.
+        Re-inserting an existing fact is a no-op (set semantics), except
+        that an explicit ``cost`` still takes effect (last writer wins,
+        as in :meth:`Database.add`).  New witnesses are discovered by
+        the constrained delta join only.
         """
         fact = self._coerce(fact, values)
         rel = self._db.relations.get(fact.relation)
         if rel is not None and fact in rel:
+            if cost is not None:
+                rel.set_cost(fact, cost)
             return fact
-        self._db.add(fact.relation, *fact.values)
+        self._db.add(fact.relation, *fact.values, cost=cost)
         self._index.observe_insert(fact)
         self.stats.updates += 1
         self.stats.inserts += 1
@@ -451,6 +455,17 @@ class IncrementalSession:
         for state in self._states.values():
             if state.plan_kind == "exact":
                 state.note_delete(fact, self.stats)
+        return fact
+
+    def set_cost(self, fact, *values, cost: int) -> DBTuple:
+        """Set a present fact's weighted-resilience cost.
+
+        Costs never change the witness family — only weighted solves
+        observe them — so no incremental state is invalidated; weighted
+        answers always read the current costs (see :meth:`solve`).
+        """
+        fact = self._coerce(fact, values)
+        self._db.set_cost(fact, cost)
         return fact
 
     def apply(self, updates: Iterable) -> int:
@@ -492,7 +507,14 @@ class IncrementalSession:
             raise KeyError(f"query {query!r} is not tracked by this session")
         return state
 
-    def solve(self, query=None, mode: str = "exact", budget=None, workers=None):
+    def solve(
+        self,
+        query=None,
+        mode: str = "exact",
+        budget=None,
+        workers=None,
+        weighted: bool = False,
+    ):
         """Resilience of one tracked query over the current database.
 
         Returns exactly what :func:`repro.resilience.solver.solve`
@@ -502,11 +524,25 @@ class IncrementalSession:
         :class:`BoundedResilienceResult` for the bounded modes.
         Raises :class:`UnbreakableQueryError` exactly when a
         from-scratch solve would.
+
+        ``weighted=True`` over a database with non-unit endogenous
+        costs dispatches a from-scratch weighted solve: the session's
+        incremental machinery (warm-start delta laws, per-component
+        memos) is cardinality-based and is not consulted.  With all
+        costs at 1 the flag delegates to the incremental path,
+        bit-identical to ``weighted=False``.
         """
         if mode not in ("exact", "approx", "anytime"):
             raise ValueError(f"unknown mode {mode!r}")
         state = self._state_for(query)
         self.stats.solves += 1
+        if weighted and self._db.has_weighted_costs():
+            # Correct by the session contract (answers equal a fresh
+            # solve); weighted answers are simply never accelerated.
+            return _dispatch_solve(
+                self._db, state.query, mode=mode, budget=budget,
+                index=self._index, weighted=True,
+            )
         if state.plan_kind != "exact":
             return _dispatch_solve(
                 self._db, state.query, mode=mode, budget=budget,
@@ -548,10 +584,16 @@ class IncrementalSession:
         state.last_results[mode_key] = (state.family_version, result)
         return result
 
-    def solve_all(self, mode: str = "exact", budget=None, workers=None) -> List:
+    def solve_all(
+        self, mode: str = "exact", budget=None, workers=None,
+        weighted: bool = False,
+    ) -> List:
         """Solve every tracked query; results in constructor order."""
         return [
-            self.solve(q, mode=mode, budget=budget, workers=workers)
+            self.solve(
+                q, mode=mode, budget=budget, workers=workers,
+                weighted=weighted,
+            )
             for q in self._queries
         ]
 

@@ -84,19 +84,30 @@ def run_shard(shard: Shard) -> ShardOutcome:
     indexes: Dict[int, DatabaseIndex] = {}
     for task in shard.tasks:
         if isinstance(task, ComponentTask):
+            costs = dict(task.costs) if task.costs is not None else None
             if task.backend == "ilp":
                 comp = WitnessComponent(task.tuple_ids, task.sets)
-                outcomes[task.task_id] = frozenset(_ilp_component(comp))
+                outcomes[task.task_id] = frozenset(
+                    _ilp_component(comp, costs=costs)
+                )
             else:
-                outcomes[task.task_id] = frozenset(_bnb_component(task.sets))
+                outcomes[task.task_id] = frozenset(
+                    _bnb_component(task.sets, costs=costs)
+                )
             continue
         index = indexes.get(id(task.database))
         if index is None:
             index = DatabaseIndex(task.database)
             indexes[id(task.database)] = index
-        if task.method is None and _exact_dispatch(task.query):
+        # A weighted task over an all-unit database is the unweighted
+        # task — the same delegation solve() itself applies, done here
+        # too so the structure prefetch keys match the solve.
+        weighted = task.weighted and task.database.has_weighted_costs()
+        if task.method is None and _exact_dispatch(task.query, weighted):
             _, misses_before, _ = witness_cache_info()
-            ws = witness_structure(task.database, task.query, index=index)
+            ws = witness_structure(
+                task.database, task.query, index=index, weighted=weighted
+            )
             _, misses_after, _ = witness_cache_info()
             if misses_after > misses_before:
                 telemetry.structures += 1
@@ -108,6 +119,7 @@ def run_shard(shard: Shard) -> ShardOutcome:
                 index=index,
                 mode=task.mode,
                 budget=task.budget,
+                weighted=weighted,
             )
         else:
             outcomes[task.task_id] = solve(
@@ -117,14 +129,15 @@ def run_shard(shard: Shard) -> ShardOutcome:
                 index=index,
                 mode=task.mode,
                 budget=task.budget,
+                weighted=weighted,
             )
     return ShardOutcome(shard.shard_id, outcomes, telemetry)
 
 
-def _exact_dispatch(query) -> bool:
+def _exact_dispatch(query, weighted: bool = False) -> bool:
     from repro.resilience.solver import dispatch_plan
 
-    return dispatch_plan(query).kind == "exact"
+    return dispatch_plan(query, weighted=weighted).kind == "exact"
 
 
 def _pool_context():

@@ -52,6 +52,7 @@ class PairTask:
     method: Optional[str] = None
     mode: str = "exact"
     budget: Optional[Budget] = None
+    weighted: bool = False
 
     @property
     def cost_estimate(self) -> int:
@@ -77,6 +78,9 @@ class ComponentTask:
     tuple_ids: Tuple[int, ...]
     sets: Tuple[FrozenSet[int], ...]
     backend: str = "bnb"
+    # (global_id, cost) pairs for the weighted objective; None solves
+    # the plain cardinality problem.
+    costs: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def cost_estimate(self) -> int:

@@ -42,6 +42,17 @@ closes on the exact value — anytime solving subsumes exact solving.
 
 All bounds are per-component and summed (plus the forced tuples), which
 both tightens them and lets the budget focus on the hard components.
+
+**Weighted instances.**  Every primitive accepts an optional ``costs``
+map (tuple id -> positive int) and then optimizes the *weighted*
+hitting-set objective ``min sum cost(t)``: the greedy picks by
+witnesses-hit-per-cost ratio (Chvátal's weighted set-cover greedy, same
+``H(d)`` guarantee), the packing bound charges each packed witness its
+cheapest member, the LP/ILP objective vector carries the costs, local
+search swaps only when they lower total cost, and the budgeted branch
+and bound bounds by cost sums.  ``costs=None`` is exactly the
+historical unit-cost behavior — the weighted generalizations all
+degenerate to it when every cost is 1.
 """
 
 from __future__ import annotations
@@ -84,11 +95,20 @@ def _lp_floor(lp_value: float) -> int:
     return math.ceil(lp_value - _LP_EPS * max(1.0, abs(lp_value)))
 
 
+def _ids_cost(ids, costs) -> int:
+    """The cost of a set of ids: its size unweighted, the cost sum weighted."""
+    if costs is None:
+        return len(ids)
+    return sum(costs[t] for t in ids)
+
+
 # ---------------------------------------------------------------------------
 # Shared combinatorial bounds (consumed by exact.py as well)
 # ---------------------------------------------------------------------------
 
-def greedy_hitting_set(sets: Sequence[FrozenSet[T]]) -> Set[T]:
+def greedy_hitting_set(
+    sets: Sequence[FrozenSet[T]], costs=None
+) -> Set[T]:
     """Greedy upper bound: repeatedly take the element hitting most sets.
 
     This is the set-cover greedy in hitting-set form (tuples cover the
@@ -97,12 +117,20 @@ def greedy_hitting_set(sets: Sequence[FrozenSet[T]]) -> Set[T]:
     the optimum, where ``d`` is the largest number of sets any single
     element hits.
 
-    Determinism guarantee: among elements hitting equally many sets, the
-    *smallest* under the elements' own total order wins — integer
-    tuple-ids ascending, or :meth:`DBTuple.sort_key` when called on raw
-    fact sets — the same order used for branching and for sorted
-    contingency-set output.  The result is therefore a pure function of
-    the input sets, independent of set/dict iteration order.
+    With ``costs`` the pick maximizes the *ratio* — witnesses hit per
+    unit cost — which is Chvátal's weighted set-cover greedy; the same
+    ``H(d)`` guarantee holds for the weighted optimum.  Ratios are
+    compared by integer cross-multiplication (no floats), so the pick
+    order is exact; with all costs at 1 the ratio order *is* the count
+    order and the weighted pick coincides with the unweighted one.
+
+    Determinism guarantee: among elements of equal count (unweighted)
+    or equal ratio (weighted), the *smallest* under the elements' own
+    total order wins — integer tuple-ids ascending, or
+    :meth:`DBTuple.sort_key` when called on raw fact sets — the same
+    order used for branching and for sorted contingency-set output.
+    The result is therefore a pure function of the input sets (and
+    costs), independent of set/dict iteration order.
 
     Counts are maintained incrementally (each set is retired exactly
     once), so the cost is one max-scan per pick plus the incidence size
@@ -119,8 +147,24 @@ def greedy_hitting_set(sets: Sequence[FrozenSet[T]]) -> Set[T]:
     alive_count = len(set_list)
     chosen: Set[T] = set()
     while alive_count:
-        top = max(counts.values())
-        best = min(t for t, c in counts.items() if c == top)
+        if costs is None:
+            top = max(counts.values())
+            best = min(t for t, c in counts.items() if c == top)
+        else:
+            # Highest count/cost ratio wins; cross-multiplied integer
+            # comparison keeps the order exact, ties go to the smallest
+            # element (the deterministic tie-break the satellite fix
+            # pins: cost-ratio first, then the element order).
+            best = None
+            best_c = 0
+            best_w = 1
+            for t, c in counts.items():
+                if c <= 0:
+                    continue
+                w = costs[t]
+                diff = c * best_w - best_c * w
+                if best is None or diff > 0 or (diff == 0 and t < best):
+                    best, best_c, best_w = t, c, w
         chosen.add(best)
         for r in rows_of[best]:
             if alive[r]:
@@ -131,22 +175,27 @@ def greedy_hitting_set(sets: Sequence[FrozenSet[T]]) -> Set[T]:
     return chosen
 
 
-def disjoint_witness_lower_bound(sets: Sequence[FrozenSet[T]]) -> int:
+def disjoint_witness_lower_bound(
+    sets: Sequence[FrozenSet[T]], costs=None
+) -> int:
     """Greedy packing of pairwise-disjoint witnesses: a hitting-set lower bound.
 
     Every hitting set must spend a distinct tuple on each packed
-    witness.  ``key=len`` with Python's stable sort keeps the packing
+    witness; with ``costs`` that tuple costs at least the witness's
+    cheapest member, so the packed minima sum to a *weighted* lower
+    bound (and each unweighted minimum is 1, recovering the count).
+    ``key=len`` with Python's stable sort keeps the packing
     deterministic (the input order is itself deterministic) without
     materializing per-set sort keys.  Also runs at every
     branch-and-bound node in ``exact.py``.
     """
     used: Set[T] = set()
-    count = 0
+    total = 0
     for s in sorted(sets, key=len):
         if not (s & used):
             used.update(s)
-            count += 1
-    return count
+            total += 1 if costs is None else min(costs[t] for t in s)
+    return total
 
 
 def greedy_ratio_bound(sets: Sequence[FrozenSet[T]]) -> float:
@@ -174,19 +223,25 @@ def _linprog():
     return linprog
 
 
-def _lp_component(component: WitnessComponent):
+def _lp_component(component: WitnessComponent, costs=None):
     """Solve the LP relaxation of one component's hitting-set IP.
 
-    Returns ``(optimum, x)`` with ``x`` indexed by local column (the
-    sorted position within ``component.tuple_ids``), or ``(None, None)``
-    if the LP solver fails (the caller falls back to the packing bound).
+    With ``costs`` the objective vector carries the per-tuple costs, so
+    the optimum lower-bounds the *weighted* hitting-set IP.  Returns
+    ``(optimum, x)`` with ``x`` indexed by local column (the sorted
+    position within ``component.tuple_ids``), or ``(None, None)`` if
+    the LP solver fails (the caller falls back to the packing bound).
     """
     linprog = _linprog()
 
     A = component.incidence_matrix()
     m, n = A.shape
+    if costs is None:
+        c = np.ones(n)
+    else:
+        c = np.array([costs[t] for t in component.tuple_ids], dtype=float)
     result = linprog(
-        c=np.ones(n),
+        c=c,
         A_ub=-A,
         b_ub=-np.ones(m),
         bounds=(0.0, 1.0),
@@ -197,13 +252,14 @@ def _lp_component(component: WitnessComponent):
     return float(result.fun), result.x
 
 
-def _lp_rounding(component: WitnessComponent, x) -> Set[int]:
+def _lp_rounding(component: WitnessComponent, x, costs=None) -> Set[int]:
     """Round an LP solution to a feasible hitting set (global tuple ids).
 
     Taking every tuple with weight ``>= 1/f`` (``f`` = largest witness
     size) is feasible — each witness has at most ``f`` tuples, so at
     least one carries weight ``>= 1/f`` — and costs at most ``f`` times
-    the LP optimum.  Redundant tuples are pruned afterwards.
+    the LP optimum (the argument is objective-agnostic, so it holds for
+    the weighted LP too).  Redundant tuples are pruned afterwards.
     """
     f = max((len(s) for s in component.sets), default=1)
     threshold = 1.0 / f - 1e-9
@@ -217,7 +273,7 @@ def _lp_rounding(component: WitnessComponent, x) -> Set[int]:
     for s in component.sets:
         if not (s & chosen):
             chosen.add(min(s))
-    return _prune_redundant(component.sets, chosen)
+    return _prune_redundant(component.sets, chosen, costs=costs)
 
 
 # ---------------------------------------------------------------------------
@@ -225,13 +281,15 @@ def _lp_rounding(component: WitnessComponent, x) -> Set[int]:
 # ---------------------------------------------------------------------------
 
 def _prune_redundant(
-    sets: Sequence[FrozenSet[int]], chosen: Set[int]
+    sets: Sequence[FrozenSet[int]], chosen: Set[int], costs=None
 ) -> Set[int]:
     """Drop tuples every one of whose witnesses is hit by another choice.
 
     Scans in descending tuple-id order (deterministic; keeps the small
     ids the greedy/branching orders prefer) maintaining per-witness hit
-    counts, so the whole pass is linear in the incidence size.
+    counts, so the whole pass is linear in the incidence size.  With
+    ``costs`` the scan visits expensive tuples first, so when two
+    redundant tuples shadow each other the pricier one is dropped.
     """
     cover: List[int] = [len(s & chosen) for s in sets]
     rows_of: Dict[int, List[int]] = {}
@@ -240,7 +298,11 @@ def _prune_redundant(
             if t in chosen:
                 rows_of.setdefault(t, []).append(r)
     kept = set(chosen)
-    for t in sorted(kept, reverse=True):
+    if costs is None:
+        order = sorted(kept, reverse=True)
+    else:
+        order = sorted(kept, key=lambda t: (costs[t], t), reverse=True)
+    for t in order:
         rows = rows_of.get(t, [])
         if all(cover[r] >= 2 for r in rows):
             kept.discard(t)
@@ -256,7 +318,7 @@ _SWAP_PAIRS_PER_PASS = 4000
 
 
 def _local_search(
-    sets: Sequence[FrozenSet[int]], chosen: Set[int]
+    sets: Sequence[FrozenSet[int]], chosen: Set[int], costs=None
 ) -> Set[int]:
     """Improve a feasible hitting set by redundancy pruning and 2-for-1 swaps.
 
@@ -265,10 +327,12 @@ def _local_search(
     (computed from per-tuple row lists and hit counts, so a pair check
     costs the two tuples' degrees, not a scan of all witnesses).
     Passes repeat until a fixpoint or the deterministic effort caps are
-    reached; the output is always feasible and never larger than the
-    input.
+    reached; the output is always feasible and never costlier than the
+    input.  With ``costs`` a swap is applied only when the replacement
+    is strictly cheaper than the pair it evicts, so the cost objective
+    (not the cardinality) monotonically improves.
     """
-    chosen = _prune_redundant(sets, chosen)
+    chosen = _prune_redundant(sets, chosen, costs=costs)
     for _ in range(_SWAP_PASSES):
         improved = False
         cover = [len(s & chosen) for s in sets]
@@ -299,7 +363,7 @@ def _local_search(
                 )
                 if not must_hit:
                     # a and b are jointly redundant — drop both.
-                    chosen = _prune_redundant(sets, chosen - {a, b})
+                    chosen = _prune_redundant(sets, chosen - {a, b}, costs=costs)
                     improved = True
                     break
                 candidates = set(sets[must_hit[0]]) - chosen
@@ -308,8 +372,14 @@ def _local_search(
                     if not candidates:
                         break
                 if candidates:
+                    if costs is None:
+                        pick = min(candidates)
+                    else:
+                        pick = min(candidates, key=lambda t: (costs[t], t))
+                        if costs[pick] >= costs[a] + costs[b]:
+                            continue
                     chosen = _prune_redundant(
-                        sets, (chosen - {a, b}) | {min(candidates)}
+                        sets, (chosen - {a, b}) | {pick}, costs=costs
                     )
                     improved = True
                     break
@@ -360,7 +430,10 @@ _BNB_BITSET_MIN_SETS = 12
 
 
 def _budgeted_bnb(
-    sets: Sequence[FrozenSet[int]], seed: Set[int], meter: _BudgetMeter
+    sets: Sequence[FrozenSet[int]],
+    seed: Set[int],
+    meter: _BudgetMeter,
+    costs=None,
 ) -> Tuple[int, Set[int], bool]:
     """Branch and bound that certifies a lower bound even when cut short.
 
@@ -378,7 +451,16 @@ def _budgeted_bnb(
     universe (AND/OR/popcount per node) unless ``REPRO_KERNEL_BACKEND``
     selects the frozenset reference; exploration order, node
     accounting, incumbents, and bounds are identical either way.
+
+    With ``costs`` the objective is the cost sum and the search runs a
+    dedicated weighted reference (a bitmask variant would buy nothing:
+    the bound and branch arithmetic is cost lookups either way, and the
+    unit-cost case never reaches here — it delegates to the unweighted
+    path upstream).
     """
+    if costs is not None:
+        return _budgeted_bnb_weighted(sets, seed, meter, costs)
+
     from repro.witness.structure import _kernel_backend
 
     if len(sets) >= _BNB_BITSET_MIN_SETS and _kernel_backend() == "bitset":
@@ -386,6 +468,49 @@ def _budgeted_bnb(
         if len(universe) <= _BNB_BITSET_MAX_TUPLES:
             return _budgeted_bnb_bitset(sets, seed, meter, universe)
     return _budgeted_bnb_reference(sets, seed, meter)
+
+
+def _budgeted_bnb_weighted(
+    sets: Sequence[FrozenSet[int]],
+    seed: Set[int],
+    meter: _BudgetMeter,
+    costs,
+) -> Tuple[int, Set[int], bool]:
+    """The weighted-objective search: same shape as the reference, with
+    cost sums in place of cardinalities for incumbents and bounds."""
+    best: List = [_ids_cost(seed, costs), set(seed)]
+    abandoned: List[int] = [best[0] + 1]  # sentinel above any real bound
+
+    def search(
+        remaining: List[FrozenSet[int]], chosen: Set[int], chosen_cost: int
+    ) -> None:
+        if not remaining:
+            if chosen_cost < best[0]:
+                best[0] = chosen_cost
+                best[1] = set(chosen)
+            return
+        bound = chosen_cost + disjoint_witness_lower_bound(
+            remaining, costs=costs
+        )
+        if bound >= best[0]:
+            return
+        if not meter.spend_node():
+            abandoned[0] = min(abandoned[0], bound)
+            return
+        target = min(remaining, key=len)
+        for t in sorted(target):
+            chosen.add(t)
+            search(
+                [s for s in remaining if t not in s],
+                chosen,
+                chosen_cost + costs[t],
+            )
+            chosen.remove(t)
+
+    search(list(sets), set(), 0)
+    completed = abandoned[0] > best[0]
+    lower = best[0] if completed else min(best[0], abandoned[0])
+    return lower, best[1], completed
 
 
 def _budgeted_bnb_reference(
@@ -528,17 +653,30 @@ def _iter_bits(mask: int):
 # ---------------------------------------------------------------------------
 
 def _component_interval(
-    component: WitnessComponent, use_lp: bool = True
+    component: WitnessComponent, use_lp: bool = True, costs=None
 ) -> Tuple[int, Set[int]]:
-    """Certified ``(lower_bound, upper_bound_set)`` for one component."""
-    lower = disjoint_witness_lower_bound(component.sets)
-    upper = _local_search(component.sets, greedy_hitting_set(component.sets))
-    if use_lp and lower < len(upper):
-        lp_value, x = _lp_component(component)
+    """Certified ``(lower_bound, upper_bound_set)`` for one component.
+
+    With ``costs`` every bound is on the weighted objective: the packing
+    bound sums cheapest-per-witness costs, the greedy maximizes the
+    coverage/cost ratio, and the LP relaxation carries the cost vector.
+    """
+    lower = disjoint_witness_lower_bound(component.sets, costs=costs)
+    upper = _local_search(
+        component.sets,
+        greedy_hitting_set(component.sets, costs=costs),
+        costs=costs,
+    )
+    if use_lp and lower < _ids_cost(upper, costs):
+        lp_value, x = _lp_component(component, costs=costs)
         if lp_value is not None:
             lower = max(lower, _lp_floor(lp_value))
-            rounded = _local_search(component.sets, _lp_rounding(component, x))
-            if len(rounded) < len(upper):
+            rounded = _local_search(
+                component.sets,
+                _lp_rounding(component, x, costs=costs),
+                costs=costs,
+            )
+            if _ids_cost(rounded, costs) < _ids_cost(upper, costs):
                 upper = rounded
     return lower, upper
 
@@ -548,6 +686,7 @@ def resilience_bounds(
     query: ConjunctiveQuery,
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
+    weighted: bool = False,
 ) -> BoundedResilienceResult:
     """Certified interval ``lb <= rho(q, D) <= ub`` in polynomial time.
 
@@ -555,19 +694,26 @@ def resilience_bounds(
     component of the preprocessed witness structure and sums the
     per-component intervals (plus the forced tuples).  No search is
     performed — see :func:`resilience_anytime` for budgeted refinement.
+    With ``weighted=True`` every bound certifies the weighted optimum
+    (cost sums replace cardinalities throughout).
     """
     if structure is None:
-        structure = witness_structure(database, query, index=index)
+        structure = witness_structure(
+            database, query, index=index, weighted=weighted
+        )
     if not structure.satisfied:
         return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
-    lower = len(structure.forced_ids)
+    costs = structure.costs if weighted else None
+    lower = _ids_cost(structure.forced_ids, costs)
     chosen: Set[int] = set(structure.forced_ids)
+    upper = lower
     for component in structure.components:
-        lb_c, ub_set = _component_interval(component)
+        lb_c, ub_set = _component_interval(component, costs=costs)
         lower += lb_c
+        upper += _ids_cost(ub_set, costs)
         chosen |= ub_set
     return BoundedResilienceResult(
-        lower, len(chosen), structure.tuples(chosen), method="lp+greedy"
+        lower, upper, structure.tuples(chosen), method="lp+greedy"
     )
 
 
@@ -578,6 +724,7 @@ def resilience_anytime(
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
     on_interval: Optional[Callable[[int, int], None]] = None,
+    weighted: bool = False,
 ) -> BoundedResilienceResult:
     """Anytime resilience: certified interval, refined within a budget.
 
@@ -600,24 +747,27 @@ def resilience_anytime(
     """
     budget = Budget.coerce(budget)
     if structure is None:
-        structure = witness_structure(database, query, index=index)
+        structure = witness_structure(
+            database, query, index=index, weighted=weighted
+        )
     if not structure.satisfied:
         if on_interval is not None:
             on_interval(0, 0)
         return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
 
+    costs = structure.costs if weighted else None
     meter = _BudgetMeter(budget)
     intervals: List[Tuple[int, Set[int]]] = []
     for component in structure.components:
-        intervals.append(_component_interval(component))
+        intervals.append(_component_interval(component, costs=costs))
 
-    forced = len(structure.forced_ids)
+    forced = _ids_cost(structure.forced_ids, costs)
 
     def _global_interval() -> Tuple[int, int]:
         # Components partition the tuple universe (and exclude forced
         # tuples), so the global interval is a plain sum.
         lo = forced + sum(lb_c for lb_c, _ in intervals)
-        hi = forced + sum(len(ub_set) for _, ub_set in intervals)
+        hi = forced + sum(_ids_cost(ub_set, costs) for _, ub_set in intervals)
         return lo, hi
 
     last_published: Optional[Tuple[int, int]] = None
@@ -637,27 +787,29 @@ def resilience_anytime(
     # fastest, so a tight budget closes as many intervals as possible.
     order = sorted(
         range(len(intervals)),
-        key=lambda i: (len(intervals[i][1]) - intervals[i][0], i),
+        key=lambda i: (_ids_cost(intervals[i][1], costs) - intervals[i][0], i),
     )
     for i in order:
         lb_c, ub_set = intervals[i]
-        if lb_c >= len(ub_set):
+        if lb_c >= _ids_cost(ub_set, costs):
             continue
         component = structure.components[i]
         bnb_lb, bnb_set, completed = _budgeted_bnb(
-            component.sets, ub_set, meter
+            component.sets, ub_set, meter, costs=costs
         )
-        if len(bnb_set) < len(ub_set):
+        if _ids_cost(bnb_set, costs) < _ids_cost(ub_set, costs):
             ub_set = bnb_set
-        lb_c = len(ub_set) if completed else max(lb_c, bnb_lb)
+        lb_c = _ids_cost(ub_set, costs) if completed else max(lb_c, bnb_lb)
         intervals[i] = (lb_c, ub_set)
         _publish()
 
-    lower = len(structure.forced_ids)
+    lower = forced
+    upper = forced
     chosen: Set[int] = set(structure.forced_ids)
     for lb_c, ub_set in intervals:
         lower += lb_c
+        upper += _ids_cost(ub_set, costs)
         chosen |= ub_set
     return BoundedResilienceResult(
-        lower, len(chosen), structure.tuples(chosen), method="anytime"
+        lower, upper, structure.tuples(chosen), method="anytime"
     )

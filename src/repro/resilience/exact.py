@@ -66,18 +66,22 @@ def is_contingency_set(
 # Branch and bound
 # ---------------------------------------------------------------------------
 
-def _bnb_component(sets: Sequence[FrozenSet[int]]) -> Set[int]:
-    """Minimum hitting set of one component by branch and bound.
+def _bnb_component(sets: Sequence[FrozenSet[int]], costs=None) -> Set[int]:
+    """Minimum(-cost) hitting set of one component by branch and bound.
 
     Branches on the tuples of a smallest currently-unhit witness
     (deterministic sorted order); prunes with a disjoint-witness lower
     bound and the greedy incumbent.  The search itself is
     :func:`repro.resilience.approx._budgeted_bnb` run with an unlimited
     budget — one shared implementation guarantees the anytime tier's
-    "unlimited budget equals exact" contract by construction.
+    "unlimited budget equals exact" contract by construction.  With
+    ``costs`` the objective (and the shared search) is the cost sum.
     """
     _, best_set, completed = _budgeted_bnb(
-        sets, _greedy_hitting_set(sets), _BudgetMeter(Budget())
+        sets,
+        _greedy_hitting_set(sets, costs=costs),
+        _BudgetMeter(Budget()),
+        costs=costs,
     )
     assert completed  # unlimited budget always finishes
     return best_set
@@ -97,20 +101,24 @@ def _milp_tools():
     return Bounds, LinearConstraint, milp
 
 
-def _ilp_component(component: WitnessComponent) -> Set[int]:
-    """Minimum hitting set of one component as a 0/1 integer program.
+def _ilp_component(component: WitnessComponent, costs=None) -> Set[int]:
+    """Minimum(-cost) hitting set of one component as a 0/1 integer program.
 
-    ``min sum(x_t)`` subject to ``A x >= 1`` where ``A`` is the
-    component's CSR incidence matrix; solved by scipy's HiGHS-backed
-    ``milp``.
+    ``min sum(c_t x_t)`` subject to ``A x >= 1`` where ``A`` is the
+    component's CSR incidence matrix (``c_t = 1`` unweighted); solved
+    by scipy's HiGHS-backed ``milp``.
     """
     Bounds, LinearConstraint, milp = _milp_tools()
 
     A = component.incidence_matrix()
     m, n = A.shape
+    if costs is None:
+        c = np.ones(n)
+    else:
+        c = np.array([costs[t] for t in component.tuple_ids], dtype=float)
     constraint = LinearConstraint(A, lb=np.ones(m), ub=np.full(m, np.inf))
     result = milp(
-        c=np.ones(n),
+        c=c,
         constraints=[constraint],
         integrality=np.ones(n),
         bounds=Bounds(0, 1),
@@ -123,13 +131,14 @@ def _ilp_component(component: WitnessComponent) -> Set[int]:
 
 
 def _solve_structure(
-    ws: WitnessStructure, backend, method: str
+    ws: WitnessStructure, backend, method: str, weighted: bool = False
 ) -> ResilienceResult:
     """Sum per-component optima plus the forced tuples."""
     chosen: Set[int] = set(ws.forced_ids)
     for component in ws.components:
         chosen |= backend(component)
-    return ResilienceResult(len(chosen), ws.tuples(chosen), method=method)
+    value = ws.cost_of(chosen) if weighted else len(chosen)
+    return ResilienceResult(value, ws.tuples(chosen), method=method)
 
 
 def resilience_branch_and_bound(
@@ -137,18 +146,26 @@ def resilience_branch_and_bound(
     query: ConjunctiveQuery,
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
+    weighted: bool = False,
 ) -> ResilienceResult:
     """Exact resilience via branch and bound on the hitting-set problem.
 
     Consumes the preprocessed witness structure (built, or fetched from
     the cache, when ``structure`` is not supplied; ``index`` is used
     for enumeration on a cache miss) and solves each connected
-    component independently.
+    component independently.  With ``weighted=True`` the structure is
+    built cost-aware and the search minimizes the cost sum.
     """
     if structure is None:
-        structure = witness_structure(database, query, index=index)
+        structure = witness_structure(
+            database, query, index=index, weighted=weighted
+        )
+    costs = structure.costs if weighted else None
     return _solve_structure(
-        structure, lambda comp: _bnb_component(comp.sets), "branch-and-bound"
+        structure,
+        lambda comp: _bnb_component(comp.sets, costs=costs),
+        "branch-and-bound",
+        weighted=weighted,
     )
 
 
@@ -161,16 +178,26 @@ def resilience_ilp(
     query: ConjunctiveQuery,
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
+    weighted: bool = False,
 ) -> ResilienceResult:
     """Exact resilience as per-component 0/1 integer programs.
 
     Each connected component of the preprocessed witness structure
     yields one ILP over its CSR incidence matrix; optima are summed
-    together with the forced tuples.
+    together with the forced tuples.  With ``weighted=True`` the
+    objective carries the per-tuple costs.
     """
     if structure is None:
-        structure = witness_structure(database, query, index=index)
-    return _solve_structure(structure, _ilp_component, "ilp")
+        structure = witness_structure(
+            database, query, index=index, weighted=weighted
+        )
+    costs = structure.costs if weighted else None
+    return _solve_structure(
+        structure,
+        lambda comp: _ilp_component(comp, costs=costs),
+        "ilp",
+        weighted=weighted,
+    )
 
 
 def choose_backend(structure: WitnessStructure) -> str:
@@ -195,23 +222,29 @@ def resilience_exact(
     prefer: str = "auto",
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
+    weighted: bool = False,
 ) -> ResilienceResult:
     """Exact resilience, choosing a backend.
 
     ``prefer`` is ``"auto"`` (the :func:`choose_backend` rule),
-    ``"ilp"``, or ``"bnb"``.
+    ``"ilp"``, or ``"bnb"``.  ``weighted=True`` minimizes the summed
+    tuple costs instead of the cardinality.
     """
     ws = (
         structure
         if structure is not None
-        else witness_structure(database, query, index=index)
+        else witness_structure(database, query, index=index, weighted=weighted)
     )
     if prefer == "ilp":
-        return resilience_ilp(database, query, structure=ws)
+        return resilience_ilp(database, query, structure=ws, weighted=weighted)
     if prefer == "bnb":
-        return resilience_branch_and_bound(database, query, structure=ws)
+        return resilience_branch_and_bound(
+            database, query, structure=ws, weighted=weighted
+        )
     if prefer != "auto":
         raise ValueError(f"unknown backend preference {prefer!r}")
     if choose_backend(ws) == "ilp":
-        return resilience_ilp(database, query, structure=ws)
-    return resilience_branch_and_bound(database, query, structure=ws)
+        return resilience_ilp(database, query, structure=ws, weighted=weighted)
+    return resilience_branch_and_bound(
+        database, query, structure=ws, weighted=weighted
+    )

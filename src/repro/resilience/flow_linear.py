@@ -18,6 +18,16 @@ edge per occurrence), and Lemma 55 shows minimal min cuts never pay for
 the same tuple twice — so the flow value still equals resilience.  The
 solver accepts any linear query and exposes the per-occurrence layering;
 the dispatcher decides when using it is sound.
+
+**Weighted instances** (``weighted=True``): each endogenous tuple edge
+carries the tuple's cost as its capacity, so the min cut minimizes the
+summed deletion cost directly.  This is sound only when no endogenous
+relation repeats across layers — a tuple appearing as several parallel
+edges would be charged once per layer, and (unlike the unit case)
+Lemma 55's never-pay-twice argument does not transfer to weighted
+minimal cuts.  The dispatcher only routes weighted instances here when
+the query is linear with *no* endogenous self-join after normalization;
+the solver additionally verifies the cost accounting on the way out.
 """
 
 from __future__ import annotations
@@ -94,14 +104,17 @@ class LinearFlowSolver:
         return rel is not None and rel.exogenous
 
     # ------------------------------------------------------------------
-    def build_network(self, database: Database) -> FlowNetwork:
+    def build_network(
+        self, database: Database, weighted: bool = False
+    ) -> FlowNetwork:
         """The flow network for ``database`` (exposed for inspection)."""
         net = FlowNetwork()
         atoms = [self.query.atoms[i] for i in self.order]
         layers: List[List[DBTuple]] = [self._facts_at(database, a) for a in atoms]
 
         # Node-split every (position, fact): in -> out carries the
-        # capacity (1 if endogenous, inf otherwise).
+        # capacity (cost if weighted endogenous, 1 if endogenous,
+        # inf otherwise).
         for pos, (atom, facts) in enumerate(zip(atoms, layers)):
             exo = self._exogenous(database, atom)
             for fact in facts:
@@ -110,7 +123,8 @@ class LinearFlowSolver:
                 if exo:
                     net.add_inf_edge(u, v)
                 else:
-                    net.add_unit_edge(u, v, payload=fact)
+                    cap = database.cost(fact) if weighted else 1
+                    net.add_unit_edge(u, v, payload=fact, capacity=cap)
 
         for fact in layers[0]:
             net.source_edge(("in", 0, fact))
@@ -125,11 +139,19 @@ class LinearFlowSolver:
                         net.add_inf_edge(("out", pos, fa), ("in", pos + 1, fb))
         return net
 
-    def solve(self, database: Database) -> ResilienceResult:
-        """Resilience of the query over ``database`` via min cut."""
+    def solve(
+        self, database: Database, weighted: bool = False
+    ) -> ResilienceResult:
+        """Resilience of the query over ``database`` via min cut.
+
+        With ``weighted=True`` the cut minimizes the summed tuple costs
+        (see the module docstring for the soundness precondition the
+        dispatcher enforces).
+        """
+        method = "weighted-linear-flow" if weighted else "linear-flow"
         if not satisfies(database, self.query):
-            return ResilienceResult(0, frozenset(), method="linear-flow")
-        net = self.build_network(database)
+            return ResilienceResult(0, frozenset(), method=method)
+        net = self.build_network(database, weighted=weighted)
         try:
             value, payloads = net.min_cut()
         except RuntimeError as exc:
@@ -139,18 +161,27 @@ class LinearFlowSolver:
         gamma = frozenset(payloads)
         # The same tuple may appear at several positions (Proposition 31
         # layering); Lemma 55 guarantees minimal cuts pay once, so the
-        # deduplicated payload count must equal the flow value.
-        if len(gamma) != value:
+        # deduplicated payload cost must equal the flow value.  (The
+        # weighted path never sees layered tuples — the dispatcher
+        # requires no endogenous self-join — so the check there is a
+        # plain cost-accounting audit.)
+        paid = database.total_cost(gamma) if weighted else len(gamma)
+        if paid != value:
             raise RuntimeError(
                 "min cut double-charged a tuple; Lemma 55 precondition violated"
             )
         if satisfies(database.minus(gamma), self.query):
             raise RuntimeError("flow cut is not a contingency set; solver bug")
-        return ResilienceResult(value, gamma, method="linear-flow")
+        return ResilienceResult(value, gamma, method=method)
 
 
 def resilience_linear_flow(
-    database: Database, query: ConjunctiveQuery, order: Optional[Sequence[int]] = None
+    database: Database,
+    query: ConjunctiveQuery,
+    order: Optional[Sequence[int]] = None,
+    weighted: bool = False,
 ) -> ResilienceResult:
     """Convenience wrapper around :class:`LinearFlowSolver`."""
-    return LinearFlowSolver(query, order=order).solve(database)
+    return LinearFlowSolver(query, order=order).solve(
+        database, weighted=weighted
+    )

@@ -12,6 +12,17 @@ dispatcher maps an isomorphic user query onto these names first.
 
 Every algorithm here is validated against the exact solvers in the test
 suite on randomized databases.
+
+**Weighted instances**: only :func:`solve_qperm` and :func:`solve_qAperm`
+accept ``weighted=True`` — their arguments (tuple-disjoint pairs;
+bipartite vertex cover) transfer to arbitrary positive costs by putting
+each element's cost on its arc.  The other bespoke algorithms rest on
+*domination* arguments ("an R-tuple is never better than the A-tuple
+behind it", Prop 12/13/36/44) or on Lemma 55's unit-cost never-pay-twice
+property (Prop 41's confluence layering), none of which survive non-unit
+costs — a cheap dominated tuple can strictly beat its expensive
+dominator.  The dispatcher sends weighted instances of those shapes to
+the exact weighted hitting-set tier instead.
 """
 
 from __future__ import annotations
@@ -50,32 +61,61 @@ def _r_pairs(database: Database) -> Tuple[Set[FrozenSet], Set[Tuple]]:
 # Proposition 33 — q_perm and q_Aperm
 # ---------------------------------------------------------------------------
 
-def solve_qperm(database: Database) -> ResilienceResult:
+def _pair_tuples(pair: FrozenSet) -> List[DBTuple]:
+    """The R-tuples forming a 2-way pair, in the deterministic order the
+    unweighted solvers delete from (loops yield a single tuple)."""
+    items = sorted(pair, key=repr)
+    if len(items) == 1:
+        return [DBTuple("R", (items[0], items[0]))]
+    return [DBTuple("R", (items[0], items[1])), DBTuple("R", (items[1], items[0]))]
+
+
+def _cheapest_pair_tuple(database: Database, pair: FrozenSet, weighted: bool) -> DBTuple:
+    """The pair member to delete: the first in deterministic order
+    unweighted, the cheapest (first on ties) weighted."""
+    candidates = _pair_tuples(pair)
+    if not weighted:
+        return candidates[0]
+    return min(candidates, key=lambda t: (database.cost(t), candidates.index(t)))
+
+
+def _pair_cost(database: Database, pair: FrozenSet, weighted: bool) -> int:
+    """What breaking a 2-way pair costs: 1 unweighted, the cheapest
+    member's cost weighted."""
+    if not weighted:
+        return 1
+    return min(database.cost(t) for t in _pair_tuples(pair))
+
+
+def solve_qperm(database: Database, weighted: bool = False) -> ResilienceResult:
     """``q_perm :- R(x,y), R(y,x)`` — count witness pairs.
 
     Each tuple participating in a witness participates in exactly one
     unordered pair ``{R(a,b), R(b,a)}`` (or the loop ``R(a,a)`` alone),
     and distinct pairs are tuple-disjoint, so resilience is exactly the
-    number of pairs: one (arbitrary) tuple must go from each.
+    number of pairs: one (arbitrary) tuple must go from each.  Weighted,
+    the pairs stay disjoint, so the optimum is the sum over pairs of the
+    cheaper member's cost — and that member is deleted.
     """
     two_way, _ = _r_pairs(database)
     gamma = set()
+    value = 0
     for pair in two_way:
-        items = sorted(pair, key=repr)
-        if len(items) == 1:
-            gamma.add(DBTuple("R", (items[0], items[0])))
-        else:
-            gamma.add(DBTuple("R", (items[0], items[1])))
-    return ResilienceResult(len(two_way), frozenset(gamma), method="flow:q_perm")
+        gamma.add(_cheapest_pair_tuple(database, pair, weighted))
+        value += _pair_cost(database, pair, weighted)
+    return ResilienceResult(value, frozenset(gamma), method="flow:q_perm")
 
 
-def solve_qAperm(database: Database) -> ResilienceResult:
+def solve_qAperm(database: Database, weighted: bool = False) -> ResilienceResult:
     """``q_Aperm :- A(x), R(x,y), R(y,x)`` — bipartite vertex cover.
 
     A witness is ``A(a)`` plus a 2-way pair containing ``a``.  Break it
     by deleting ``A(a)`` or one tuple of the pair (never both tuples —
     one suffices and the other breaks nothing more).  This is vertex
     cover in the bipartite graph (A-tuples) x (pairs), solved by flow.
+    Weighted, the A-arc carries the A-tuple's cost and the pair-arc the
+    cheaper pair member's cost — a weighted vertex cover, still exactly
+    a min cut.
     """
     two_way, _ = _r_pairs(database)
     rel_a = database.relations.get("A")
@@ -91,12 +131,23 @@ def solve_qAperm(database: Database) -> ResilienceResult:
         pnode = ("pair", pair)
         if pnode not in pair_nodes:
             pair_nodes.add(pnode)
-            net.add_unit_edge(pnode, ("pair_out", pair), payload=("pair", pair))
+            net.add_unit_edge(
+                pnode,
+                ("pair_out", pair),
+                payload=("pair", pair),
+                capacity=_pair_cost(database, pair, weighted),
+            )
             net.sink_edge(("pair_out", pair))
         for a in touching:
             anode = ("A", a)
             if not net.graph.has_node(anode):
-                net.add_unit_edge(anode, ("A_out", a), payload=DBTuple("A", (a,)))
+                a_fact = DBTuple("A", (a,))
+                net.add_unit_edge(
+                    anode,
+                    ("A_out", a),
+                    payload=a_fact,
+                    capacity=database.cost(a_fact) if weighted else 1,
+                )
                 net.source_edge(anode)
             net.add_inf_edge(("A_out", a), pnode)
     value, payloads = net.min_cut()
@@ -106,11 +157,7 @@ def solve_qAperm(database: Database) -> ResilienceResult:
             gamma.add(p)
         else:
             _, pair = p
-            items = sorted(pair, key=repr)
-            if len(items) == 1:
-                gamma.add(DBTuple("R", (items[0], items[0])))
-            else:
-                gamma.add(DBTuple("R", (items[0], items[1])))
+            gamma.add(_cheapest_pair_tuple(database, pair, weighted))
     return ResilienceResult(value, frozenset(gamma), method="flow:q_Aperm")
 
 

@@ -8,7 +8,9 @@ everything else has effectively infinite capacity.  :class:`FlowNetwork`
 wraps that pattern with the two idioms every construction here needs:
 
 * **element edges**: a deletable tuple is modelled as an edge
-  ``u -> v`` of integer capacity 1 carrying a payload (the tuple);
+  ``u -> v`` of integer capacity 1 carrying a payload (the tuple); in
+  the *weighted* problem the capacity is the tuple's cost instead, so
+  the min cut directly minimizes the summed deletion cost;
 * **infinite edges**: structural connections that may never be cut,
   modelled with an integer big-M capacity strictly larger than the sum
   of all unit capacities (so any finite min cut avoids them; a computed
@@ -72,8 +74,14 @@ class FlowNetwork:
         self._unit_edges: List[Tuple[Hashable, Hashable]] = []
 
     # ------------------------------------------------------------------
-    def add_unit_edge(self, u: Hashable, v: Hashable, payload) -> None:
-        """An edge of capacity 1 representing a deletable tuple.
+    def add_unit_edge(
+        self, u: Hashable, v: Hashable, payload, capacity: int = 1
+    ) -> None:
+        """An edge of finite capacity representing a deletable tuple.
+
+        ``capacity`` defaults to 1 (the unweighted construction); the
+        weighted constructions pass the tuple's cost, so cutting the
+        edge charges exactly that cost to the min cut.
 
         Parallel unit edges between the same node pair are merged by
         capacity addition in networkx, which would corrupt payload
@@ -82,7 +90,9 @@ class FlowNetwork:
         """
         if self.graph.has_edge(u, v):
             raise ValueError(f"duplicate edge {u!r} -> {v!r}")
-        self.graph.add_edge(u, v, capacity=1, payload=payload)
+        if not isinstance(capacity, int) or capacity < 1:
+            raise ValueError(f"unit-edge capacity must be a positive int, got {capacity!r}")
+        self.graph.add_edge(u, v, capacity=capacity, payload=payload)
         self._unit_edges.append((u, v))
 
     def add_inf_edge(self, u: Hashable, v: Hashable) -> None:
@@ -110,13 +120,18 @@ class FlowNetwork:
         The returned cut is the one induced by the residual-graph
         source partition of a maximum flow — the unique
         inclusion-minimal min cut (the property Lemma 55 needs).  The
-        value is an exact integer: unit edges carry capacity 1, and a
-        value reaching the big-M bound (an all-infinite s-t path, which
-        the constructions forbid) raises ``RuntimeError``.
+        value is an exact integer: element edges carry their integer
+        capacity (1 unweighted, the tuple cost weighted), and a value
+        reaching the big-M bound (an all-infinite s-t path, which the
+        constructions forbid) raises ``RuntimeError``.
         """
         if self.graph.out_degree(self.SOURCE) == 0 or self.graph.in_degree(self.SINK) == 0:
             return 0, []
-        big_m = len(self._unit_edges) + 1
+        # Strictly above the sum of all finite capacities, so no finite
+        # cut ever prefers an infinite edge — weighted or not.
+        big_m = sum(
+            self.graph.edges[u, v]["capacity"] for u, v in self._unit_edges
+        ) + 1
         if flow_backend() == "networkx":
             value, reachable = self._min_cut_networkx(big_m)
         else:
@@ -127,7 +142,7 @@ class FlowNetwork:
         for u, v in self._unit_edges:
             if u in reachable and v not in reachable:
                 payloads.append(self.graph.edges[u, v]["payload"])
-        # Cut value counts capacities; all cut unit edges have capacity 1.
+        # Cut value sums the capacities (= costs) of the cut element edges.
         return value, payloads
 
     # ------------------------------------------------------------------
@@ -164,7 +179,7 @@ class FlowNetwork:
         for k, (u, v, data) in enumerate(self.graph.edges(data=True)):
             rows[k] = index[u]
             cols[k] = index[v]
-            caps[k] = 1 if data["payload"] is not None else big_m
+            caps[k] = data["capacity"] if data["payload"] is not None else big_m
         capacity = csr_matrix((caps, (rows, cols)), shape=(n, n))
         result = maximum_flow(
             capacity, index[self.SOURCE], index[self.SINK]

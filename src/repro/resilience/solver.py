@@ -81,6 +81,27 @@ def _special_solvers() -> Dict[frozenset, Callable]:
 _SPECIALS = _special_solvers()
 
 
+def _weighted_special_solvers() -> Dict[frozenset, Callable]:
+    """The bespoke algorithms that stay exact under arbitrary costs.
+
+    Only ``q_perm`` (tuple-disjoint pairs) and ``q_Aperm`` (bipartite
+    vertex cover) qualify; the other specials rest on domination or
+    Lemma 55 arguments that break for non-unit costs — see the
+    ``flow_special`` module docstring.
+    """
+    table = {}
+    table[ALL_QUERIES["q_perm"].canonical_signature()] = (
+        lambda db, q: solve_qperm(db, weighted=True)
+    )
+    table[ALL_QUERIES["q_Aperm"].canonical_signature()] = (
+        lambda db, q: solve_qAperm(db, weighted=True)
+    )
+    return table
+
+
+_WEIGHTED_SPECIALS = _weighted_special_solvers()
+
+
 def _flow_safe(query: ConjunctiveQuery) -> bool:
     """May the linear flow solver be used for this query?
 
@@ -101,6 +122,33 @@ def _flow_safe(query: ConjunctiveQuery) -> bool:
         return False
     pattern = two_atom_pattern(normalized)
     return pattern == CONFLUENCE
+
+
+def _weighted_flow_safe(query: ConjunctiveQuery) -> bool:
+    """May the linear flow solver be used for a *weighted* instance?
+
+    Stricter than :func:`_flow_safe` in two ways.  First, the
+    Proposition 31 confluence layering is excluded: its correctness
+    rests on Lemma 55's never-pay-twice property of unit-capacity
+    minimal cuts, which does not transfer to weighted cuts — a tuple
+    appearing in two layers would be charged its cost per layer, and
+    the cheapest weighted cut may genuinely differ from any cut the
+    layered network can price correctly.  Second, the judgement is made
+    on the query *as written*, never on :func:`normalize`'s output:
+    normalization re-marks dominated atoms exogenous (sound when every
+    deletion costs 1 — a dominating tuple is never a worse pick), but
+    under costs a dominated relation may hold the *cheapest* valid
+    deletion, so the flow network must keep every endogenous atom of
+    the original query chargeable.  Weighted flow is sound exactly when
+    every endogenous tuple maps to a single finite-capacity arc: the
+    query itself is linear with no endogenous repeats.
+    """
+    if find_linear_order(query) is None:
+        return False
+    endo_counts: Dict[str, int] = {}
+    for atom in query.endogenous_atoms():
+        endo_counts[atom.relation] = endo_counts.get(atom.relation, 0) + 1
+    return all(c == 1 for c in endo_counts.values())
 
 
 @dataclass(frozen=True)
@@ -124,13 +172,32 @@ class DispatchPlan:
 
 
 @lru_cache(maxsize=256)
-def dispatch_plan(query: ConjunctiveQuery) -> DispatchPlan:
+def dispatch_plan(query: ConjunctiveQuery, weighted: bool = False) -> DispatchPlan:
     """Decide (and cache) how to solve ``query``, per the module doc.
 
     The cache key is the query object itself; ``ConjunctiveQuery``
     hashes by canonical signature, so structurally identical queries
-    share one plan.
+    share one plan.  ``weighted=True`` yields the plan for genuinely
+    weighted databases: only the cost-sound specials (``q_perm``,
+    ``q_Aperm``) and the repeat-free linear flow stay polynomial; every
+    other shape routes to the exact weighted hitting-set tier.
     """
+    if weighted:
+        special = _WEIGHTED_SPECIALS.get(query.canonical_signature())
+        if special is not None:
+            return DispatchPlan("special", lambda db: special(db, query))
+        verdict = classify(query)
+        if verdict.verdict == Verdict.P and _weighted_flow_safe(query):
+            # The flow always runs on the query as written: the
+            # classifier's normalized form may have re-marked dominated
+            # atoms exogenous, which is cost-unsound (see
+            # _weighted_flow_safe).
+            flow = LinearFlowSolver(query)
+            return DispatchPlan(
+                "flow", lambda db: flow.solve(db, weighted=True)
+            )
+        return DispatchPlan("exact")
+
     special = _SPECIALS.get(query.canonical_signature())
     if special is not None:
         return DispatchPlan("special", lambda db: special(db, query))
@@ -155,6 +222,7 @@ def solve(
     mode: str = "exact",
     budget=None,
     on_interval=None,
+    weighted: bool = False,
 ):
     """Compute resilience, dispatching to the appropriate algorithm.
 
@@ -187,11 +255,25 @@ def solve(
     intervals as the solve tightens them — see
     :func:`~repro.resilience.approx.resilience_anytime`; instances
     dispatch solves exactly report their closed interval once.
+
+    ``weighted=True`` minimizes the summed tuple costs
+    (:meth:`~repro.db.database.Database.cost`) instead of the
+    cardinality.  A weighted solve over a database whose endogenous
+    costs are all 1 delegates to the unweighted path — results are
+    bit-identical to ``weighted=False``, including methods and
+    certificates.
     """
     if mode not in ("exact", "approx", "anytime"):
         raise ValueError(f"unknown mode {mode!r}")
     if on_interval is not None and mode == "exact":
         raise ValueError("on_interval requires a bounded mode")
+    # All-unit databases delegate to the unweighted path: same
+    # algorithms, same results, bit for bit.
+    effective = weighted and database.has_weighted_costs()
+    if effective and structure is not None and not structure.weighted:
+        # A cost-oblivious prebuilt structure may have kernelized away
+        # exactly the cheap tuples a weighted optimum needs; rebuild.
+        structure = None
     if mode != "exact":
         if method is not None:
             raise ValueError("method forcing requires mode='exact'")
@@ -203,11 +285,20 @@ def solve(
             structure=structure,
             index=index,
             on_interval=on_interval,
+            weighted=effective,
         )
     if method == "exact":
-        return resilience_exact(database, query, structure=structure, index=index)
+        return resilience_exact(
+            database, query, structure=structure, index=index, weighted=effective
+        )
     if method == "flow":
-        return LinearFlowSolver(query).solve(database)
+        if effective and not _weighted_flow_safe(query):
+            raise ValueError(
+                "method='flow' is not cost-sound for this query on a "
+                "weighted database (confluence layering charges per "
+                "occurrence); use automatic dispatch"
+            )
+        return LinearFlowSolver(query).solve(database, weighted=effective)
     if method is not None:
         raise ValueError(f"unknown method {method!r}")
 
@@ -218,9 +309,11 @@ def solve(
     if not satisfied:
         return ResilienceResult(0, frozenset(), method="unsatisfied")
 
-    plan = dispatch_plan(query)
+    plan = dispatch_plan(query, weighted=effective)
     if plan.kind == "exact":
-        return resilience_exact(database, query, structure=structure, index=index)
+        return resilience_exact(
+            database, query, structure=structure, index=index, weighted=effective
+        )
     return plan.run(database)
 
 
@@ -232,6 +325,7 @@ def _solve_bounded(
     structure: Optional[WitnessStructure] = None,
     index: Optional[DatabaseIndex] = None,
     on_interval=None,
+    weighted: bool = False,
 ) -> BoundedResilienceResult:
     """The ``mode="approx"`` / ``mode="anytime"`` paths of :func:`solve`.
 
@@ -252,7 +346,7 @@ def _solve_bounded(
             on_interval(0, 0)
         return BoundedResilienceResult(0, 0, frozenset(), method="unsatisfied")
 
-    plan = dispatch_plan(query)
+    plan = dispatch_plan(query, weighted=weighted)
     if plan.kind != "exact":
         exact = plan.run(database)
         if on_interval is not None:
@@ -262,7 +356,7 @@ def _solve_bounded(
         )
     if mode == "approx":
         result = resilience_bounds(
-            database, query, structure=structure, index=index
+            database, query, structure=structure, index=index, weighted=weighted
         )
         if on_interval is not None:
             on_interval(result.lower_bound, result.upper_bound)
@@ -274,12 +368,15 @@ def _solve_bounded(
         structure=structure,
         index=index,
         on_interval=on_interval,
+        weighted=weighted,
     )
 
 
-def resilience(database: Database, query: ConjunctiveQuery) -> int:
-    """``rho(q, D)``: just the minimum contingency-set size."""
-    return solve(database, query).value
+def resilience(
+    database: Database, query: ConjunctiveQuery, weighted: bool = False
+) -> int:
+    """``rho(q, D)``: just the minimum contingency-set size (or cost)."""
+    return solve(database, query, weighted=weighted).value
 
 
 def in_res(database: Database, query: ConjunctiveQuery, k: int) -> bool:

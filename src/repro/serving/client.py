@@ -120,6 +120,7 @@ class ServingClient:
         mode: str = "exact",
         method: Optional[str] = None,
         budget=None,
+        weighted: bool = False,
     ) -> Tuple[Any, Dict[str, Any]]:
         """Solve one instance; returns ``(result, response_metadata)``.
 
@@ -127,7 +128,8 @@ class ServingClient:
         :class:`~repro.resilience.types.ResilienceResult` or
         :class:`~repro.resilience.types.BoundedResilienceResult`;
         the metadata dict carries ``coalesced`` / ``cache`` / ``tier``
-        / ``rerouted`` / ``mode``.
+        / ``rerouted`` / ``mode``.  ``weighted=True`` requests the
+        min-cost objective (tuple costs travel in the database spec).
         """
         from repro.resilience.types import Budget
 
@@ -137,6 +139,7 @@ class ServingClient:
             mode=mode,
             method=method,
             budget=Budget.coerce(budget) if budget is not None else None,
+            weighted=weighted,
         )
         body = self._post_json("/solve", encode_request(request))
         result = decode_result(body["result"])
@@ -149,6 +152,7 @@ class ServingClient:
         mode: str = "exact",
         method: Optional[str] = None,
         budget=None,
+        weighted: bool = False,
     ) -> Tuple[list, Dict[str, Any]]:
         """Solve many (database, query) pairs in one round trip."""
         from repro.serving.wire import (
@@ -171,6 +175,8 @@ class ServingClient:
             payload["method"] = method
         if budget is not None:
             payload["budget"] = budget_to_spec(Budget.coerce(budget))
+        if weighted:
+            payload["weighted"] = True
         body = self._post_json("/solve_batch", payload)
         results = [decode_result(r) for r in body["results"]]
         meta = {k: v for k, v in body.items() if k != "results"}

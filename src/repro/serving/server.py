@@ -224,6 +224,7 @@ class ServingApp:
             mode=decision.mode,
             method=decision.method,
             budget=decision.budget,
+            weighted=request.weighted,
         )
         if self.cache is not None:
             hit = self.cache.get(key)
@@ -335,8 +336,9 @@ class ServingApp:
         across calls).
 
         Payload: ``{"wire_schema", "pairs": [{"database", "query"},
-        ...], "mode"?, "method"?, "budget"?}`` — one tier shared by the
-        whole batch, results in input order.
+        ...], "mode"?, "method"?, "budget"?, "weighted"?}`` — one tier
+        (and one objective) shared by the whole batch, results in input
+        order.
         """
         if not isinstance(payload, dict):
             raise WireError("batch request must be an object")
@@ -364,6 +366,9 @@ class ServingApp:
             raise WireError(f"unknown mode {mode!r}")
         if method not in METHODS:
             raise WireError(f"unknown method {method!r}")
+        weighted = payload.get("weighted", False)
+        if not isinstance(weighted, bool):
+            raise WireError("'weighted' must be a boolean")
         budget = budget_from_spec(payload.get("budget"))
         pairs = []
         for i, pair_spec in enumerate(pairs_spec):
@@ -378,8 +383,11 @@ class ServingApp:
 
         # Batch-level admission: one oversized pair reroutes the whole
         # homogeneous batch to the anytime tier (results stay certified).
-        requests = [SolveRequest(db, q, mode=mode, method=method, budget=budget)
-                    for db, q in pairs]
+        requests = [
+            SolveRequest(db, q, mode=mode, method=method, budget=budget,
+                         weighted=weighted)
+            for db, q in pairs
+        ]
         oversized = [
             i for i, r in enumerate(requests)
             if self.policy.instance_size(r) > self.policy.max_exact_tuples
@@ -404,6 +412,7 @@ class ServingApp:
                 workers=self.workers,
                 pool=self.pool,
                 cache_dir=self.cache_dir,
+                weighted=weighted,
             )
         finally:
             self.metrics.solve_finished()
@@ -450,6 +459,10 @@ class ServingApp:
                 "method": decision.method,
                 "budget": decision.budget,
             }
+            # Added only when set, so injected test solvers with the
+            # historical signature keep working for unweighted requests.
+            if request.weighted:
+                kwargs["weighted"] = True
             if on_interval is not None:
                 kwargs["on_interval"] = on_interval
             return self._solve_fn(request.database, request.query, **kwargs)

@@ -45,7 +45,10 @@ from repro.resilience.types import (
 
 # Bumped whenever request/response payload layouts change; requests
 # carrying another version are rejected with a clean 400.
-WIRE_SCHEMA = 1
+# Schema 2 (1.6.0): relations may carry a ``costs`` array (per-tuple
+# deletion costs, aligned with ``tuples``) and requests a ``weighted``
+# flag selecting the weighted objective.
+WIRE_SCHEMA = 2
 
 MODES = ("exact", "approx", "anytime")
 METHODS = (None, "exact", "flow")
@@ -65,6 +68,7 @@ class SolveRequest:
     method: Optional[str] = None
     budget: Optional[Budget] = None
     stream: bool = False
+    weighted: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -92,9 +96,12 @@ def database_from_spec(spec: Any) -> Database:
     """Build a :class:`Database` from its wire/JSON specification.
 
     The schema is ``{"relations": {name: {"arity": k, "exogenous":
-    bool, "tuples": [[v, ...], ...]}}}``; a row may be a bare scalar
-    for a unary relation.  Raises :class:`WireError` on any structural
-    problem (wrong types, arity mismatches, non-scalar values).
+    bool, "tuples": [[v, ...], ...], "costs": [c, ...]}}}``; a row may
+    be a bare scalar for a unary relation, and the optional ``costs``
+    array gives each row's positive-integer deletion cost, aligned with
+    ``tuples`` (omitted costs default to 1).  Raises :class:`WireError`
+    on any structural problem (wrong types, arity mismatches,
+    non-scalar values, misaligned or non-positive costs).
     """
     if not isinstance(spec, dict):
         raise WireError(f"database spec must be an object, got {type(spec).__name__}")
@@ -115,13 +122,27 @@ def database_from_spec(spec: Any) -> Database:
         rows = rel_spec.get("tuples", [])
         if not isinstance(rows, list):
             raise WireError(f"relation {name!r}: tuples must be an array")
-        for row in rows:
+        costs = rel_spec.get("costs")
+        if costs is not None:
+            if not isinstance(costs, list) or len(costs) != len(rows):
+                raise WireError(
+                    f"relation {name!r}: costs must be an array aligned "
+                    f"with tuples ({len(rows)} rows)"
+                )
+            for c in costs:
+                if isinstance(c, bool) or not isinstance(c, int) or c < 1:
+                    raise WireError(
+                        f"relation {name!r}: cost {c!r} must be a "
+                        "positive integer"
+                    )
+        for i, row in enumerate(rows):
             values = row if isinstance(row, list) else [row]
             if len(values) != arity:
                 raise WireError(
                     f"relation {name!r}: row {row!r} does not match arity {arity}"
                 )
-            db.add(name, *(_decode_value(v) for v in values))
+            cost = costs[i] if costs is not None else None
+            db.add(name, *(_decode_value(v) for v in values), cost=cost)
     return db
 
 
@@ -132,11 +153,16 @@ def database_to_spec(database: Database) -> Dict[str, Any]:
     for name in sorted(database.relations):
         rel = database.relations[name]
         rows = sorted((t for t in rel), key=DBTuple.sort_key)
-        relations[name] = {
+        rel_spec: Dict[str, Any] = {
             "arity": rel.arity,
             "exogenous": rel.exogenous,
             "tuples": [[_encode_value(v) for v in t.values] for t in rows],
         }
+        # Costs travel only when some row's differs from the default 1,
+        # so all-unit databases keep the schema-1 relation layout.
+        if rel.has_weighted_costs:
+            rel_spec["costs"] = [rel.cost(t) for t in rows]
+        relations[name] = rel_spec
     return {"relations": relations}
 
 
@@ -271,7 +297,8 @@ def decode_request(payload: Any) -> SolveRequest:
             f"{WIRE_SCHEMA})"
         )
     unknown = set(payload) - {
-        "wire_schema", "database", "query", "mode", "method", "budget", "stream",
+        "wire_schema", "database", "query", "mode", "method", "budget",
+        "stream", "weighted",
     }
     if unknown:
         raise WireError(f"unknown request fields {sorted(unknown)}")
@@ -290,6 +317,9 @@ def decode_request(payload: Any) -> SolveRequest:
     stream = payload.get("stream", False)
     if not isinstance(stream, bool):
         raise WireError("'stream' must be a boolean")
+    weighted = payload.get("weighted", False)
+    if not isinstance(weighted, bool):
+        raise WireError("'weighted' must be a boolean")
     budget = budget_from_spec(payload.get("budget"))
     if budget is not None and mode != "anytime":
         raise WireError("a budget only applies to mode='anytime'")
@@ -300,6 +330,7 @@ def decode_request(payload: Any) -> SolveRequest:
         method=method,
         budget=budget,
         stream=stream,
+        weighted=weighted,
     )
 
 
@@ -318,6 +349,8 @@ def encode_request(request: SolveRequest) -> Dict[str, Any]:
         payload["budget"] = budget_to_spec(request.budget)
     if request.stream:
         payload["stream"] = True
+    if request.weighted:
+        payload["weighted"] = True
     return payload
 
 

@@ -45,7 +45,7 @@ from repro.query.evaluation import DatabaseIndex
 from repro.witness.structure import WitnessStructure
 
 _MAXSIZE = 128
-_cache: "OrderedDict[Tuple[frozenset, frozenset, bool], WitnessStructure]" = (
+_cache: "OrderedDict[Tuple[frozenset, frozenset, bool, bool], WitnessStructure]" = (
     OrderedDict()
 )
 _hits = 0
@@ -61,17 +61,27 @@ def witness_structure(
     query: ConjunctiveQuery,
     reduce: bool = True,
     index: Optional[DatabaseIndex] = None,
+    weighted: bool = False,
 ) -> WitnessStructure:
     """The (cached) witness structure of a (query, database) pair.
 
-    The key covers the full database contents, so the cache is safe
-    under mutation: any change to tuples or exogenous flags produces a
-    fresh build.  ``index`` is only consulted on a miss.  Thread-safe;
-    concurrent misses on the same key may build twice (the builds are
-    pure, so either result is correct and the last one is kept).
+    The key covers the full database contents (including any non-unit
+    endogenous tuple costs, via the canonical form) plus the
+    ``weighted`` flag — a weighted build runs the cost-aware
+    kernelization, so it never aliases an unweighted build of the same
+    instance.  The cache is safe under mutation: any change to tuples,
+    flags, or costs produces a fresh build.  ``index`` is only
+    consulted on a miss.  Thread-safe; concurrent misses on the same
+    key may build twice (the builds are pure, so either result is
+    correct and the last one is kept).
     """
     global _hits, _misses
-    key = (database.canonical_form(), query.canonical_signature(), reduce)
+    key = (
+        database.canonical_form(),
+        query.canonical_signature(),
+        reduce,
+        weighted,
+    )
     with _cache_lock:
         cached = _cache.get(key)
         if cached is not None:
@@ -79,7 +89,9 @@ def witness_structure(
             _cache.move_to_end(key)
             return cached
         _misses += 1
-    ws = WitnessStructure.build(database, query, reduce=reduce, index=index)
+    ws = WitnessStructure.build(
+        database, query, reduce=reduce, index=index, weighted=weighted
+    )
     with _cache_lock:
         _cache[key] = ws
         while len(_cache) > _MAXSIZE:
@@ -107,8 +119,11 @@ def witness_cache_info() -> Tuple[int, int, int]:
 # ---------------------------------------------------------------------------
 
 # Bumped whenever the stored payload layout or the key semantics change;
-# old entries then simply never match and age out.
-CACHE_SCHEMA = 1
+# old entries then simply never match and age out.  Schema 2: keys gained
+# the ``weighted`` flag and per-tuple cost text (weighted resilience) —
+# every schema-1 entry is invalidated wholesale rather than risking a
+# unit-cost key colliding with a weighted one.
+CACHE_SCHEMA = 2
 
 
 def _canonical_pair_text(database: Database, query: ConjunctiveQuery) -> str:
@@ -118,13 +133,21 @@ def _canonical_pair_text(database: Database, query: ConjunctiveQuery) -> str:
     same repr-based total order as :meth:`DBTuple.sort_key`), plus the
     sorted atom signatures of the query — no ``hash()`` anywhere, so the
     text is stable across processes and interpreter runs regardless of
-    ``PYTHONHASHSEED``.
+    ``PYTHONHASHSEED``.  Non-unit endogenous tuple costs contribute a
+    ``$costs`` segment per relation (exogenous costs are never charged,
+    so they are excluded), keeping all-unit databases textually
+    identical whether or not anyone ever touched the cost API.
     """
     parts = []
     for name in sorted(database.relations):
         rel = database.relations[name]
         rows = ",".join(sorted(repr(t.values) for t in rel))
         parts.append(f"{name}/{rel.arity}/{int(rel.exogenous)}:{rows}")
+        if not rel.exogenous and rel.has_weighted_costs:
+            cost_rows = ",".join(
+                sorted(f"{values!r}={cost}" for values, cost in rel.cost_items())
+            )
+            parts.append(f"{name}$costs:{cost_rows}")
     atoms = ";".join(
         sorted(
             f"{a.relation}({','.join(a.args)}){'^x' if a.exogenous else ''}"
@@ -140,14 +163,16 @@ def pair_cache_key(
     mode: str = "exact",
     method: Optional[str] = None,
     budget=None,
+    weighted: bool = False,
 ) -> str:
     """The content-hash key one solved result is stored under.
 
     SHA-256 over the canonical pair text plus every parameter that can
     change the result: the solving tier, a forced backend, the anytime
-    budget, and :data:`CACHE_SCHEMA`.  Equal-content databases produce
-    equal keys; any tuple, flag, or parameter change produces a
-    different key (which is the entire invalidation story).
+    budget, the ``weighted`` objective flag, and :data:`CACHE_SCHEMA`.
+    Equal-content databases produce equal keys; any tuple, flag, cost,
+    or parameter change produces a different key (which is the entire
+    invalidation story).
 
     ``budget`` accepts everything the solvers do — ``None``, a bare
     number of seconds, or a :class:`~repro.resilience.types.Budget` —
@@ -170,6 +195,7 @@ def pair_cache_key(
             f"method={method}",
             f"time_limit={time_limit!r}",
             f"node_limit={node_limit!r}",
+            f"weighted={bool(weighted)}",
             _canonical_pair_text(database, query),
         ]
     )

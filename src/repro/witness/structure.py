@@ -27,6 +27,17 @@ Stages 1–3 run to a fixpoint (each can enable the others), and the
 whole pipeline frequently solves small instances outright, leaving the
 branch-and-bound / ILP backends only the irreducible core.
 
+**Weighted instances.**  With per-tuple costs (``build(...,
+weighted=True)``), stages 1, 2, and 4 are cost-oblivious — minimality
+and forcing are pure feasibility arguments — but stage 3 must compare
+costs: ``t`` may only be swapped for ``u`` when ``cost(u) <= cost(t)``
+(a cheaper-or-equal dominator preserves the weighted optimum; a more
+expensive one does not).  Both the frozenset reference and the bitset
+matrix kernel apply the same cost-aware rule, the structure records
+per-id costs (:attr:`WitnessStructure.costs`), and the preserved
+invariant becomes ``opt_w(original) = cost(forced) + opt_w(reduced)``.
+An unweighted build is bit-for-bit the historical pipeline.
+
 Internally witness sets are ``frozenset``s of integer tuple-ids; stage
 3's subset tests run on Python-int *bitsets* over witness rows (a
 single ``& ~`` per candidate pair), and the final per-tuple bitsets
@@ -197,10 +208,16 @@ class WitnessStructure:
         forced_ids: FrozenSet[int],
         stats: ReductionStats,
         raw_matrix=None,
+        weighted: bool = False,
+        costs: Optional[Tuple[int, ...]] = None,
     ):
         self.database = database
         self.query = query
         self.universe = universe
+        self.weighted = weighted
+        # Per-universe-id costs; populated only on weighted builds (an
+        # unweighted structure charges 1 per tuple implicitly).
+        self.costs: Optional[Tuple[int, ...]] = costs
         self.tuple_index: Dict[DBTuple, int] = {t: i for i, t in enumerate(universe)}
         # raw_sets may arrive as the padded id matrix of the columnar
         # fast path; the frozenset view is materialized on first access
@@ -226,6 +243,7 @@ class WitnessStructure:
         query: ConjunctiveQuery,
         reduce: bool = True,
         index: Optional[DatabaseIndex] = None,
+        weighted: bool = False,
     ) -> "WitnessStructure":
         """Enumerate witnesses and (optionally) run all reductions.
 
@@ -233,6 +251,10 @@ class WitnessStructure:
         cross-checking that the reductions preserve the optimum.  An
         existing :class:`DatabaseIndex` may be passed to reuse per-atom
         hash indexes across many builds on the same database.
+        ``weighted=True`` records per-tuple costs and switches
+        dominated-tuple elimination to the cost-aware rule (see the
+        module doc); with all costs at 1 the result is identical to an
+        unweighted build.
 
         Large instances enumerate through the vectorized columnar join
         (:func:`repro.query.columnar.try_witness_incidence`), which
@@ -287,6 +309,9 @@ class WitnessStructure:
             tuples_raw=len(universe),
             time_enumerate=t1 - t0,
         )
+        costs = (
+            tuple(database.cost(t) for t in universe) if weighted else None
+        )
         # Both enumeration paths deduplicate witness sets already.
         stats.witnesses_distinct = n_raw if raw is None else len(set(raw))
         if (
@@ -299,7 +324,7 @@ class WitnessStructure:
             # The matrix is already the bitset kernel's working
             # representation — skip the frozenset round-trip.
             out, forced_ids, dominated = _reduce_matrix(
-                matrix, len(universe), stats
+                matrix, len(universe), stats, costs=costs
             )
             sets: List[FrozenSet[int]] = _sets_from_matrix(out, len(universe))
             forced = frozenset(forced_ids)
@@ -310,7 +335,7 @@ class WitnessStructure:
                     for row in matrix.tolist()
                 )
             if reduce:
-                sets, forced, dominated = _reduce(list(raw), stats)
+                sets, forced, dominated = _reduce(list(raw), stats, costs=costs)
             else:
                 sets, forced, dominated = list(raw), frozenset(), 0
                 stats.witnesses_minimal = len(raw)
@@ -326,6 +351,8 @@ class WitnessStructure:
             frozenset(forced),
             stats,
             raw_matrix=matrix,
+            weighted=weighted,
+            costs=costs,
         )
 
     # ------------------------------------------------------------------
@@ -355,6 +382,23 @@ class WitnessStructure:
     def tuples(self, ids) -> FrozenSet[DBTuple]:
         """Map ids back to database facts."""
         return frozenset(self.universe[i] for i in ids)
+
+    def cost_of(self, ids) -> int:
+        """The summed cost of a set of tuple ids.
+
+        On an unweighted structure every tuple costs 1, so this is
+        simply the count — solvers can use it unconditionally.
+        """
+        if self.costs is None:
+            return len(ids) if not isinstance(ids, int) else 1
+        if isinstance(ids, int):
+            return self.costs[ids]
+        return sum(self.costs[i] for i in ids)
+
+    @property
+    def forced_cost(self) -> int:
+        """The summed cost of the forced tuples."""
+        return self.cost_of(self.forced_ids)
 
     def incidence_matrix(self):
         """CSR 0/1 incidence of the *reduced* structure: rows = witness
@@ -439,7 +483,10 @@ def _minimal_sets(sets: List[FrozenSet[int]]) -> List[FrozenSet[int]]:
     return kept
 
 
-def _dominated_tuples(sets: Sequence[FrozenSet[int]]) -> List[int]:
+def _dominated_tuples(
+    sets: Sequence[FrozenSet[int]],
+    costs: Optional[Sequence[int]] = None,
+) -> List[int]:
     """Tuples whose witness rows are covered by another tuple's rows.
 
     ``t`` is dominated by ``u`` when ``rows(t) ⊆ rows(u)``: any hitting
@@ -448,6 +495,12 @@ def _dominated_tuples(sets: Sequence[FrozenSet[int]]) -> List[int]:
     deterministic; a tuple already marked dominated is never used as a
     dominator (domination is transitive, so a live dominator always
     exists).
+
+    With ``costs`` (weighted instances) the swap argument needs
+    ``cost(u) <= cost(t)`` — replacing ``t`` by a strictly more
+    expensive ``u`` could raise the weighted optimum — and for equal
+    row sets the strictly cheaper tuple wins (smallest id on cost
+    ties).  ``costs=None`` is exactly the historical unweighted rule.
     """
     bitsets = _bitsets(sets)
     dominated: set = set()
@@ -458,25 +511,35 @@ def _dominated_tuples(sets: Sequence[FrozenSet[int]]) -> List[int]:
         # endogenous atom count), which makes this linear-ish in the
         # incidence size instead of quadratic in the tuple count.
         lowest_row = (rows_t & -rows_t).bit_length() - 1
+        cost_t = 1 if costs is None else costs[t]
         for u in sorted(sets[lowest_row]):
             if u == t or u in dominated:
                 continue
+            cost_u = 1 if costs is None else costs[u]
+            if cost_u > cost_t:
+                continue
             rows_u = bitsets[u]
-            if rows_t & ~rows_u == 0 and (rows_t != rows_u or u < t):
+            if rows_t & ~rows_u == 0 and (
+                rows_t != rows_u or cost_u < cost_t or u < t
+            ):
                 dominated.add(t)
                 break
     return sorted(dominated)
 
 
 def _reduce(
-    sets: List[FrozenSet[int]], stats: ReductionStats
+    sets: List[FrozenSet[int]],
+    stats: ReductionStats,
+    costs: Optional[Sequence[int]] = None,
 ) -> Tuple[List[FrozenSet[int]], FrozenSet[int], int]:
     """Run stages 1–3 to a fixpoint.
 
     Returns ``(reduced_sets, forced_ids, n_dominated)``.  The invariant
     maintained is that ``opt(original) = len(forced) + opt(reduced)``
-    and that any hitting set of ``reduced_sets`` together with the
-    forced tuples hits every original witness set.
+    (on weighted instances, ``opt_w(original) = cost(forced) +
+    opt_w(reduced)``) and that any hitting set of ``reduced_sets``
+    together with the forced tuples hits every original witness set.
+    ``costs`` switches domination to the cost-aware rule.
 
     Dispatches between the vectorized bitset kernel (default) and the
     frozenset reference pipeline per :func:`_kernel_backend`; outputs
@@ -495,14 +558,18 @@ def _reduce(
         # to its own subset-enumeration fast path).
         or max(len(s) for s in sets) > _MINIMAL_SUBSET_ENUM_MAX_LEN
     ):
-        return _reduce_reference(sets, stats)
+        return _reduce_reference(sets, stats, costs=costs)
     matrix, pad = _matrix_from_sets(sets)
-    matrix, forced, dominated_total = _reduce_matrix(matrix, pad, stats)
+    matrix, forced, dominated_total = _reduce_matrix(
+        matrix, pad, stats, costs=costs
+    )
     return _sets_from_matrix(matrix, pad), frozenset(forced), dominated_total
 
 
 def _reduce_reference(
-    sets: List[FrozenSet[int]], stats: ReductionStats
+    sets: List[FrozenSet[int]],
+    stats: ReductionStats,
+    costs: Optional[Sequence[int]] = None,
 ) -> Tuple[List[FrozenSet[int]], FrozenSet[int], int]:
     """The original frozenset reduction fixpoint (the kernel oracle)."""
     forced: set = set()
@@ -527,7 +594,7 @@ def _reduce_reference(
             sets = [s for s in sets if not (s & units)]
             changed = True
 
-        dominated = set(_dominated_tuples(sets))
+        dominated = set(_dominated_tuples(sets, costs=costs))
         if dominated:
             dominated_total += len(dominated)
             sets = [frozenset(s - dominated) for s in sets]
@@ -672,12 +739,16 @@ def _minimal_matrix(mat: np.ndarray, pad: int) -> np.ndarray:
     return mat[~drop]
 
 
-def _dominated_matrix(mat: np.ndarray, pad: int) -> List[int]:
+def _dominated_matrix(
+    mat: np.ndarray, pad: int, costs: Optional[Sequence[int]] = None
+) -> List[int]:
     """The dominated tuples of a padded matrix (ascending ids).
 
     Identical semantics to the reference :func:`_dominated_tuples`:
     tuples scanned ascending, candidate dominators drawn from the
-    tuple's lowest row ascending, equal row sets keep the smallest id.
+    tuple's lowest row ascending, equal row sets keep the smallest id,
+    and on weighted instances (``costs``) a dominator must be
+    cheaper-or-equal, with strictly-cheaper winning equal row sets.
     The subset test ``rows(t) ⊆ rows(u)`` becomes a counting identity —
     ``|rows(t) ∩ rows(u)| == deg(t)`` — over a vectorized co-occurrence
     table, so no per-pair set algebra survives on the hot path.
@@ -687,7 +758,7 @@ def _dominated_matrix(mat: np.ndarray, pad: int) -> List[int]:
         return []
     base = pad + 1
     if base > 3_000_000_000:  # pragma: no cover - ids are dense indices
-        return _dominated_tuples(_sets_from_matrix(mat, pad))
+        return _dominated_tuples(_sets_from_matrix(mat, pad), costs=costs)
     rows = np.repeat(np.arange(m, dtype=np.int64), k)
     vals = mat.ravel()
     keep = vals != pad
@@ -723,20 +794,29 @@ def _dominated_matrix(mat: np.ndarray, pad: int) -> List[int]:
     dominated: Set[int] = set()
     for t in uniq.tolist():
         deg_t = deg[t]
+        cost_t = 1 if costs is None else costs[t]
         key_base = t * base
         for u in row_lists[lowest[t]]:
             if u == pad:
                 break  # rows are ascending; padding is the tail
             if u == t or u in dominated:
                 continue
-            if co.get(key_base + u, 0) == deg_t and (deg[u] != deg_t or u < t):
+            cost_u = 1 if costs is None else costs[u]
+            if cost_u > cost_t:
+                continue
+            if co.get(key_base + u, 0) == deg_t and (
+                deg[u] != deg_t or cost_u < cost_t or u < t
+            ):
                 dominated.add(t)
                 break
     return sorted(dominated)
 
 
 def _reduce_matrix(
-    mat: np.ndarray, pad: int, stats: ReductionStats
+    mat: np.ndarray,
+    pad: int,
+    stats: ReductionStats,
+    costs: Optional[Sequence[int]] = None,
 ) -> Tuple[np.ndarray, List[int], int]:
     """The stages 1–3 fixpoint on the padded matrix representation.
 
@@ -768,7 +848,7 @@ def _reduce_matrix(
             mat = mat[keep]
             changed = True
 
-        dominated = _dominated_matrix(mat, pad)
+        dominated = _dominated_matrix(mat, pad, costs=costs)
         if dominated:
             dominated_total += len(dominated)
             dom = np.array(dominated, dtype=np.int64)

@@ -2,12 +2,14 @@
 
 from repro.workloads.random_db import (
     HARD_SCALING_QUERIES,
+    assign_skewed_costs,
     hard_scaling_workload,
     large_random_database,
     random_database_for_queries,
     random_database_for_query,
     random_binary_relation,
     random_unary_relation,
+    weighted_hard_scaling_workload,
 )
 from repro.workloads.formulas import (
     CNFFormula,
@@ -25,7 +27,9 @@ __all__ = [
     "apply_update",
     "update_stream",
     "HARD_SCALING_QUERIES",
+    "assign_skewed_costs",
     "hard_scaling_workload",
+    "weighted_hard_scaling_workload",
     "large_random_database",
     "random_database_for_queries",
     "random_database_for_query",

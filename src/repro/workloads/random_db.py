@@ -21,6 +21,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.db.database import Database
+from repro.db.tuples import DBTuple
 from repro.query.cq import ConjunctiveQuery
 
 
@@ -204,6 +205,69 @@ def large_random_database(
                 seen.add(row)
                 db.add(rel_name, *row)
     return db
+
+
+def assign_skewed_costs(
+    db: Database,
+    seed: Optional[int] = None,
+    max_cost: int = 16,
+    alpha: float = 1.5,
+    rng: Optional[random.Random] = None,
+) -> Database:
+    """Give every *endogenous* fact a skewed random deletion cost.
+
+    Costs follow a truncated Pareto-like distribution — most facts stay
+    cheap (cost 1 or 2) while a heavy tail reaches ``max_cost`` — the
+    regime where the weighted optimum genuinely diverges from the
+    cardinality optimum (a cheap hitting set routes *around* expensive
+    tuples).  Exogenous relations are left untouched: their facts can
+    never be charged, so costs there would be dead weight.
+
+    Deterministic for a fixed ``seed``: relations are visited in sorted
+    name order and facts in :meth:`DBTuple.sort_key` order, so the same
+    database and seed always produce the same cost map.  Mutates and
+    returns ``db``.
+    """
+    if max_cost < 1:
+        raise ValueError(f"max_cost must be >= 1, got {max_cost}")
+    if rng is None:
+        rng = random.Random(seed)
+    for name in sorted(db.relations):
+        rel = db.relations[name]
+        if rel.exogenous:
+            continue
+        for fact in sorted(rel, key=DBTuple.sort_key):
+            cost = min(max_cost, int(rng.paretovariate(alpha)))
+            rel.set_cost(fact, cost)
+    return db
+
+
+def weighted_hard_scaling_workload(
+    n_tuples: int = 2000,
+    n_databases: int = 2,
+    seed: int = 0,
+    query_names: Sequence[str] = HARD_SCALING_QUERIES,
+    max_cost: int = 16,
+) -> List[Tuple[Database, ConjunctiveQuery]]:
+    """:func:`hard_scaling_workload` with skewed per-tuple costs.
+
+    The intended input of ``solve_batch(pairs, mode="approx",
+    weighted=True)`` and the ``bench_e20_weighted`` suite; the cost
+    seed is derived from ``seed`` so the unweighted and weighted
+    workloads share their underlying databases.
+    """
+    pairs = hard_scaling_workload(
+        n_tuples=n_tuples, n_databases=n_databases, seed=seed,
+        query_names=query_names,
+    )
+    seen: Dict[int, None] = {}
+    for db, _ in pairs:
+        if id(db) not in seen:
+            seen[id(db)] = None
+            assign_skewed_costs(
+                db, seed=seed + 7919 * (len(seen)), max_cost=max_cost
+            )
+    return pairs
 
 
 def hard_scaling_workload(

@@ -219,6 +219,56 @@ def test_serving_bench_record_exists():
     assert record["answers_bit_identical"] is True
 
 
+def test_solvers_page_documents_the_weighted_objective():
+    """docs/solvers.md must teach the min-cost objective: the cost
+    semantics, the delegation contract, and the flow soundness
+    boundary (the normalization caveat is load-bearing)."""
+    page = (REPO_ROOT / "docs" / "solvers.md").read_text()
+    for needle in (
+        "weighted=True",
+        "minimum-cost hitting set",
+        "unit-cost delegation",
+        "cost-aware",
+        "q_perm",
+        "normalization",
+        "bench_e20_weighted",
+    ):
+        assert needle in page, f"docs/solvers.md does not mention {needle}"
+
+
+def test_api_page_documents_weighted_and_the_schema_bumps():
+    """docs/api.md must record the 1.6.0 surface: the weighted kwarg,
+    the wire schema bump, and the cache-key invalidation note."""
+    page = (REPO_ROOT / "docs" / "api.md").read_text()
+    for needle in (
+        "weighted=True",
+        "cost=",
+        "has_weighted_costs",
+        "Wire schema bumped 1 → 2",
+        "CACHE_SCHEMA",
+        "assign_skewed_costs",
+        "BENCH_e20_weighted.json",
+    ):
+        assert needle in page, f"docs/api.md does not mention {needle}"
+    serving = (REPO_ROOT / "docs" / "serving.md").read_text()
+    assert '"costs"' in serving and '"weighted"' in serving, (
+        "docs/serving.md does not document the schema-2 wire fields"
+    )
+
+
+def test_weighted_bench_record_exists():
+    """The E20 weighted benchmark has committed its trajectory record."""
+    import json
+
+    record = json.loads((REPO_ROOT / "BENCH_e20_weighted.json").read_text())
+    assert record["bench"] == "e20_weighted"
+    gates = record["gates"]
+    assert gates["flow_vs_ilp_cases"] > 0
+    assert gates["kernel_bnb_vs_ilp_cases"] > 0
+    assert gates["unit_cost_delegation_cases"] > 0
+    assert record["all_agreed"] is True
+
+
 def test_api_reference_tracks_the_package_version():
     """docs/api.md documents a version; it must be the shipped one."""
     import sys

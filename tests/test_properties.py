@@ -14,7 +14,12 @@ These check laws the paper relies on implicitly:
   rho by at most 1 in the right direction, exogenous inserts that
   create no new witnesses leave rho unchanged, and rho is invariant
   under active-domain renaming and relation declaration/insertion
-  order.
+  order;
+* the metamorphic cost laws of the weighted objective
+  (``TestMetamorphicCostLaws``): cost scaling scales the optimum and
+  preserves argmins, the cost-1 floor sandwiches the weighted optimum,
+  all-unit weighted solves are bit-identical to the unweighted path,
+  and exogenous tuples are never charged.
 
 Effort (``max_examples``) comes from the hypothesis profile registered
 in ``conftest.py`` — the CI ``tests-properties`` leg runs the deeper
@@ -39,6 +44,7 @@ from repro.resilience import (
     resilience_branch_and_bound,
     resilience_exact,
     resilience_ilp,
+    solve,
 )
 from repro.resilience.flow_special import solve_qACconf, solve_qAperm, solve_qperm
 
@@ -283,3 +289,113 @@ class TestMetamorphicUpdateLaws:
         assert r1.value == r2.value
         assert r1.contingency_set == r2.contingency_set
         assert r1.method == r2.method
+
+
+# Edge lists paired with positive tuple costs, for the weighted laws.
+weighted_edges = st.lists(
+    st.tuples(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        st.integers(1, 9),
+    ),
+    min_size=0,
+    max_size=12,
+    unique_by=lambda pair: pair[0],
+)
+
+
+def weighted_chain_db(weighted_edge_list, scale=1):
+    db = Database()
+    db.declare("R", 2)
+    for (u, v), c in weighted_edge_list:
+        db.add("R", u, v, cost=c * scale)
+    return db
+
+
+class TestMetamorphicCostLaws:
+    """Metamorphic laws of the weighted (min-cost) objective.
+
+    Weighted resilience is the minimum total *cost* of a contingency
+    set, with every tuple's cost a positive integer defaulting to 1.
+    The laws: scaling every cost by ``k`` scales the optimum by ``k``
+    and preserves optimal sets in both directions; the cost-1 floor
+    sandwiches the weighted optimum between the cardinality optimum and
+    its max-cost multiple (uniform costs collapse the sandwich to
+    equality); all-unit instances are *bit-identical* to the unweighted
+    path in all three modes (value, contingency set, interval, and
+    method — the delegation contract of
+    :func:`repro.resilience.solver.solve`); and exogenous tuples are
+    never charged, so their costs are invisible to the optimum.
+    """
+
+    @given(weighted_edges, st.integers(2, 5))
+    @SETTINGS
+    def test_scaling_costs_scales_optimum_and_preserves_argmins(
+        self, wedges, k
+    ):
+        base_db = weighted_chain_db(wedges)
+        scaled_db = weighted_chain_db(wedges, scale=k)
+        base = solve(base_db, q_chain, weighted=True)
+        scaled = solve(scaled_db, q_chain, weighted=True)
+        assert scaled.value == k * base.value
+        # Each optimum stays optimal under the other cost map.
+        assert scaled_db.total_cost(base.contingency_set) == scaled.value
+        assert base_db.total_cost(scaled.contingency_set) == base.value
+
+    @given(weighted_edges)
+    @SETTINGS
+    def test_cost_floor_sandwiches_weighted_optimum(self, wedges):
+        """Costs >= 1 force rho <= rho_w <= rho * max_cost; uniform
+        costs make both bounds tight."""
+        db = weighted_chain_db(wedges)
+        rho = solve(db, q_chain).value
+        rho_w = solve(db, q_chain, weighted=True).value
+        max_cost = max((c for _, c in wedges), default=1)
+        assert rho <= rho_w <= rho * max_cost
+        uniform = Database()
+        uniform.declare("R", 2)
+        for (u, v), _ in wedges:
+            uniform.add("R", u, v, cost=3)
+        res = solve(uniform, q_chain, weighted=True)
+        assert res.value == 3 * rho
+        assert len(res.contingency_set) == rho
+
+    @given(edges)
+    @SETTINGS
+    def test_unit_cost_weighted_bit_identical_in_all_modes(self, edge_list):
+        db = chain_db(edge_list)
+        for mode in ("exact", "approx", "anytime"):
+            assert solve(db, q_chain, mode=mode) == solve(
+                db, q_chain, mode=mode, weighted=True
+            )
+
+    @given(edges)
+    @SETTINGS
+    def test_unit_cost_weighted_bit_identical_on_flow_special(self, edge_list):
+        """The delegation contract on a flow-special query (q_perm)."""
+        db = chain_db(edge_list)
+        assert solve(db, q_perm, weighted=True) == solve(db, q_perm)
+
+    @given(weighted_edges, nodes, st.integers(1, 9))
+    @SETTINGS
+    def test_exogenous_tuples_never_charged(self, wedges, a_nodes, exo_cost):
+        """q_a_chain with A exogenous: A's costs are invisible to the
+        weighted optimum and A never enters a contingency set."""
+        db = weighted_chain_db(wedges)
+        db.declare("A", 1, exogenous=True)
+        for a in a_nodes:
+            db.add("A", a)
+        before = solve(db, q_a_chain, weighted=True)
+        for a in a_nodes:
+            db.set_cost(DBTuple("A", (a,)), exo_cost)
+        after = solve(db, q_a_chain, weighted=True)
+        assert after == before
+        assert all(t.relation != "A" for t in after.contingency_set)
+        assert db.total_cost(after.contingency_set) == after.value
+
+    @given(weighted_edges)
+    @SETTINGS
+    def test_weighted_certificate_pays_its_value(self, wedges):
+        db = weighted_chain_db(wedges)
+        res = solve(db, q_chain, weighted=True)
+        assert db.total_cost(res.contingency_set) == res.value
+        assert not satisfies(db.minus(res.contingency_set), q_chain)

@@ -27,6 +27,7 @@ from repro.query.parser import parse_query
 from repro.resilience.solver import solve
 from repro.resilience.types import Budget
 from repro.serving import (
+    WIRE_SCHEMA,
     AdmissionPolicy,
     ResilienceServer,
     ServingClient,
@@ -302,7 +303,7 @@ class TestStreaming:
 
     def test_stream_requires_anytime(self, client):
         payload = {
-            "wire_schema": 1,
+            "wire_schema": WIRE_SCHEMA,
             "database": {"relations": {"R": {"arity": 2, "tuples": [[1, 2]]}}},
             "query": "R(x,y), R(y,z)",
             "mode": "exact",

@@ -33,6 +33,7 @@ from repro.parallel.shards import PairTask
 from repro.query.parser import parse_query
 from repro.resilience.solver import solve
 from repro.serving import (
+    WIRE_SCHEMA,
     ResilienceServer,
     ServingClient,
     ServingClientError,
@@ -98,7 +99,7 @@ class TestMalformedRequests:
 
     def test_unknown_mode_is_400(self, client):
         payload = {
-            "wire_schema": 1,
+            "wire_schema": WIRE_SCHEMA,
             "database": {"relations": {}},
             "query": "R(x,y)",
             "mode": "psychic",
@@ -109,7 +110,7 @@ class TestMalformedRequests:
 
     def test_arity_mismatch_is_400(self, client):
         payload = {
-            "wire_schema": 1,
+            "wire_schema": WIRE_SCHEMA,
             "database": {"relations": {"R": {"arity": 2, "tuples": [[1]]}}},
             "query": "R(x,y), R(y,z)",
         }
@@ -119,7 +120,7 @@ class TestMalformedRequests:
 
     def test_unparseable_query_is_400(self, client):
         payload = {
-            "wire_schema": 1,
+            "wire_schema": WIRE_SCHEMA,
             "database": {"relations": {}},
             "query": ")))(((",
         }
@@ -128,7 +129,7 @@ class TestMalformedRequests:
 
     def test_unknown_fields_are_400(self, client):
         payload = {
-            "wire_schema": 1,
+            "wire_schema": WIRE_SCHEMA,
             "database": {"relations": {}},
             "query": "R(x,y)",
             "frobnicate": True,
@@ -139,7 +140,7 @@ class TestMalformedRequests:
 
     def test_batch_without_pairs_is_400(self, client):
         status, body, _ = client.post(
-            "/solve_batch", json.dumps({"wire_schema": 1, "pairs": []}).encode()
+            "/solve_batch", json.dumps({"wire_schema": WIRE_SCHEMA, "pairs": []}).encode()
         )
         assert status == 400
 
@@ -160,7 +161,7 @@ class TestMalformedRequests:
     def test_oversized_body_is_413(self):
         with ResilienceServer(port=0, max_body_bytes=1024) as server:
             client = ServingClient(server.address, timeout=30)
-            big = json.dumps({"wire_schema": 1, "blob": "x" * 10_000}).encode()
+            big = json.dumps({"wire_schema": WIRE_SCHEMA, "blob": "x" * 10_000}).encode()
             status, body, _ = client.post("/solve", big)
             assert status == 413
             assert "exceeds" in body["error"]
