@@ -238,7 +238,10 @@ class BatchStats:
     with (1 = serial), ``shards`` how many shards were dispatched to
     the pool, and ``cache_hits`` / ``cache_misses`` how many *unique*
     pairs the persistent result cache served / had to compute (zero
-    when no ``cache_dir`` was given).  Every counter in this object is
+    when no ``cache_dir`` was given).  ``plans`` counts the planner's
+    per-instance decisions by plan signature (one entry per *solved*
+    unique pair; empty when planning is off — see
+    :mod:`repro.planner`).  Every counter in this object is
     reproducible for a fixed input batch regardless of worker count;
     only the wall-clock fields (``time_total`` and the times inside
     ``reductions``) vary run to run.
@@ -257,6 +260,7 @@ class BatchStats:
     shards: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    plans: Counter = field(default_factory=Counter)
 
     def summary_lines(self) -> List[str]:
         """Human-readable report (used by ``repro bench``)."""
@@ -277,6 +281,14 @@ class BatchStats:
                 f"result cache: {self.cache_hits} hits, "
                 f"{self.cache_misses} misses over {self.unique_pairs} "
                 f"unique pairs"
+            )
+        if self.plans:
+            lines.append(
+                "plans: "
+                + ", ".join(
+                    f"{sig} x{count}"
+                    for sig, count in sorted(self.plans.items())
+                )
             )
         if self.mode != "exact":
             lines.append(
@@ -363,6 +375,7 @@ def solve_batch(
     split_components: Union[int, bool, None] = None,
     pool=None,
     weighted: bool = False,
+    planner: Optional[bool] = None,
 ) -> BatchResult:
     """Solve many (database, query) pairs, amortizing shared work.
 
@@ -418,15 +431,30 @@ def solve_batch(
     databases delegate to the unweighted path, bit for bit, and the
     persistent cache keys cover the flag and the cost assignments.
 
+    ``planner`` controls per-instance backend planning exactly as in
+    :func:`~repro.resilience.solver.solve` (``None`` follows
+    ``REPRO_PLANNER``; the coordinator resolves the flag once, so
+    workers never consult the environment themselves).  When planning
+    is on, each solved unique pair gets a deterministic
+    :class:`~repro.planner.Plan` — tallied by signature in
+    ``stats.plans`` — that picks its backends, its LPT shard weight,
+    and (when ``split_components`` is ``None``) whether the instance
+    is decomposed into per-component tasks.  Plans never change
+    results: values, certificates, and intervals are bit-identical to
+    a planner-off run.
+
     Results come back in input order inside a :class:`BatchResult`
-    carrying aggregate reduction, interval, shard, and cache
+    carrying aggregate reduction, interval, shard, plan, and cache
     statistics.
     """
+    from repro.planner import plan_instance, planner_enabled
+
     pair_list = list(pairs)
     t0 = time.perf_counter()
     if workers is None:
         workers = pool.workers if pool is not None else _default_workers()
     workers = max(1, int(workers))
+    planner_on = planner_enabled(planner)
     stats = BatchStats(pairs=len(pair_list), mode=mode, workers=workers)
     indexes: Dict[int, DatabaseIndex] = {}
     canon: Dict[int, frozenset] = {}
@@ -475,6 +503,19 @@ def solve_batch(
         if key not in unit_results
     ]
 
+    # One plan per solved unique pair, computed coordinator-side in
+    # first-appearance order: stats.plans is then reproducible for a
+    # fixed input batch regardless of worker count or shard layout
+    # (workers recompute identical plans from the same content).
+    unit_plans: Dict[Tuple[frozenset, frozenset], object] = {}
+    if planner_on:
+        for key, db, query in todo:
+            plan = plan_instance(
+                db, query, mode=mode, budget=budget, weighted=weighted
+            )
+            unit_plans[key] = plan
+            stats.plans[plan.signature()] += 1
+
     def _count_structure_build(ws) -> None:
         stats.structures += 1
         stats.reductions.merge(ws.stats)
@@ -489,7 +530,9 @@ def solve_batch(
 
         budget_obj = None if budget is None else Budget.coerce(budget)
         tasks = tuple(
-            PairTask(i, db, query, method, mode, budget_obj, weighted)
+            PairTask(
+                i, db, query, method, mode, budget_obj, weighted, planner_on
+            )
             for i, (key, db, query) in enumerate(todo)
         )
         outcome = run_shard(Shard(0, tasks))
@@ -511,6 +554,8 @@ def solve_batch(
             split_components=split_components,
             pool=pool,
             weighted=weighted,
+            planner_on=planner_on,
+            unit_plans=unit_plans,
         )
 
     if cache is not None:
@@ -546,6 +591,8 @@ def _solve_units_parallel(
     split_components: Union[int, bool, None],
     pool=None,
     weighted: bool = False,
+    planner_on: bool = False,
+    unit_plans: Optional[Dict[Tuple[frozenset, frozenset], object]] = None,
 ) -> None:
     """The ``workers > 1`` arm of :func:`solve_batch`.
 
@@ -555,6 +602,11 @@ def _solve_units_parallel(
     ``unit_results`` and ``stats`` exactly as the serial arm would:
     outcomes are merged by task id and telemetry in shard order, never
     in completion order, so counters are reproducible.
+
+    With planning on, each unit's precomputed plan (``unit_plans``)
+    governs the coordinator-side structure builds (join/kernel
+    backends), the split decision when ``split_components`` is ``None``
+    (an explicit argument always wins), and the LPT cost hints.
     """
     from repro.parallel import (
         ComponentTask,
@@ -563,6 +615,7 @@ def _solve_units_parallel(
         execute_shards,
         group_by_database,
     )
+    from repro.planner import use_plan
     from repro.resilience.types import Budget
 
     if split_components is False:
@@ -571,6 +624,7 @@ def _solve_units_parallel(
         split_threshold = COMPONENT_SPLIT_THRESHOLD
     else:
         split_threshold = int(split_components)
+    unit_plans = unit_plans or {}
 
     budget_obj = None if budget is None else Budget.coerce(budget)
     tasks: List[object] = []
@@ -584,32 +638,39 @@ def _solve_units_parallel(
     for key, db, query in todo:
         w = weighted and db.has_weighted_costs()
         unit_weighted[key] = w
+        plan = unit_plans.get(key)
         exact_path = (
             method is None and dispatch_plan(query, weighted=w).kind == "exact"
         )
-        if (
-            exact_path
-            and mode == "exact"
-            and split_threshold is not None
-            and len(db) >= split_threshold
-        ):
+        if split_components is None and plan is not None:
+            # The planner's shard-layer decision; an explicit
+            # split_components argument (including the legacy True)
+            # keeps the static threshold instead.
+            split_instance = plan.split
+        else:
+            split_instance = (
+                split_threshold is not None and len(db) >= split_threshold
+            )
+        if exact_path and mode == "exact" and split_instance:
             index = _index(db)
-            _, misses_before, _ = witness_cache_info()
-            ws = witness_structure(db, query, index=index, weighted=w)
-            _, misses_after, _ = witness_cache_info()
-            if misses_after > misses_before:
-                _count_structure_build(ws)
-            if not ws.satisfied:
-                unit_results[key] = ResilienceResult(
-                    0, frozenset(), method="unsatisfied"
-                )
-                continue
-            # The backend is decided per whole structure — the same rule
-            # resilience_exact(prefer="auto") applies — so the assembled
-            # result names the method a serial solve would have named.
-            from repro.resilience.exact import choose_backend
+            with use_plan(plan):
+                _, misses_before, _ = witness_cache_info()
+                ws = witness_structure(db, query, index=index, weighted=w)
+                _, misses_after, _ = witness_cache_info()
+                if misses_after > misses_before:
+                    _count_structure_build(ws)
+                if not ws.satisfied:
+                    unit_results[key] = ResilienceResult(
+                        0, frozenset(), method="unsatisfied"
+                    )
+                    continue
+                # The backend is decided per whole structure — the same
+                # rule resilience_exact(prefer="auto") applies, override
+                # (env var / plan) included — so the assembled result
+                # names the method a serial solve would have named.
+                from repro.resilience.exact import effective_backend
 
-            backend = choose_backend(ws)
+                backend = effective_backend(ws)
             method_name = "ilp" if backend == "ilp" else "branch-and-bound"
             comp_ids: List[int] = []
             for comp in ws.components:
@@ -629,7 +690,17 @@ def _solve_units_parallel(
         else:
             task_id = len(tasks)
             tasks.append(
-                PairTask(task_id, db, query, method, mode, budget_obj, weighted)
+                PairTask(
+                    task_id,
+                    db,
+                    query,
+                    method,
+                    mode,
+                    budget_obj,
+                    weighted,
+                    planner_on,
+                    plan.features.witness_estimate if plan is not None else None,
+                )
             )
             pair_task_units[task_id] = key
 

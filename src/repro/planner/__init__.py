@@ -1,0 +1,215 @@
+"""Per-instance cost-based planning of engine backends.
+
+The engine keeps two or three interchangeable implementations of every
+layer it runs — witness enumeration (Section 2), kernel reduction,
+min-cut flow (Proposition 31), exact hitting-set search (Theorem 24),
+parallel sharding — historically selected by global environment
+variables and fixed size thresholds.  This package replaces that
+patchwork with a *planner*: :func:`plan_instance` extracts cheap
+features from one (query, database, mode, budget) pair
+(:mod:`repro.planner.features`), prices every backend with a
+calibrated cost model (:mod:`repro.planner.model`), and emits one
+frozen :class:`Plan` naming the backend for every layer.
+
+Three contracts make the planner safe to leave on by default:
+
+* **output-invisible** — every backend pair it chooses between is
+  answer-equivalent by construction (the differential suites pin it),
+  so a plan changes wall-clock, never values, certificates, or
+  intervals;
+* **deterministic** — plans are pure functions of (instance content,
+  mode, budget, weighted flag, model); repeated calls, worker
+  processes, and serial-vs-parallel batches all compute the same plan;
+* **overridable** — explicit kwargs beat environment variables beat
+  the planner beat the static defaults.  The ``REPRO_*_BACKEND``
+  variables keep working exactly as before; the planner only decides
+  where they are silent.  ``REPRO_PLANNER=off`` disables planning
+  wholesale.
+
+Plans travel through :func:`repro.resilience.solver.solve` via a
+context variable (:func:`use_plan` / :func:`active_plan`): the solver
+computes the plan once per solve and every layer consults it at its
+existing decision point — no plan plumbing through intermediate
+signatures, and worker processes recompute identical plans from the
+same content instead of pickling them.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.planner.features import (
+    DEFAULT_MAX_EXACT_TUPLES,
+    PlanFeatures,
+    WITNESS_ESTIMATE_CAP,
+    extract_features,
+    is_large_instance,
+)
+from repro.planner.model import (
+    DEFAULT_MODEL,
+    MODEL_SCHEMA,
+    CostModel,
+    active_model,
+    calibrate,
+    clear_model_cache,
+    load_model,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_MAX_EXACT_TUPLES",
+    "DEFAULT_MODEL",
+    "MODEL_SCHEMA",
+    "Plan",
+    "PlanFeatures",
+    "WITNESS_ESTIMATE_CAP",
+    "active_model",
+    "active_plan",
+    "calibrate",
+    "clear_model_cache",
+    "extract_features",
+    "is_large_instance",
+    "load_model",
+    "plan_instance",
+    "planner_enabled",
+    "use_plan",
+]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One instance's backend decisions, every layer in one place.
+
+    ``solver`` is ``"bnb"``/``"ilp"`` when the post-kernelization shape
+    was known at planning time, else ``"auto"`` (defer to
+    :func:`repro.resilience.exact.choose_backend` once the structure
+    exists — the same rule the model reproduces, so the deferred and
+    planned decisions agree).  ``split`` is the shard-layer choice:
+    whether a parallel batch should decompose this instance into
+    per-component hitting-set tasks.  ``size_class`` mirrors the
+    serving tier's admission sizing (``"small"``/``"large"``).
+    """
+
+    join: str
+    kernel: str
+    flow: str
+    solver: str
+    split: bool
+    size_class: str
+    model_version: str
+    features: PlanFeatures
+
+    def signature(self) -> str:
+        """A compact, stable label for stats counters and metrics."""
+        return (
+            f"join={self.join},kernel={self.kernel},flow={self.flow},"
+            f"solver={self.solver},split={'yes' if self.split else 'no'},"
+            f"size={self.size_class}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (``repro planner explain``, bench records)."""
+        return {
+            "join": self.join,
+            "kernel": self.kernel,
+            "flow": self.flow,
+            "solver": self.solver,
+            "split": self.split,
+            "size_class": self.size_class,
+            "model_version": self.model_version,
+            "features": self.features.as_dict(),
+        }
+
+
+def plan_instance(
+    database: Database,
+    query: ConjunctiveQuery,
+    mode: str = "exact",
+    budget=None,
+    weighted: bool = False,
+    model: Optional[CostModel] = None,
+) -> Plan:
+    """Compute the :class:`Plan` for one instance.
+
+    Pure in the planner sense: same instance content + same model →
+    same plan, on every process and every call (the witness-cache peek
+    inside feature extraction only *adds* kernel features when a
+    structure is already cached, and the model reproduces the deferred
+    rule on exactly those features, so cache state never flips an
+    output-visible decision).
+    """
+    if model is None:
+        model = active_model()
+    features = extract_features(
+        database, query, mode=mode, budget=budget, weighted=weighted
+    )
+    kernel_size = features.kernel_size
+    solver = (
+        "auto"
+        if kernel_size is None
+        else model.choose("solver", kernel_size)
+    )
+    return Plan(
+        join=model.choose("join", features.total_tuples),
+        kernel=model.choose("kernel", features.witness_estimate),
+        flow=model.choose("flow", features.endogenous_tuples),
+        solver=solver,
+        split=model.choose("shard", features.endogenous_tuples) == "split",
+        size_class="large" if is_large_instance(features) else "small",
+        model_version=model.version,
+        features=features,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The active plan (consulted by the engine layers' decision points)
+# ---------------------------------------------------------------------------
+
+_ACTIVE_PLAN: ContextVar[Optional[Plan]] = ContextVar(
+    "repro_planner_active_plan", default=None
+)
+
+
+def active_plan() -> Optional[Plan]:
+    """The plan governing the current solve, if any.
+
+    Engine layers call this at their existing decision points; the
+    environment variables are checked *first* at every such point (env
+    beats planner), so an active plan only fills silence.
+    """
+    return _ACTIVE_PLAN.get()
+
+
+@contextmanager
+def use_plan(plan: Optional[Plan]):
+    """Install ``plan`` as the active plan for the enclosed solve."""
+    token = _ACTIVE_PLAN.set(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN.reset(token)
+
+
+def planner_enabled(explicit: Optional[bool] = None) -> bool:
+    """Is per-instance planning on?
+
+    ``explicit`` (a caller's kwarg, e.g. ``solve_batch(planner=True)``)
+    wins outright; otherwise ``REPRO_PLANNER`` decides (``off``/``0``/
+    ``false`` disable, anything else — including unset — enables).
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("REPRO_PLANNER", "on").strip().lower()
+    if raw in ("off", "0", "false", "no"):
+        return False
+    if raw in ("", "on", "1", "true", "yes"):
+        return True
+    raise ValueError(
+        f"REPRO_PLANNER={raw!r} (expected 'on' or 'off')"
+    )

@@ -1,0 +1,340 @@
+"""The calibrated cost model behind the planner.
+
+The planner reduces every backend choice to the same question: given a
+feature value ``x`` (a size proxy from
+:mod:`repro.planner.features`), which backend's predicted cost
+``c0 + c1 * x`` is smallest?  A :class:`CostModel` is therefore a
+small, deterministic, versioned table of per-backend affine cost
+curves, one row per decision layer:
+
+======== ===================== ==========================================
+layer    feature               backends
+======== ===================== ==========================================
+join     ``total_tuples``      ``columnar`` / ``reference`` enumeration
+kernel   ``witness_estimate``  ``bitset`` / ``reference`` reduction
+flow     ``endogenous_tuples`` ``csgraph`` / ``networkx`` min cut
+solver   ``kernel_size``       ``bnb`` / ``ilp`` exact hitting set
+shard    ``endogenous_tuples`` ``split`` / ``whole`` parallel layout
+======== ===================== ==========================================
+
+:data:`DEFAULT_MODEL` encodes exactly the static thresholds the engine
+shipped with (columnar at ≥128 tuples, bitset and csgraph always, ILP
+when the kernelized instance outgrows branch and bound per
+:func:`repro.resilience.exact.choose_backend`, component splitting at
+≥400 endogenous tuples), so the planner's default decisions are the
+historical decisions — the differential harness in
+``tests/test_planner.py`` leans on that.  :func:`calibrate` refits the
+curve slopes offline from the committed ``BENCH_*.json`` trajectory
+records (the measured engine-vs-reference layer speedups of E18, with
+E19/E20 contributing provenance), keeping every crossover point
+consistent with the measured costs; the result round-trips through
+JSON bit-for-bit (``repro planner calibrate``).
+
+Affine curves suffice here because each layer's two implementations
+compute the *same* function (the witness enumeration of Section 2, the
+kernel fixpoint, the Proposition 31 flow constructions, the Theorem 24
+exact search) and differ only in constant factors and per-call
+overhead — a fixed cost plus a size-proportional cost is the whole
+story the E18 measurements tell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+#: Bumped whenever the on-disk model layout changes; loaders reject
+#: other schemas outright (falling back to :data:`DEFAULT_MODEL`).
+MODEL_SCHEMA = 1
+
+#: Decision layer → the feature its curves are evaluated on.
+LAYER_FEATURES: Dict[str, str] = {
+    "join": "total_tuples",
+    "kernel": "witness_estimate",
+    "flow": "endogenous_tuples",
+    "solver": "kernel_size",
+    "shard": "endogenous_tuples",
+}
+
+#: Decision layer → the backends a model must price (and may choose).
+LAYER_BACKENDS: Dict[str, Tuple[str, ...]] = {
+    "join": ("columnar", "reference"),
+    "kernel": ("bitset", "reference"),
+    "flow": ("csgraph", "networkx"),
+    "solver": ("bnb", "ilp"),
+    "shard": ("split", "whole"),
+}
+
+Curve = Tuple[float, float]
+
+
+@dataclass(frozen=True, eq=True)
+class CostModel:
+    """A versioned table of per-backend affine cost curves.
+
+    ``curves[layer][backend] == (c0, c1)`` prices the backend at
+    ``c0 + c1 * x``; :meth:`choose` picks the argmin with a
+    deterministic alphabetical tie-break (so equal-cost points — the
+    crossover values themselves — resolve the same way on every
+    machine, run, and worker).
+    """
+
+    version: str
+    curves: Mapping[str, Mapping[str, Curve]]
+    source: Tuple[str, ...] = ()
+
+    def predict(self, layer: str, backend: str, x: float) -> float:
+        c0, c1 = self.curves[layer][backend]
+        return c0 + c1 * float(x)
+
+    def choose(self, layer: str, x: float) -> str:
+        """The cheapest backend for ``layer`` at feature value ``x``."""
+        return min(
+            self.curves[layer],
+            key=lambda backend: (self.predict(layer, backend, x), backend),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """The canonical JSON payload (sorted, round-trip exact)."""
+        return {
+            "schema": MODEL_SCHEMA,
+            "kind": "planner-cost-model",
+            "version": self.version,
+            "source": list(self.source),
+            "features": {layer: LAYER_FEATURES[layer] for layer in sorted(self.curves)},
+            "curves": {
+                layer: {
+                    backend: [float(c0), float(c1)]
+                    for backend, (c0, c1) in sorted(self.curves[layer].items())
+                }
+                for layer in sorted(self.curves)
+            },
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "CostModel":
+        """Validate and load a model payload; ``ValueError`` on any drift."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("model payload is not an object")
+        if payload.get("schema") != MODEL_SCHEMA:
+            raise ValueError(
+                f"model schema {payload.get('schema')!r} != {MODEL_SCHEMA}"
+            )
+        if payload.get("kind") != "planner-cost-model":
+            raise ValueError("payload is not a planner cost model")
+        version = payload.get("version")
+        if not isinstance(version, str) or not version:
+            raise ValueError("model has no version string")
+        raw_curves = payload.get("curves")
+        if not isinstance(raw_curves, Mapping):
+            raise ValueError("model has no curve table")
+        curves: Dict[str, Dict[str, Curve]] = {}
+        for layer, backends in LAYER_BACKENDS.items():
+            layer_curves = raw_curves.get(layer)
+            if not isinstance(layer_curves, Mapping):
+                raise ValueError(f"model is missing the {layer!r} layer")
+            table: Dict[str, Curve] = {}
+            for backend in backends:
+                curve = layer_curves.get(backend)
+                if (
+                    not isinstance(curve, Sequence)
+                    or len(curve) != 2
+                    or not all(isinstance(c, (int, float)) for c in curve)
+                ):
+                    raise ValueError(
+                        f"model curve {layer}/{backend} is not a [c0, c1] pair"
+                    )
+                table[backend] = (float(curve[0]), float(curve[1]))
+            curves[layer] = table
+        source = tuple(str(s) for s in payload.get("source", ()))
+        return cls(version=version, curves=curves, source=source)
+
+
+#: The static default table: every decision matches the thresholds the
+#: engine used before the planner existed (see the module docstring),
+#: so "planner on, no model file" is behaviorally the status quo.
+DEFAULT_MODEL = CostModel(
+    version="default-1",
+    curves={
+        # columnar pays fixed numpy overhead, reference pays per tuple:
+        # crossover at exactly MIN_TUPLES_DEFAULT = 128 (ties break to
+        # "columnar" alphabetically, matching the historical >= gate).
+        "join": {"columnar": (128.0, 0.0), "reference": (0.0, 1.0)},
+        # bitset and csgraph dominate at every size their guards admit
+        # (their small-input fast paths live inside the kernels and are
+        # output-invisible), so their curves never cross.
+        "kernel": {"bitset": (0.0, 0.25), "reference": (0.0, 1.0)},
+        "flow": {"csgraph": (0.0, 0.4), "networkx": (0.0, 1.0)},
+        # ILP's fixed setup cost loses below kernel_size 60 and wins
+        # above: exactly choose_backend's `largest > 60 or
+        # tuples_final > 40` rule under kernel_size =
+        # max(largest, 1.5 * tuples_final).
+        "solver": {"bnb": (0.0, 1.0), "ilp": (60.0, 0.0)},
+        # Component splitting amortizes from 400 endogenous tuples
+        # (COMPONENT_SPLIT_THRESHOLD, now sized on the tuples that
+        # actually grow the search — exogenous ones never did).
+        "shard": {"split": (400.0, 0.0), "whole": (0.0, 1.0)},
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# Offline calibration from BENCH_*.json trajectory records
+# ---------------------------------------------------------------------------
+
+#: The E18 layer measurements and the planner layer each one calibrates.
+_E18_LAYER_OF = {
+    "a_structure_build": "join",
+    "b_bnb_solve": "kernel",
+    "c_flow_min_cut": "flow",
+}
+
+
+def calibrate(
+    records: Sequence[Tuple[str, Mapping[str, object]]],
+    version: Optional[str] = None,
+) -> CostModel:
+    """Fit a cost model from ``BENCH_*.json`` trajectory records.
+
+    ``records`` is a sequence of ``(name, payload)`` pairs — the parsed
+    JSON of the committed benchmark records.  The E18 hot-path record
+    is required: its per-layer engine-vs-reference speedups become the
+    slope ratios of the join, kernel, and flow curves (the reference
+    slope is normalized to 1, the engine slope to ``1/speedup``, and
+    the engine intercept is chosen so each crossover point stays at the
+    default table's value — the measurements say how *steep* the curves
+    are, the shipped thresholds say where tiny-instance overhead wins).
+    The solver and shard layers keep the default crossovers (E18
+    measures no bnb-vs-ilp sweep); E19/E20 records contribute
+    provenance only, recorded in ``source``.
+
+    Deterministic end to end: the same records produce the same model,
+    including the version string (a content hash of the inputs) when
+    ``version`` is not given.  Raises ``ValueError`` on missing or
+    malformed records.
+    """
+    by_bench: Dict[str, Mapping[str, object]] = {}
+    names = []
+    for name, payload in records:
+        if not isinstance(payload, Mapping) or "bench" not in payload:
+            raise ValueError(f"record {name!r} is not a bench trajectory record")
+        by_bench[str(payload["bench"])] = payload
+        names.append(str(name))
+
+    e18 = by_bench.get("e18_hotpaths")
+    if e18 is None:
+        raise ValueError(
+            "calibration requires the e18_hotpaths record "
+            "(the per-layer engine-vs-reference measurements)"
+        )
+    layers = e18.get("layers")
+    if not isinstance(layers, Mapping):
+        raise ValueError("e18_hotpaths record has no layers table")
+
+    curves: Dict[str, Dict[str, Curve]] = {
+        layer: dict(table) for layer, table in DEFAULT_MODEL.curves.items()
+    }
+    for e18_layer, planner_layer in _E18_LAYER_OF.items():
+        entry = layers.get(e18_layer)
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"e18_hotpaths record is missing layer {e18_layer!r}")
+        try:
+            speedup = float(entry["speedup"])
+        except (KeyError, TypeError, ValueError):
+            raise ValueError(f"layer {e18_layer!r} has no numeric speedup")
+        if speedup <= 0:
+            raise ValueError(f"layer {e18_layer!r} speedup {speedup!r} <= 0")
+        engine_backend, reference_backend = LAYER_BACKENDS[planner_layer]
+        engine_slope = 1.0 / speedup
+        # Keep the crossover where the default table puts it: with the
+        # reference curve at slope 1 through the origin, an engine
+        # intercept of crossover * (1 - slope) makes both curves meet
+        # at exactly the historical threshold.
+        default_c0, _ = DEFAULT_MODEL.curves[planner_layer][engine_backend]
+        default_ref_c0, default_ref_c1 = DEFAULT_MODEL.curves[planner_layer][
+            reference_backend
+        ]
+        crossover = (
+            default_c0 / (default_ref_c1 - 0.0) if default_c0 else 0.0
+        )
+        curves[planner_layer] = {
+            engine_backend: (crossover * (1.0 - engine_slope), engine_slope),
+            reference_backend: (default_ref_c0, default_ref_c1),
+        }
+
+    if version is None:
+        material = json.dumps(
+            [[name, dict(payload)] for name, payload in records],
+            sort_keys=True,
+            default=str,
+        )
+        digest = hashlib.sha256(material.encode()).hexdigest()[:12]
+        version = f"cal-{digest}"
+    return CostModel(version=version, curves=curves, source=tuple(names))
+
+
+# ---------------------------------------------------------------------------
+# Model resolution (REPRO_PLANNER_MODEL)
+# ---------------------------------------------------------------------------
+
+def load_model(path: Union[str, Path]) -> CostModel:
+    """Load a model file strictly — any problem raises ``ValueError``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(f"planner model file {path} does not exist")
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"planner model file {path} is unreadable: {exc}")
+    return CostModel.from_json(payload)
+
+
+# path → (mtime_ns, model); re-reads only when the file changes.
+_model_cache: Dict[str, Tuple[int, CostModel]] = {}
+
+
+def clear_model_cache() -> None:
+    """Forget memoized model files (tests flip model paths this way)."""
+    _model_cache.clear()
+
+
+def active_model() -> CostModel:
+    """The model plans are computed with, per ``REPRO_PLANNER_MODEL``.
+
+    Unset → :data:`DEFAULT_MODEL`.  Set → the file is loaded (and
+    memoized by mtime); a missing or corrupted file falls back to the
+    default table with a ``UserWarning`` — a bad model must degrade the
+    planner to the static thresholds, never break a solve.
+    """
+    raw = os.environ.get("REPRO_PLANNER_MODEL")
+    if not raw:
+        return DEFAULT_MODEL
+    try:
+        mtime = os.stat(raw).st_mtime_ns
+        cached = _model_cache.get(raw)
+        if cached is not None and cached[0] == mtime:
+            return cached[1]
+        model = load_model(raw)
+    except (OSError, ValueError) as exc:
+        warnings.warn(
+            f"REPRO_PLANNER_MODEL={raw!r} could not be loaded ({exc}); "
+            f"falling back to the static default cost table",
+            UserWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_MODEL
+    _model_cache[raw] = (mtime, model)
+    return model

@@ -42,6 +42,14 @@ Backend selection
   where numpy call overhead would dominate);
 * ``reference`` — always use the backtracking evaluator.
 
+When neither ``REPRO_JOIN_BACKEND`` nor ``REPRO_COLUMNAR_MIN_TUPLES``
+is set and a solve runs under a planner plan
+(:func:`repro.planner.active_plan`), the plan's ``join`` choice is
+used instead of the static threshold — its cost model encodes the same
+crossover by default, calibrated from the measured E18 layer costs.
+Environment variables always override the planner (precedence:
+explicit kwarg > env var > planner > static default).
+
 :func:`backend_counters` reports how often each path actually ran —
 ``columnar`` (vectorized), ``reference`` (disabled or below the size
 threshold), ``fallback`` (eligible but unsupported, e.g. an
@@ -93,6 +101,28 @@ def min_columnar_tuples() -> int:
         return int(raw)
     except ValueError:
         return MIN_TUPLES_DEFAULT
+
+
+def _use_columnar(database: Database) -> bool:
+    """The enumeration gate shared by both ``try_*`` dispatchers.
+
+    Environment variables win when present (either of them pins the
+    historical semantics: explicit backend plus size threshold);
+    otherwise an active planner plan decides directly — its cost model
+    already priced the per-tuple costs against the fixed numpy
+    overhead, so no second threshold is applied on top.  With neither,
+    the static default gate runs unchanged.
+    """
+    env_backend = os.environ.get("REPRO_JOIN_BACKEND")
+    if env_backend is None and os.environ.get("REPRO_COLUMNAR_MIN_TUPLES") is None:
+        # Imported lazily: repro.planner reaches back into the solver
+        # stack for feature extraction, so the import stays one-way.
+        from repro.planner import active_plan
+
+        plan = active_plan()
+        if plan is not None:
+            return plan.join == "columnar"
+    return join_backend() == "columnar" and len(database) >= min_columnar_tuples()
 
 
 def backend_counters() -> Dict[str, int]:
@@ -460,7 +490,7 @@ def try_witness_incidence(
     :func:`try_witness_tuple_sets`, returning the
     :func:`columnar_witness_incidence` payload instead of fact sets.
     """
-    if join_backend() != "columnar" or len(database) < min_columnar_tuples():
+    if not _use_columnar(database):
         _counters["reference"] += 1
         return None
     result = columnar_witness_incidence(database, query, index=index)
@@ -479,12 +509,13 @@ def try_witness_tuple_sets(
 ) -> Optional[List[FrozenSet[DBTuple]]]:
     """The backend dispatcher used by ``witness_tuple_sets``.
 
-    Returns the columnar result when the backend is enabled, the
-    database meets the size threshold, and the instance is supported;
-    ``None`` otherwise (the caller runs the reference evaluator).  Every
+    Returns the columnar result when the backend is enabled — by the
+    environment gate or by an active planner plan (see
+    :func:`_use_columnar`) — and the instance is supported; ``None``
+    otherwise (the caller runs the reference evaluator).  Every
     outcome is tallied in :func:`backend_counters`.
     """
-    if join_backend() != "columnar" or len(database) < min_columnar_tuples():
+    if not _use_columnar(database):
         _counters["reference"] += 1
         return None
     result = columnar_witness_tuple_sets(

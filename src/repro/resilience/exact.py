@@ -34,6 +34,7 @@ historical private aliases below keep old imports working).
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from typing import FrozenSet, Optional, Sequence, Set, TypeVar
 
@@ -208,12 +209,52 @@ def choose_backend(structure: WitnessStructure) -> str:
     that kernelize well stay on the cheap pure-Python path.  The single
     source of truth for every caller that must replicate the automatic
     choice (the parallel coordinator and the incremental session both
-    assemble per-component results under this rule).
+    assemble per-component results under this rule); the planner's
+    default cost model reproduces exactly this threshold from its
+    ``kernel_size`` feature.
     """
     largest = max((len(c.sets) for c in structure.components), default=0)
     if largest > 60 or structure.stats.tuples_final > 40:
         return "ilp"
     return "bnb"
+
+
+def solver_backend_override() -> Optional[str]:
+    """A forced exact backend, or ``None`` for the per-structure rule.
+
+    Precedence mirrors every other layer: ``REPRO_SOLVER_BACKEND``
+    (``bnb``/``ilp``) wins when set, then an active planner plan whose
+    ``solver`` is not ``"auto"`` (the plan only pins a backend when the
+    kernelized shape was already known at planning time), then ``None``
+    — callers fall through to :func:`choose_backend`.  Both backends
+    return optima of equal value (sets may differ), so the override is
+    value-invisible.
+    """
+    backend = os.environ.get("REPRO_SOLVER_BACKEND")
+    if backend is not None:
+        if backend not in ("bnb", "ilp"):
+            raise ValueError(
+                f"REPRO_SOLVER_BACKEND={backend!r} (expected 'bnb' or 'ilp')"
+            )
+        return backend
+    from repro.planner import active_plan
+
+    plan = active_plan()
+    if plan is not None and plan.solver in ("bnb", "ilp"):
+        return plan.solver
+    return None
+
+
+def effective_backend(structure: WitnessStructure) -> str:
+    """The backend an automatic exact solve will actually run.
+
+    :func:`solver_backend_override` when present, else
+    :func:`choose_backend` — used by :func:`resilience_exact` and by
+    the parallel coordinator, so serial solves, component tasks, and
+    forced configurations always agree.
+    """
+    forced = solver_backend_override()
+    return forced if forced is not None else choose_backend(structure)
 
 
 def resilience_exact(
@@ -243,7 +284,7 @@ def resilience_exact(
         )
     if prefer != "auto":
         raise ValueError(f"unknown backend preference {prefer!r}")
-    if choose_backend(ws) == "ilp":
+    if effective_backend(ws) == "ilp":
         return resilience_ilp(database, query, structure=ws, weighted=weighted)
     return resilience_branch_and_bound(
         database, query, structure=ws, weighted=weighted

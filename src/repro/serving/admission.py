@@ -31,11 +31,18 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.planner import (
+    DEFAULT_MAX_EXACT_TUPLES,
+    extract_features,
+    is_large_instance,
+)
 from repro.resilience.types import Budget
 from repro.serving.wire import SolveRequest
 
 # Defaults; overridable per-server or via REPRO_SERVING_* (from_env).
-DEFAULT_MAX_EXACT_TUPLES = 2000
+# The sizing threshold itself lives in repro.planner.features — one
+# number shared by admission and the planner's size classifier, so a
+# request this tier reroutes is exactly one the planner calls "large".
 DEFAULT_REROUTE_TIME_LIMIT = 2.0
 DEFAULT_REROUTE_NODE_LIMIT = 200_000
 DEFAULT_MAX_CONCURRENT_SOLVES = 32
@@ -124,12 +131,22 @@ class AdmissionPolicy:
 
         Exogenous tuples are free (they cannot be deleted, so they add
         no hitting-set variables); only endogenous tuples grow the
-        search space the exact solvers explore.
+        search space the exact solvers explore.  Computed through
+        :func:`repro.planner.extract_features` — the same feature (and
+        the same ``max_exact_tuples`` default) the planner's
+        ``size_class`` uses, so admission and planning can never
+        disagree about what "large" means.
         """
-        return sum(
-            len(rel)
-            for rel in request.database.relations.values()
-            if not rel.exogenous
+        return self.features(request).endogenous_tuples
+
+    def features(self, request: SolveRequest):
+        """The request's :class:`~repro.planner.PlanFeatures`."""
+        return extract_features(
+            request.database,
+            request.query,
+            mode=request.mode,
+            budget=request.budget,
+            weighted=request.weighted,
         )
 
     def admit(self, request: SolveRequest, active_solves: int) -> AdmissionDecision:
@@ -147,8 +164,11 @@ class AdmissionPolicy:
                     f"limit {self.max_concurrent_solves})"
                 ),
             )
-        size = self.instance_size(request)
-        oversized = size > self.max_exact_tuples
+        features = self.features(request)
+        size = features.endogenous_tuples
+        oversized = is_large_instance(
+            features, max_exact_tuples=self.max_exact_tuples
+        )
         if not oversized:
             return AdmissionDecision(
                 accepted=True,

@@ -27,6 +27,7 @@ AUDITED_PACKAGES = (
     "parallel",
     "incremental",
     "serving",
+    "planner",
 )
 
 # Standalone documentation pages every release must ship (each one is
@@ -39,6 +40,7 @@ REQUIRED_DOCS_PAGES = (
     "docs/incremental.md",
     "docs/performance.md",
     "docs/serving.md",
+    "docs/planner.md",
 )
 
 # Modules outside the audited packages that must still anchor
@@ -129,7 +131,8 @@ def test_audit_covers_the_expected_packages():
     assert "session.py" in names  # repro.incremental
     assert "columnar.py" in names  # the vectorized join layer
     assert {"server.py", "wire.py", "admission.py", "client.py"} <= names
-    assert len(modules) >= 25
+    assert {"features.py", "model.py"} <= names  # repro.planner
+    assert len(modules) >= 28
 
 
 @pytest.mark.parametrize("page", REQUIRED_DOCS_PAGES)
@@ -148,6 +151,7 @@ def test_required_docs_pages_exist(page):
         "docs/api.md",
         "docs/incremental.md",
         "docs/serving.md",
+        "docs/planner.md",
     ),
 )
 def test_readme_links_the_new_pages(page):
@@ -267,6 +271,42 @@ def test_weighted_bench_record_exists():
     assert gates["kernel_bnb_vs_ilp_cases"] > 0
     assert gates["unit_cost_delegation_cases"] > 0
     assert record["all_agreed"] is True
+
+
+def test_planner_page_documents_the_contract():
+    """docs/planner.md must cover the features, the cost-model format,
+    and the precedence chain (kwarg > env var > planner > default) —
+    the contract the differential harness enforces."""
+    page = (REPO_ROOT / "docs" / "planner.md").read_text()
+    for needle in (
+        "endogenous_tuples",
+        "witness_estimate",
+        "REPRO_PLANNER",
+        "REPRO_PLANNER_MODEL",
+        "REPRO_SOLVER_BACKEND",
+        "explicit kwarg > env var > planner > static default",
+        "planner calibrate",
+        "planner explain",
+        "repro.planner",
+        "tests/test_planner.py",
+        "BENCH_e21_planner.json",
+    ):
+        assert needle in page, f"docs/planner.md does not mention {needle}"
+
+
+def test_planner_bench_record_exists():
+    """The E21 planner benchmark has committed its trajectory record."""
+    import json
+
+    record = json.loads((REPO_ROOT / "BENCH_e21_planner.json").read_text())
+    assert record["bench"] == "e21_planner"
+    gates = record["gates"]
+    assert (
+        gates["speedup_vs_best_config"] >= gates["min_speedup_required"]
+    )
+    assert gates["values_identical_configs"] == 16
+    assert gates["intervals_identical_configs"] == 16
+    assert gates["plans_deterministic"] is True
 
 
 def test_api_reference_tracks_the_package_version():
