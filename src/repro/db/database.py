@@ -23,7 +23,8 @@ Databases support:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set
+import hashlib
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.db.relation import Relation
 from repro.db.tuples import DBTuple
@@ -40,6 +41,12 @@ class Database:
 
     def __init__(self, relations: Optional[Iterable[Relation]] = None):
         self.relations: Dict[str, Relation] = {}
+        # Content-epoch memo slots: each caches (epoch, value) where the
+        # epoch is the tuple of per-relation version counters at
+        # materialization time (see content_epoch()).
+        self._canonical_form_memo: Optional[Tuple[tuple, frozenset]] = None
+        self._canonical_text_memo: Optional[Tuple[tuple, str]] = None
+        self._content_digest_memo: Optional[Tuple[tuple, str]] = None
         if relations is not None:
             for rel in relations:
                 if rel.name in self.relations:
@@ -195,6 +202,22 @@ class Database:
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
+    def content_epoch(self) -> tuple:
+        """A cheap fingerprint of this object's mutation state.
+
+        The tuple of ``(name, id(rel), rel.version)`` triples over the
+        sorted relation names: O(#relations) to compute, and guaranteed
+        to change whenever any relation gains/loses a fact, changes a
+        cost, or flips its exogenous flag (every mutation path bumps
+        :attr:`Relation.version`).  The canonical-form/text/digest memos
+        below key on it, so an unmutated database materializes each
+        snapshot exactly once per epoch.
+        """
+        return tuple(
+            (name, id(rel), rel.version)
+            for name, rel in sorted(self.relations.items())
+        )
+
     def canonical_form(self) -> frozenset:
         """A hashable snapshot of the database contents.
 
@@ -204,7 +227,23 @@ class Database:
         all-unit database has exactly the pre-weighting canonical form —
         content-hash caches and memo keys are unchanged by the weighted
         machinery until someone actually assigns a cost.
+
+        Memoized per :meth:`content_epoch`: hash/equality-heavy paths
+        (solver memo dicts, the witness-structure LRU) pay the O(|D|)
+        materialization once per mutation epoch instead of per call.
         """
+        epoch = self.content_epoch()
+        memo = self._canonical_form_memo
+        if memo is not None and memo[0] == epoch:
+            return memo[1]
+        form = self._materialize_canonical_form()
+        self._canonical_form_memo = (epoch, form)
+        return form
+
+    def _materialize_canonical_form(self) -> frozenset:
+        """Actually build the canonical form (the memoized
+        :meth:`canonical_form` calls this once per mutation epoch; the
+        regression suite counts calls to pin that contract)."""
         parts: List = []
         for name in sorted(self.relations):
             rel = self.relations[name]
@@ -212,6 +251,52 @@ class Database:
             if not rel.exogenous and rel.has_weighted_costs:
                 parts.append(("__costs__", name, rel.cost_items()))
         return frozenset(parts)
+
+    def canonical_text(self) -> str:
+        """The deterministic textual form of the database contents.
+
+        Exactly the database segments of the result-cache pair text
+        (sorted relation declarations, sorted tuple reprs, ``$costs``
+        segments for weighted endogenous relations, ``|``-joined) —
+        :func:`repro.witness.cache.pair_cache_key` feeds this to its
+        incremental SHA-256, so the format is pinned bit-for-bit by the
+        golden-key suite.  Memoized per :meth:`content_epoch`.
+        """
+        epoch = self.content_epoch()
+        memo = self._canonical_text_memo
+        if memo is not None and memo[0] == epoch:
+            return memo[1]
+        parts = []
+        for name in sorted(self.relations):
+            rel = self.relations[name]
+            rows = ",".join(sorted(repr(t.values) for t in rel))
+            parts.append(f"{name}/{rel.arity}/{int(rel.exogenous)}:{rows}")
+            if not rel.exogenous and rel.has_weighted_costs:
+                cost_rows = ",".join(
+                    sorted(f"{values!r}={cost}" for values, cost in rel.cost_items())
+                )
+                parts.append(f"{name}$costs:{cost_rows}")
+        text = "|".join(parts)
+        self._canonical_text_memo = (epoch, text)
+        return text
+
+    def content_digest(self) -> str:
+        """SHA-256 hexdigest of :meth:`canonical_text`.
+
+        The process-stable content identity of the instance: equal
+        contents (tuples, flags, endogenous costs) give equal digests
+        across runs regardless of ``PYTHONHASHSEED``.  Storage snapshots
+        (:mod:`repro.storage`) record this digest at ingest, so a
+        memmap-backed handle can stand in for the in-memory database in
+        any content-keyed cache.  Memoized per :meth:`content_epoch`.
+        """
+        epoch = self.content_epoch()
+        memo = self._content_digest_memo
+        if memo is not None and memo[0] == epoch:
+            return memo[1]
+        digest = hashlib.sha256(self.canonical_text().encode()).hexdigest()
+        self._content_digest_memo = (epoch, digest)
+        return digest
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):

@@ -15,6 +15,15 @@ problem.  Costs live on the relation (keyed by fact), not on
 every set/frozenset the solvers build — is untouched by weighting.
 Only non-unit costs are stored; an all-unit relation is bit-for-bit
 the pre-weighting representation.
+
+Every *content* mutation — fact insertion/removal, cost change,
+exogenous flip — bumps :attr:`Relation.version`, a monotone epoch
+counter.  :meth:`repro.db.database.Database.canonical_form` memoizes
+its frozenset materialization against the tuple of relation versions,
+so hash/equality lookups on an unmutated database are O(#relations)
+instead of O(|D|) per call.  No-op mutations (re-inserting a present
+fact without changing its cost, discarding an absent one) leave the
+version alone, so they cannot invalidate the memo.
 """
 
 from __future__ import annotations
@@ -60,14 +69,39 @@ class Relation:
             raise ValueError(f"arity must be >= 1, got {arity}")
         self.name = name
         self.arity = arity
-        self.exogenous = exogenous
+        self._version = 0
+        self._exogenous = bool(exogenous)
         self._tuples: Set[DBTuple] = set()
         # fact -> cost, for non-unit costs only (unit is the implicit
         # default, so an unweighted relation stores nothing extra).
         self._costs: Dict[DBTuple, int] = {}
+        self._tuples_snapshot: Optional[frozenset] = None
+        self._tuples_snapshot_version = -1
         if tuples is not None:
             for values in tuples:
                 self.add(*values)
+
+    @property
+    def version(self) -> int:
+        """Monotone content-epoch counter.
+
+        Bumped by every effective mutation (fact added or removed, cost
+        changed, exogenous flag flipped); no-op mutations leave it
+        unchanged.  Memo layers key on ``(id(rel), rel.version)``.
+        """
+        return self._version
+
+    @property
+    def exogenous(self) -> bool:
+        """May this relation's tuples appear in contingency sets?"""
+        return self._exogenous
+
+    @exogenous.setter
+    def exogenous(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._exogenous:
+            self._exogenous = value
+            self._version += 1
 
     # ------------------------------------------------------------------
     # Mutation
@@ -85,25 +119,32 @@ class Relation:
                 f"{self.name} has arity {self.arity}, got {len(values)} values: {values!r}"
             )
         fact = DBTuple(self.name, tuple(values))
-        self._tuples.add(fact)
+        if fact not in self._tuples:
+            self._tuples.add(fact)
+            self._version += 1
         if cost is not None:
             self.set_cost(fact, cost)
         return fact
 
     def discard(self, fact: DBTuple) -> None:
         """Remove ``fact`` if present."""
-        self._tuples.discard(fact)
-        self._costs.pop(fact, None)
+        if fact in self._tuples:
+            self._tuples.discard(fact)
+            self._costs.pop(fact, None)
+            self._version += 1
 
     def set_cost(self, fact: DBTuple, cost: int) -> None:
         """Set the cost of a present fact (cost 1 clears the entry)."""
         cost = _check_cost(cost)
         if fact not in self._tuples:
             raise ValueError(f"{fact!r} is not in relation {self.name}")
+        if cost == self._costs.get(fact, 1):
+            return
         if cost == 1:
             self._costs.pop(fact, None)
         else:
             self._costs[fact] = cost
+        self._version += 1
 
     def cost(self, fact: DBTuple) -> int:
         """The cost of ``fact`` (1 unless explicitly set)."""
@@ -137,8 +178,16 @@ class Relation:
 
     @property
     def tuples(self) -> frozenset:
-        """The facts of this relation, as an immutable snapshot."""
-        return frozenset(self._tuples)
+        """The facts of this relation, as an immutable snapshot.
+
+        Memoized per content epoch: repeat reads of an unmutated
+        relation return the same frozenset object instead of
+        rematerializing O(n) each call.
+        """
+        if self._tuples_snapshot_version != self._version:
+            self._tuples_snapshot = frozenset(self._tuples)
+            self._tuples_snapshot_version = self._version
+        return self._tuples_snapshot
 
     def value_vectors(self) -> Set[Tuple[Hashable, ...]]:
         """The raw value vectors, without relation identity."""

@@ -44,6 +44,12 @@ class PairTask:
     database and query are shipped to the worker by pickle; ``method``,
     ``mode`` and ``budget`` pass through to
     :func:`repro.resilience.solver.solve` unchanged.
+
+    A snapshot-backed handle (:class:`repro.storage.StoredDatabase`)
+    pickles as its snapshot *path* only — the worker reopens the
+    snapshot and ``mmap``s the same on-disk columns, so out-of-core
+    task payloads stay O(1) in the database size and the pool shares
+    pages instead of holding per-worker fact copies.
     """
 
     task_id: int

@@ -93,7 +93,9 @@ class Plan:
     planned decisions agree).  ``split`` is the shard-layer choice:
     whether a parallel batch should decompose this instance into
     per-component hitting-set tasks.  ``size_class`` mirrors the
-    serving tier's admission sizing (``"small"``/``"large"``).
+    serving tier's admission sizing (``"small"``/``"large"``), with
+    ``"out-of-core"`` for snapshot-backed instances
+    (:mod:`repro.storage`), which always join columnar.
     """
 
     join: str
@@ -155,13 +157,22 @@ def plan_instance(
         if kernel_size is None
         else model.choose("solver", kernel_size)
     )
+    if features.storage:
+        # Snapshot-backed instances: the data already lives as on-disk
+        # code matrices, so only the columnar join avoids a full decode
+        # pass, and the sizing label records the out-of-core regime.
+        join = "columnar"
+        size_class = "out-of-core"
+    else:
+        join = model.choose("join", features.total_tuples)
+        size_class = "large" if is_large_instance(features) else "small"
     return Plan(
-        join=model.choose("join", features.total_tuples),
+        join=join,
         kernel=model.choose("kernel", features.witness_estimate),
         flow=model.choose("flow", features.endogenous_tuples),
         solver=solver,
         split=model.choose("shard", features.endogenous_tuples) == "split",
-        size_class="large" if is_large_instance(features) else "small",
+        size_class=size_class,
         model_version=model.version,
         features=features,
     )

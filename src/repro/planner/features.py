@@ -54,6 +54,10 @@ class PlanFeatures:
     ``None`` unless a witness structure for the pair was already cached
     when the features were extracted (post-kernelization shape is only
     known after a build, and the planner never triggers one).
+    ``storage`` marks a snapshot-backed instance
+    (:class:`repro.storage.StoredDatabase`) — out-of-core data is
+    already dictionary-encoded on disk, so the columnar join is the
+    only enumeration path that avoids a full decode.
     """
 
     total_tuples: int
@@ -67,6 +71,7 @@ class PlanFeatures:
     kernel_largest: Optional[int] = None
     kernel_tuples: Optional[int] = None
     kernel_width: Optional[int] = None
+    storage: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         """Field name → value, in declaration order (CLI ``explain``)."""
@@ -157,6 +162,7 @@ def extract_features(
         kernel_largest=kernel_largest,
         kernel_tuples=kernel_tuples,
         kernel_width=kernel_width,
+        storage=getattr(database, "storage_snapshot", None) is not None,
     )
 
 

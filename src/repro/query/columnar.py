@@ -52,10 +52,13 @@ explicit kwarg > env var > planner > static default).
 
 :func:`backend_counters` reports how often each path actually ran —
 ``columnar`` (vectorized), ``reference`` (disabled or below the size
-threshold), ``fallback`` (eligible but unsupported, e.g. an
-atom/relation arity mismatch or a frontier larger than
-:data:`MAX_FRONTIER_ROWS`).  The CI perf-smoke job fails when an
-eligible workload silently falls back.
+threshold), ``fallback`` (eligible but unsupported: an atom/relation
+arity mismatch).  Join frontiers larger than
+:func:`frontier_chunk_rows` no longer fall back — the enumeration
+streams bounded blocks (at most that many rows live at once) and
+merges per-block deduplicated results, so memory stays bounded at any
+scale.  The CI perf-smoke job fails when an eligible workload silently
+falls back.
 """
 
 from __future__ import annotations
@@ -74,10 +77,28 @@ from repro.query.cq import ConjunctiveQuery
 #: overhead per atom that only amortizes on non-trivial instances.
 MIN_TUPLES_DEFAULT = 128
 
-#: Hard cap on the join frontier (partial valuations held at once).
-#: Above it the enumeration falls back to the constant-memory reference
-#: evaluator instead of materializing an enormous intermediate.
+#: Default bound on the join frontier (partial valuations materialized
+#: at once).  The enumeration streams the join in blocks of at most
+#: this many rows — an expansion that would exceed it is split into
+#: bounded segments, never handed to the O(n^k) reference evaluator.
 MAX_FRONTIER_ROWS = 4_000_000
+
+
+def frontier_chunk_rows() -> int:
+    """The frontier block bound, ``REPRO_COLUMNAR_CHUNK_ROWS`` or the
+    :data:`MAX_FRONTIER_ROWS` default (clamped to at least 1).
+
+    Tests and the out-of-core benchmarks force tiny chunks through the
+    environment variable to exercise the splitting paths at small
+    scale; chunking never changes results — only peak memory."""
+    raw = os.environ.get("REPRO_COLUMNAR_CHUNK_ROWS")
+    if raw is None:
+        return MAX_FRONTIER_ROWS
+    try:
+        value = int(raw)
+    except ValueError:
+        return MAX_FRONTIER_ROWS
+    return max(1, value)
 
 _counters = {"columnar": 0, "reference": 0, "fallback": 0}
 
@@ -145,14 +166,36 @@ class ColumnarDatabase:
     ``(codes, ids)`` pair: an ``(n, arity)`` int64 matrix of interned
     constant codes and the parallel ``(n,)`` vector of global tuple
     ids.  ``constants`` is the reverse intern table (code → constant).
+
+    A snapshot-backed handle (:class:`repro.storage.StoredDatabase`,
+    detected through its ``storage_snapshot`` attribute) skips the
+    encoding pass entirely: the code matrices are the snapshot's own
+    ``numpy.memmap`` views, and ``facts``/``constants`` become lazy
+    decoders that touch Python objects only for tuples a witness
+    actually emits.
     """
 
     def __init__(self, database: Database):
         self.database = database
+        self._repr_cache: Dict[int, str] = {}
+        self._const_reprs: Optional[List[str]] = None
+        snapshot = getattr(database, "storage_snapshot", None)
+        if snapshot is not None:
+            from repro.storage.stored import columnar_parts
+
+            (
+                self.facts,
+                self.relations,
+                self._ranges,
+                self.constants,
+                self.n_constants,
+            ) = columnar_parts(snapshot)
+            self._lazy_constants = True
+            return
+        self._lazy_constants = False
         self.facts: List[DBTuple] = []
         self.relations: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         self._ranges: List[Tuple[str, int, np.ndarray]] = []
-        self._const_reprs: Optional[List[str]] = None
         intern: Dict[Hashable, int] = {}
         for name in sorted(database.relations):
             rel = database.relations[name]
@@ -181,19 +224,33 @@ class ColumnarDatabase:
         """:meth:`DBTuple.sort_key` for each (ascending) global tuple id.
 
         Built from per-constant ``repr`` strings cached once, instead of
-        re-``repr``-ing every value of every fact per comparison.
+        re-``repr``-ing every value of every fact per comparison.  On a
+        snapshot-backed encoding the cache fills lazily per code — a
+        million-constant snapshot pays for exactly the constants that
+        appear in witness universes, not the whole table.
         """
-        if self._const_reprs is None:
-            self._const_reprs = [repr(c) for c in self.constants]
-        reprs = self._const_reprs
+        if self._lazy_constants:
+            cache = self._repr_cache
+            constants = self.constants
+
+            def repr_of(code: int) -> str:
+                text = cache.get(code)
+                if text is None:
+                    text = repr(constants[code])
+                    cache[code] = text
+                return text
+        else:
+            if self._const_reprs is None:
+                self._const_reprs = [repr(c) for c in self.constants]
+            repr_of = self._const_reprs.__getitem__
         keys: List[Tuple[str, Tuple[str, ...]]] = []
         for name, start, codes in self._ranges:
             lo, hi = np.searchsorted(gids, [start, start + len(codes)])
             if lo == hi:
                 continue
-            rows = codes[gids[lo:hi] - start]
+            rows = np.asarray(codes)[gids[lo:hi] - start]
             keys.extend(
-                (name, tuple(reprs[c] for c in row)) for row in rows.tolist()
+                (name, tuple(repr_of(c) for c in row)) for row in rows.tolist()
             )
         return keys
 
@@ -254,25 +311,22 @@ def _match_runs(
     return probe_idx, rel_idx
 
 
-def _enumerate_fact_matrix(
-    cdb: ColumnarDatabase, query: ConjunctiveQuery
-) -> Optional[np.ndarray]:
-    """The witness → tuple-id incidence of ``D |= q``.
+def _atom_join_plan(cdb: ColumnarDatabase, query: ConjunctiveQuery):
+    """Validate and prepare the join: one step per ordered atom.
 
-    Returns a ``(witnesses, len(query.atoms))`` int64 matrix whose entry
-    ``[w, a]`` is the global tuple id the witness ``w`` uses at atom
-    ``a`` (columns in ``query.atoms`` order), or ``None`` when the
-    instance is unsupported (arity mismatch, frontier overflow) and the
-    caller must fall back to the reference evaluator.
+    Returns ``None`` when some atom's arity disagrees with the stored
+    relation (the only remaining unsupported case — the caller falls
+    back to the reference evaluator), else a list of
+    ``(atom, codes, ids, bound, free)`` steps where ``bound``/``free``
+    are ``(slot, column)`` pairs over the shared variable-slot layout
+    (slot = order of first binding across the ordered atoms).
+    Within-atom repeated variables are filtered here, once.
     """
     from repro.query.evaluation import _order_atoms
 
     ordered = _order_atoms(query)
     var_slot: Dict[str, int] = {}
-    var_cols: List[np.ndarray] = []
-    fact_cols: List[np.ndarray] = []
-    n_rows: Optional[int] = None  # None = one empty valuation (no atom yet)
-
+    steps = []
     for atom in ordered:
         entry = cdb.relations.get(atom.relation)
         if entry is None:
@@ -282,7 +336,6 @@ def _enumerate_fact_matrix(
             codes, ids = entry
             if codes.shape[1] != atom.arity:
                 return None
-        # Within-atom repeated variables constrain facts before joining.
         first_pos: Dict[str, int] = {}
         mask = None
         for j, var in enumerate(atom.args):
@@ -293,53 +346,201 @@ def _enumerate_fact_matrix(
                 first_pos[var] = j
         if mask is not None:
             codes = codes[mask]
-            ids = ids[mask]
+            ids = np.asarray(ids)[mask]
+        bound = []
+        free = []
+        for var, j in first_pos.items():
+            slot = var_slot.get(var)
+            if slot is not None:
+                bound.append((slot, j))
+            else:
+                var_slot[var] = len(var_slot)
+                free.append((var_slot[var], j))
+        steps.append((atom, codes, ids, bound, free))
+    return steps
 
-        bound = [(var, j) for var, j in first_pos.items() if var in var_slot]
-        free = [(var, j) for var, j in first_pos.items() if var not in var_slot]
 
-        if n_rows is None:
-            for var, j in free:
-                var_slot[var] = len(var_cols)
-                var_cols.append(codes[:, j].copy())
-            fact_cols.append(ids.copy())
-        elif not bound:
-            n_new = len(ids)
-            if n_rows * n_new > MAX_FRONTIER_ROWS:
-                return None
-            old_idx = np.repeat(np.arange(n_rows, dtype=np.int64), n_new)
-            new_idx = np.tile(np.arange(n_new, dtype=np.int64), n_rows)
-            var_cols = [col[old_idx] for col in var_cols]
-            fact_cols = [col[old_idx] for col in fact_cols]
-            for var, j in free:
-                var_slot[var] = len(var_cols)
-                var_cols.append(codes[new_idx, j])
-            fact_cols.append(ids[new_idx])
+def _cartesian_pairs(n_rows: int, n_new: int, chunk: int):
+    """Lazy ``(old_idx, new_idx)`` segments of the ``n_rows x n_new``
+    cross product, each segment at most ``chunk`` pairs."""
+    if n_rows == 0 or n_new == 0:
+        return
+    if n_new > chunk:
+        for lo in range(0, n_new, chunk):
+            hi = min(lo + chunk, n_new)
+            new_idx = np.arange(lo, hi, dtype=np.int64)
+            for row in range(n_rows):
+                yield np.full(hi - lo, row, dtype=np.int64), new_idx
+        return
+    rows_per = max(1, chunk // n_new)
+    for lo in range(0, n_rows, rows_per):
+        hi = min(lo + rows_per, n_rows)
+        old_idx = np.repeat(np.arange(lo, hi, dtype=np.int64), n_new)
+        new_idx = np.tile(np.arange(n_new, dtype=np.int64), hi - lo)
+        yield old_idx, new_idx
+
+
+def _materialize_matches(starts, counts, order, a: int, b: int):
+    """The ``(probe_idx, rel_idx)`` expansion restricted to probe rows
+    ``[a, b)`` — the per-segment core of :func:`_match_runs`."""
+    cseg = counts[a:b]
+    total = int(cseg.sum())
+    probe_idx = np.repeat(np.arange(a, b, dtype=np.int64), cseg)
+    run_offsets = np.cumsum(cseg) - cseg
+    within = np.arange(total, dtype=np.int64) - np.repeat(run_offsets, cseg)
+    rel_idx = order[np.repeat(starts[a:b], cseg) + within]
+    return probe_idx, rel_idx
+
+
+def _match_pairs(rel_key: np.ndarray, probe_key: np.ndarray, chunk: int):
+    """Lazy sort-merge match: ``(probe_idx, rel_idx)`` segments, probe-
+    major, each at most ``chunk`` pairs.
+
+    A probe row whose own match run exceeds ``chunk`` is emitted as
+    slices of its contiguous sorted-relation run; concatenated in
+    order, the segments are exactly :func:`_match_runs`'s expansion.
+    """
+    order = np.argsort(rel_key, kind="stable")
+    sorted_rel = rel_key[order]
+    starts = np.searchsorted(sorted_rel, probe_key, side="left")
+    ends = np.searchsorted(sorted_rel, probe_key, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return
+    n = len(probe_key)
+    if total <= chunk:
+        yield _materialize_matches(starts, counts, order, 0, n)
+        return
+    cum = np.cumsum(counts)
+    big_rows = np.flatnonzero(counts > chunk)
+    a = 0
+    big_pos = 0
+    while a < n:
+        if big_pos < len(big_rows) and big_rows[big_pos] == a:
+            s, e = int(starts[a]), int(ends[a])
+            row = np.int64(a)
+            for off in range(s, e, chunk):
+                hi = min(off + chunk, e)
+                yield np.full(hi - off, row, dtype=np.int64), order[off:hi]
+            a += 1
+            big_pos += 1
+            continue
+        base = int(cum[a - 1]) if a else 0
+        b = int(np.searchsorted(cum, base + chunk, side="right"))
+        b = max(b, a + 1)
+        if big_pos < len(big_rows):
+            b = min(b, int(big_rows[big_pos]))
+            b = max(b, a + 1)
+        b = min(b, n)
+        if int(cum[b - 1]) - base > 0:
+            yield _materialize_matches(starts, counts, order, a, b)
+        a = b
+
+
+def _assemble_block(
+    query: ConjunctiveQuery, ordered, fact_cols: List[np.ndarray], n_rows: int
+) -> np.ndarray:
+    """One output block: join-ordered fact columns mapped back to body
+    positions.
+
+    Map each join-ordered column back to a *distinct* body position.
+    Keyed by signature alone this collapsed duplicate atoms onto one
+    column, leaving another as uninitialized np.empty garbage; the
+    per-signature position queues below give every occurrence its own
+    column (duplicate atoms match identical facts, so which occurrence
+    gets which column is immaterial — that each gets one is not).
+    """
+    out = np.empty((n_rows, len(query.atoms)), dtype=np.int64)
+    positions: Dict[str, List[int]] = {}
+    for i, atom in enumerate(query.atoms):
+        positions.setdefault(atom.signature(), []).append(i)
+    for atom, col in zip(ordered, fact_cols):
+        out[:, positions[atom.signature()].pop(0)] = col
+    return out
+
+
+def _fact_matrix_blocks(cdb: ColumnarDatabase, query: ConjunctiveQuery):
+    """The witness → tuple-id incidence of ``D |= q``, streamed.
+
+    Returns ``None`` when the instance is unsupported (atom/relation
+    arity mismatch) and the caller must fall back to the reference
+    evaluator; otherwise an iterator of ``(rows, len(query.atoms))``
+    int64 blocks whose entry ``[w, a]`` is the global tuple id witness
+    ``w`` uses at atom ``a`` (columns in ``query.atoms`` order).  Each
+    block holds at most :func:`frontier_chunk_rows` rows, and no
+    intermediate frontier larger than that is ever materialized — the
+    depth-first expansion keeps at most one live segment per join
+    level.  Concatenated, the blocks equal the unchunked enumeration
+    row for row.
+    """
+    steps = _atom_join_plan(cdb, query)
+    if steps is None:
+        return None
+    return _iter_fact_blocks(cdb, query, steps, frontier_chunk_rows())
+
+
+def _iter_fact_blocks(
+    cdb: ColumnarDatabase, query: ConjunctiveQuery, steps, chunk: int
+):
+    ordered = [atom for atom, *_rest in steps]
+
+    def expand(ai: int, var_cols: List[np.ndarray], fact_cols: List[np.ndarray]):
+        if ai == len(steps):
+            n_rows = len(fact_cols[0]) if fact_cols else 0
+            yield _assemble_block(query, ordered, fact_cols, n_rows)
+            return
+        _atom, codes, ids, bound, free = steps[ai]
+        if ai == 0:
+            for lo in range(0, len(ids), chunk):
+                hi = min(lo + chunk, len(ids))
+                new_vars = [codes[lo:hi, j].copy() for _slot, j in free]
+                yield from expand(ai + 1, new_vars, [np.asarray(ids[lo:hi])])
+            return
+        n_rows = len(fact_cols[0])
+        if n_rows == 0:
+            return
+        if not bound:
+            segments = _cartesian_pairs(n_rows, len(ids), chunk)
         else:
-            rel_cols = [codes[:, j] for _var, j in bound]
-            probe_cols = [var_cols[var_slot[var]] for var, _j in bound]
+            rel_cols = [codes[:, j] for _slot, j in bound]
+            probe_cols = [var_cols[slot] for slot, _j in bound]
             rel_key, probe_key = _combine_keys(
                 rel_cols, probe_cols, cdb.n_constants
             )
-            probe_idx, rel_idx = _match_runs(rel_key, probe_key)
-            if len(probe_idx) > MAX_FRONTIER_ROWS:
-                return None
-            var_cols = [col[probe_idx] for col in var_cols]
-            fact_cols = [col[probe_idx] for col in fact_cols]
-            for var, j in free:
-                var_slot[var] = len(var_cols)
-                var_cols.append(codes[rel_idx, j])
-            fact_cols.append(ids[rel_idx])
-        n_rows = len(fact_cols[0])
-        if n_rows == 0:
-            break
+            segments = _match_pairs(rel_key, probe_key, chunk)
+        for old_idx, new_idx in segments:
+            new_vars = [col[old_idx] for col in var_cols]
+            new_vars.extend(codes[new_idx, j] for _slot, j in free)
+            new_facts = [col[old_idx] for col in fact_cols]
+            new_facts.append(np.asarray(ids)[new_idx])
+            yield from expand(ai + 1, new_vars, new_facts)
 
-    n_rows = n_rows or 0
-    out = np.empty((n_rows, len(query.atoms)), dtype=np.int64)
-    positions = {atom.signature(): i for i, atom in enumerate(query.atoms)}
-    for atom, col in zip(ordered, fact_cols):
-        out[:, positions[atom.signature()]] = col
-    return out
+    if not steps:
+        return iter(())
+    return expand(0, [], [])
+
+
+def _enumerate_fact_matrix(
+    cdb: ColumnarDatabase, query: ConjunctiveQuery
+) -> Optional[np.ndarray]:
+    """The full witness → tuple-id incidence matrix of ``D |= q``.
+
+    The concatenation of :func:`_fact_matrix_blocks` (``None`` on arity
+    mismatch).  Row order is identical to the historical unchunked
+    enumeration.  Hot paths stream the blocks instead; this
+    materializing form serves :func:`columnar_valuations` and the
+    equivalence suites.
+    """
+    blocks = _fact_matrix_blocks(cdb, query)
+    if blocks is None:
+        return None
+    collected = [b for b in blocks if b.shape[0]]
+    if not collected:
+        return np.empty((0, len(query.atoms)), dtype=np.int64)
+    if len(collected) == 1:
+        return collected[0]
+    return np.concatenate(collected, axis=0)
 
 
 def columnar_valuations(
@@ -379,9 +580,15 @@ def _distinct_witness_rows(
     duplicates — one fact matched by several atoms — and exogenous
     columns are normalized away), one row per distinct witness tuple
     set.  A width-0 row set encodes the all-exogenous-atoms case.
+
+    Streams the enumeration block by block: each frontier block (at
+    most :func:`frontier_chunk_rows` rows) is normalized and
+    deduplicated on its own, then merged into the accumulated distinct
+    rows — peak memory is one block plus the distinct result, never
+    the full witness multiset.
     """
-    matrix = _enumerate_fact_matrix(cdb, query)
-    if matrix is None:
+    blocks = _fact_matrix_blocks(cdb, query)
+    if blocks is None:
         return None
     flags = dict(query.relation_flags())
     for name, rel in cdb.database.relations.items():
@@ -395,21 +602,36 @@ def _distinct_witness_rows(
         ]
     else:
         keep_cols = list(range(len(query.atoms)))
-    if matrix.shape[0] == 0:
+    acc: Optional[np.ndarray] = None
+    saw_rows = False
+    for matrix in blocks:
+        if matrix.shape[0] == 0:
+            continue
+        saw_rows = True
+        if not keep_cols:
+            # Every atom is exogenous: each witness restricts to the
+            # empty set (the unbreakable case the structure builder
+            # rejects); one nonempty block settles the answer.
+            break
+        sub = np.sort(matrix[:, keep_cols], axis=1)
+        if sub.shape[1] > 1:
+            # Normalize within-row duplicates (the same fact matched by
+            # several atoms) to -1 so set-equal rows become array-equal.
+            dup = np.zeros(sub.shape, dtype=bool)
+            dup[:, 1:] = sub[:, 1:] == sub[:, :-1]
+            sub = np.where(dup, np.int64(-1), sub)
+            sub = np.sort(sub, axis=1)
+        distinct = np.unique(sub, axis=0)
+        acc = (
+            distinct
+            if acc is None
+            else np.unique(np.concatenate([acc, distinct], axis=0), axis=0)
+        )
+    if not saw_rows:
         return np.empty((0, len(keep_cols)), dtype=np.int64)
     if not keep_cols:
-        # Every atom is exogenous: each witness restricts to the empty
-        # set (the unbreakable case the structure builder rejects).
         return np.empty((1, 0), dtype=np.int64)
-    sub = np.sort(matrix[:, keep_cols], axis=1)
-    if sub.shape[1] > 1:
-        # Normalize within-row duplicates (the same fact matched by
-        # several atoms) to -1 so set-equal rows become array-equal.
-        dup = np.zeros(sub.shape, dtype=bool)
-        dup[:, 1:] = sub[:, 1:] == sub[:, :-1]
-        sub = np.where(dup, np.int64(-1), sub)
-        sub = np.sort(sub, axis=1)
-    return np.unique(sub, axis=0)
+    return acc
 
 
 def _columnar_snapshot(database: Database, index) -> ColumnarDatabase:

@@ -1,0 +1,440 @@
+"""The versioned on-disk snapshot layout and its writers/readers.
+
+Out-of-core resilience (Section 2's ``D |= q`` witness enumeration over
+million-tuple instances) needs the database itself off the Python heap:
+a *snapshot* stores each relation as a raw little-endian int64 matrix
+of dictionary-encoded constant codes — exactly the encoding
+:class:`repro.query.columnar.ColumnarDatabase` builds in memory — so
+the vectorized join (and therefore every witness structure and
+hitting-set solve built on it, Definition 1) can run directly over
+``numpy.memmap`` views without materializing facts as objects.
+
+Layout version 1 (a directory)::
+
+    manifest.json     layout version, content digest, relation table
+    constants.i64     interned constants (all-int fast form), or
+    constants.json    interned constants (mixed int/str form)
+    rel<i>.codes.i64  one (rows, arity) code matrix per relation
+
+``manifest.json`` carries the database's **content digest** — the
+SHA-256 of :meth:`repro.db.database.Database.canonical_text`, computed
+at ingest — so a reopened snapshot keys content-addressed caches
+exactly like the in-memory instance it was built from.  Ingest is
+atomic: everything is written into a ``*.part-<pid>`` sibling
+directory and renamed into place in one step, so readers never observe
+a partial snapshot.
+
+Constants are restricted to ``int`` (64-bit range, bools excluded) and
+``str`` — the value vocabulary of every workload generator — and the
+all-int case is stored as a memmap-able int64 vector so a
+million-constant snapshot costs no JSON parse and no per-value Python
+object until a constant is actually decoded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Bumped whenever the on-disk layout changes incompatibly; readers
+#: refuse other versions instead of misreading them.
+LAYOUT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_CONSTANTS_I64 = "constants.i64"
+_CONSTANTS_JSON = "constants.json"
+_CODES_DTYPE = np.dtype("<i8")
+
+#: int64 bounds for constant validation.
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class SnapshotLayoutError(ValueError):
+    """A snapshot directory is missing, partial, or layout-incompatible."""
+
+
+def _check_constant(value: Hashable) -> Hashable:
+    """Validate one constant: an int (int64 range, not bool) or a str."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise SnapshotLayoutError(
+            f"snapshot constants must be int or str, got {type(value).__name__}: "
+            f"{value!r}"
+        )
+    if isinstance(value, int) and not (_I64_MIN <= value <= _I64_MAX):
+        raise SnapshotLayoutError(f"constant {value!r} exceeds the int64 range")
+    return value
+
+
+class _RelationMeta:
+    """One manifest relation entry."""
+
+    __slots__ = ("name", "arity", "exogenous", "rows", "codes_file", "costs")
+
+    def __init__(self, name, arity, exogenous, rows, codes_file, costs):
+        self.name = name
+        self.arity = arity
+        self.exogenous = exogenous
+        self.rows = rows
+        self.codes_file = codes_file
+        # [(codes_tuple, cost), ...] — non-unit costs, sparse.
+        self.costs = costs
+
+
+class SnapshotWriter:
+    """Streaming builder of one layout-v1 snapshot.
+
+    Relations must be added in strictly ascending name order (the order
+    :meth:`~repro.db.database.Database.canonical_text` serializes them
+    in), which lets the content digest be computed **streaming**: each
+    relation's sorted row reprs are hashed and discarded before the
+    next relation arrives, so building a million-tuple snapshot never
+    holds more than one relation's digest material.  Pass a
+    pre-computed ``digest`` (e.g. ``database.content_digest()``) to
+    skip digest work entirely.
+
+    Rows are buffered and flushed to the raw code file in blocks of
+    ``buffer_rows``; constants are interned into one shared table.
+    ``commit()`` renames the staging directory into place atomically;
+    ``abort()`` (or ``commit`` failure) removes it.
+    """
+
+    def __init__(
+        self,
+        path,
+        overwrite: bool = False,
+        buffer_rows: int = 65536,
+        digest: Optional[str] = None,
+    ):
+        self.path = Path(path)
+        self.overwrite = overwrite
+        self.buffer_rows = max(1, int(buffer_rows))
+        if self.path.exists() and not overwrite:
+            raise SnapshotLayoutError(f"snapshot target {self.path} already exists")
+        self._staging = self.path.parent / f"{self.path.name}.part-{os.getpid()}"
+        if self._staging.exists():
+            shutil.rmtree(self._staging)
+        self._staging.mkdir(parents=True)
+        self._intern: Dict[Hashable, int] = {}
+        self._relations: List[_RelationMeta] = []
+        self._known_digest = digest
+        self._hasher = None if digest is not None else hashlib.sha256()
+        self._hashed_any = False
+        self._committed = False
+
+    # ------------------------------------------------------------------
+    def _code(self, value: Hashable) -> int:
+        code = self._intern.get(value)
+        if code is None:
+            _check_constant(value)
+            code = len(self._intern)
+            self._intern[value] = code
+        return code
+
+    def _feed_digest(self, segment_head: str, row_texts: Sequence[str]) -> None:
+        if self._hasher is None:
+            return
+        if self._hashed_any:
+            self._hasher.update(b"|")
+        self._hasher.update(segment_head.encode())
+        for i, text in enumerate(row_texts):
+            if i:
+                self._hasher.update(b",")
+            self._hasher.update(text.encode())
+        self._hashed_any = True
+
+    def add_relation(
+        self,
+        name: str,
+        arity: int,
+        rows: Iterable[Sequence[Hashable]],
+        exogenous: bool = False,
+        costs: Optional[Dict[Tuple[Hashable, ...], int]] = None,
+    ) -> int:
+        """Stream one relation into the snapshot; returns its row count.
+
+        ``rows`` yields distinct value vectors (set semantics, like
+        :class:`~repro.db.relation.Relation`); ``costs`` maps value
+        vectors to their non-unit positive costs.
+        """
+        if self._committed:
+            raise SnapshotLayoutError("snapshot already committed")
+        if self._relations and name <= self._relations[-1].name:
+            raise SnapshotLayoutError(
+                f"relations must be added in ascending name order "
+                f"({name!r} after {self._relations[-1].name!r})"
+            )
+        if arity < 1:
+            raise SnapshotLayoutError(f"arity must be >= 1, got {arity}")
+        codes_file = f"rel{len(self._relations)}.codes.i64"
+        n_rows = 0
+        row_reprs: List[str] = [] if self._hasher is not None else None
+        buffer: List[Tuple[int, ...]] = []
+        with open(self._staging / codes_file, "wb") as handle:
+            for values in rows:
+                values = tuple(values)
+                if len(values) != arity:
+                    raise SnapshotLayoutError(
+                        f"{name} has arity {arity}, got {len(values)} values: "
+                        f"{values!r}"
+                    )
+                buffer.append(tuple(self._code(v) for v in values))
+                if row_reprs is not None:
+                    row_reprs.append(repr(values))
+                n_rows += 1
+                if len(buffer) >= self.buffer_rows:
+                    handle.write(
+                        np.asarray(buffer, dtype=_CODES_DTYPE).tobytes()
+                    )
+                    buffer.clear()
+            if buffer:
+                handle.write(np.asarray(buffer, dtype=_CODES_DTYPE).tobytes())
+        if row_reprs is not None:
+            row_reprs.sort()
+            for a, b in zip(row_reprs, row_reprs[1:]):
+                if a == b:
+                    raise SnapshotLayoutError(
+                        f"duplicate row in relation {name!r}: {a}"
+                    )
+            self._feed_digest(f"{name}/{arity}/{int(exogenous)}:", row_reprs)
+        cost_entries: List[Tuple[Tuple[int, ...], int]] = []
+        if costs:
+            for values, cost in costs.items():
+                values = tuple(values)
+                if (
+                    isinstance(cost, bool)
+                    or not isinstance(cost, int)
+                    or cost < 1
+                ):
+                    raise SnapshotLayoutError(
+                        f"cost for {values!r} must be a positive int, got {cost!r}"
+                    )
+                if cost == 1:
+                    continue
+                cost_entries.append(
+                    (tuple(self._code(v) for v in values), cost)
+                )
+            if cost_entries and not exogenous and self._hasher is not None:
+                cost_texts = sorted(
+                    f"{values!r}={cost}" for values, cost in costs.items()
+                    if cost != 1
+                )
+                self._feed_digest(f"{name}$costs:", cost_texts)
+        self._relations.append(
+            _RelationMeta(name, arity, bool(exogenous), n_rows, codes_file, cost_entries)
+        )
+        return n_rows
+
+    # ------------------------------------------------------------------
+    def commit(self) -> Path:
+        """Finalize the snapshot and rename it into place atomically."""
+        if self._committed:
+            raise SnapshotLayoutError("snapshot already committed")
+        try:
+            constants = list(self._intern)
+            if constants and all(isinstance(c, int) for c in constants):
+                constants_format = "i64"
+                np.asarray(constants, dtype=_CODES_DTYPE).tofile(
+                    self._staging / _CONSTANTS_I64
+                )
+            else:
+                constants_format = "json"
+                encoded = [
+                    ["i", c] if isinstance(c, int) else ["s", c]
+                    for c in constants
+                ]
+                (self._staging / _CONSTANTS_JSON).write_text(
+                    json.dumps(encoded)
+                )
+            digest = (
+                self._known_digest
+                if self._known_digest is not None
+                else self._hasher.hexdigest()
+            )
+            manifest = {
+                "layout": LAYOUT_VERSION,
+                "digest": digest,
+                "n_constants": len(constants),
+                "constants_format": constants_format,
+                "relations": [
+                    {
+                        "name": m.name,
+                        "arity": m.arity,
+                        "exogenous": m.exogenous,
+                        "rows": m.rows,
+                        "codes_file": m.codes_file,
+                        "costs": [
+                            [list(codes), cost] for codes, cost in m.costs
+                        ],
+                    }
+                    for m in self._relations
+                ],
+            }
+            tmp_manifest = self._staging / (_MANIFEST + ".tmp")
+            tmp_manifest.write_text(json.dumps(manifest, indent=1))
+            os.replace(tmp_manifest, self._staging / _MANIFEST)
+            if self.path.exists():
+                if not self.overwrite:
+                    raise SnapshotLayoutError(
+                        f"snapshot target {self.path} already exists"
+                    )
+                shutil.rmtree(self.path)
+            os.rename(self._staging, self.path)
+            self._committed = True
+            return self.path
+        except BaseException:
+            self.abort()
+            raise
+
+    def abort(self) -> None:
+        """Discard the staging directory (idempotent)."""
+        if self._staging.exists():
+            shutil.rmtree(self._staging, ignore_errors=True)
+
+
+class Snapshot:
+    """An open (read-only, memmap-backed) layout-v1 snapshot.
+
+    Cheap to construct — the manifest is parsed, code matrices and the
+    constant table are mapped lazily on first touch — and safe to open
+    from many processes at once: everything on disk is immutable after
+    :meth:`SnapshotWriter.commit`.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        manifest_path = self.path / _MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            raise SnapshotLayoutError(
+                f"{self.path} is not a snapshot (no {_MANIFEST})"
+            ) from None
+        except (OSError, ValueError) as exc:
+            raise SnapshotLayoutError(
+                f"unreadable snapshot manifest {manifest_path}: {exc}"
+            ) from None
+        layout = manifest.get("layout")
+        if layout != LAYOUT_VERSION:
+            raise SnapshotLayoutError(
+                f"snapshot {self.path} has layout {layout!r}; this reader "
+                f"supports {LAYOUT_VERSION}"
+            )
+        self.layout = layout
+        self.digest: str = manifest["digest"]
+        self.n_constants: int = manifest["n_constants"]
+        self._constants_format: str = manifest["constants_format"]
+        self.relation_meta: Dict[str, _RelationMeta] = {}
+        for entry in manifest["relations"]:
+            meta = _RelationMeta(
+                entry["name"],
+                entry["arity"],
+                bool(entry["exogenous"]),
+                entry["rows"],
+                entry["codes_file"],
+                [(tuple(codes), cost) for codes, cost in entry["costs"]],
+            )
+            self.relation_meta[meta.name] = meta
+        self._codes: Dict[str, np.ndarray] = {}
+        self._constants = None
+
+    # ------------------------------------------------------------------
+    def relation_names(self) -> List[str]:
+        """Relation names in manifest (= ascending) order."""
+        return list(self.relation_meta)
+
+    def codes(self, name: str) -> np.ndarray:
+        """The ``(rows, arity)`` int64 code matrix of ``name``, memmap'd."""
+        cached = self._codes.get(name)
+        if cached is None:
+            meta = self.relation_meta[name]
+            if meta.rows == 0:
+                cached = np.empty((0, meta.arity), dtype=np.int64)
+            else:
+                cached = np.memmap(
+                    self.path / meta.codes_file,
+                    dtype=_CODES_DTYPE,
+                    mode="r",
+                    shape=(meta.rows, meta.arity),
+                )
+            self._codes[name] = cached
+        return cached
+
+    def _load_constants(self):
+        if self._constants is None:
+            if self._constants_format == "i64":
+                if self.n_constants == 0:
+                    self._constants = np.empty(0, dtype=_CODES_DTYPE)
+                else:
+                    self._constants = np.memmap(
+                        self.path / _CONSTANTS_I64,
+                        dtype=_CODES_DTYPE,
+                        mode="r",
+                        shape=(self.n_constants,),
+                    )
+            else:
+                encoded = json.loads(
+                    (self.path / _CONSTANTS_JSON).read_text()
+                )
+                self._constants = [
+                    int(v) if kind == "i" else str(v) for kind, v in encoded
+                ]
+        return self._constants
+
+    def constant(self, code: int) -> Hashable:
+        """Decode one interned constant."""
+        table = self._load_constants()
+        if isinstance(table, np.ndarray):
+            return int(table[code])
+        return table[code]
+
+    def total_rows(self) -> int:
+        return sum(m.rows for m in self.relation_meta.values())
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{m.name}{'^x' if m.exogenous else ''}:{m.rows}"
+            for m in self.relation_meta.values()
+        )
+        return f"Snapshot({str(self.path)!r}; {rels})"
+
+
+def open_snapshot(path) -> Snapshot:
+    """Open the snapshot directory at ``path`` (validated, lazy)."""
+    return Snapshot(path)
+
+
+def ingest_database(database, path, overwrite: bool = False) -> Path:
+    """Write ``database`` as a snapshot at ``path``, atomically.
+
+    The manifest digest is the database's own
+    :meth:`~repro.db.database.Database.content_digest`, so the stored
+    form and the in-memory form share one content identity (the
+    equivalence suite pins ``open`` → digest round-trips).  Costs —
+    including exogenous ones, which the digest ignores but
+    ``Database.cost`` serves — are preserved.
+    """
+    writer = SnapshotWriter(
+        path, overwrite=overwrite, digest=database.content_digest()
+    )
+    try:
+        for name in sorted(database.relations):
+            rel = database.relations[name]
+            costs = {t.values: rel.cost(t) for t in rel} if rel.has_weighted_costs else None
+            writer.add_relation(
+                name,
+                rel.arity,
+                (t.values for t in rel),
+                exogenous=rel.exogenous,
+                costs=costs,
+            )
+        return writer.commit()
+    except BaseException:
+        writer.abort()
+        raise

@@ -1,0 +1,396 @@
+"""Read-only database handles over on-disk snapshots.
+
+A :class:`StoredDatabase` presents a committed
+:class:`~repro.storage.layout.Snapshot` through enough of the
+:class:`~repro.db.database.Database` surface for the whole solver stack
+— witness enumeration (Section 2's ``D |= q``), kernelization, and the
+exact hitting-set backends behind Definition 1 — to run without ever
+materializing the instance as Python objects:
+
+* relation metadata (names, arities, exogenous flags, row counts) comes
+  from the manifest;
+* the columnar join adapter (:func:`columnar_parts`) hands
+  :class:`~repro.query.columnar.ColumnarDatabase` the memmap'd code
+  matrices *directly* — global tuple ids are positions into the
+  snapshot's own row order, so the join never decodes a fact it does
+  not emit in a witness;
+* content identity (``canonical_form``/``content_digest``) is O(1):
+  the digest recorded at ingest stands in for the instance, keying the
+  witness-structure LRU and the result cache without an O(|D|) pass.
+
+Handles are **strictly read-only** — every in-place mutating entry
+point raises :class:`ReadOnlyStorageError`.  ``D - Gamma`` style
+deletion (:meth:`StoredDatabase.minus`) returns a *materialized*
+in-memory copy instead: it is only reached by the PTIME flow specials
+and explicit contingency verification, never by the exact hitting-set
+path, so a stored instance solves exact end to end without ever
+copying itself onto the heap.
+
+Pickling a handle serializes only its path: worker processes in
+:mod:`repro.parallel` reopen the snapshot (and re-``mmap`` the same
+pages) instead of receiving a pickled fact set, which makes task
+payloads O(1) in the database size and lets the OS share the columns
+across the pool.
+"""
+
+from __future__ import annotations
+
+import bisect
+from pathlib import Path
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.db.tuples import DBTuple
+from repro.storage.layout import LAYOUT_VERSION, Snapshot, open_snapshot
+
+#: Rows decoded per block when a stored relation is iterated as facts.
+_DECODE_BLOCK_ROWS = 65536
+
+
+class ReadOnlyStorageError(TypeError):
+    """A mutating operation was attempted on a snapshot-backed handle."""
+
+
+class StoredRelation:
+    """One relation of an open snapshot, presented read-only.
+
+    Iteration decodes facts lazily in blocks; membership testing and
+    cost lookup decode nothing until first use.  The object intentionally
+    mirrors the read surface of :class:`~repro.db.relation.Relation`
+    (``name``/``arity``/``exogenous``/``len``/``iter``/``cost``/
+    ``cost_items``/``has_weighted_costs``) and nothing of its write
+    surface.
+    """
+
+    def __init__(self, db: "StoredDatabase", name: str):
+        self._db = db
+        meta = db.storage_snapshot.relation_meta[name]
+        self.name = name
+        self.arity = meta.arity
+        self.exogenous = meta.exogenous
+        self._rows = meta.rows
+        self._cost_codes = meta.costs
+        self._cost_map: Optional[Dict[DBTuple, int]] = None
+        self._vector_set: Optional[Set[Tuple[Hashable, ...]]] = None
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def _decode_row(self, row: np.ndarray) -> Tuple[Hashable, ...]:
+        constant = self._db.storage_snapshot.constant
+        return tuple(constant(int(c)) for c in row)
+
+    def __iter__(self) -> Iterator[DBTuple]:
+        codes = self._db.storage_snapshot.codes(self.name)
+        name = self.name
+        for lo in range(0, self._rows, _DECODE_BLOCK_ROWS):
+            block = np.asarray(codes[lo : lo + _DECODE_BLOCK_ROWS])
+            for row in block:
+                yield DBTuple(name, self._decode_row(row))
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, DBTuple):
+            if item.relation != self.name:
+                return False
+            values = item.values
+        elif isinstance(item, tuple):
+            values = item
+        else:
+            return False
+        if self._vector_set is None:
+            # One full decode, amortized across membership tests; the
+            # solve path never calls this (witnesses carry facts that
+            # came out of the snapshot itself).
+            self._vector_set = {t.values for t in self}
+        return values in self._vector_set
+
+    def value_vectors(self) -> Set[Tuple[Hashable, ...]]:
+        """The raw value vectors (decoded once, then cached)."""
+        if self._vector_set is None:
+            self._vector_set = {t.values for t in self}
+        return self._vector_set
+
+    def _costs(self) -> Dict[DBTuple, int]:
+        if self._cost_map is None:
+            self._cost_map = {
+                DBTuple(self.name, self._decode_row(np.asarray(codes))): cost
+                for codes, cost in self._cost_codes
+            }
+        return self._cost_map
+
+    def cost(self, fact: DBTuple) -> int:
+        """The cost of ``fact`` (1 unless the snapshot stored one)."""
+        return self._costs().get(fact, 1)
+
+    @property
+    def has_weighted_costs(self) -> bool:
+        return bool(self._cost_codes)
+
+    def cost_items(self) -> frozenset:
+        return frozenset((t.values, c) for t, c in self._costs().items())
+
+    @property
+    def tuples(self) -> frozenset:
+        """All facts, decoded (O(n) — equivalence tests only)."""
+        return frozenset(self)
+
+    def __repr__(self) -> str:
+        flag = "^x" if self.exogenous else ""
+        return f"StoredRelation {self.name}{flag}/{self.arity} ({self._rows} rows)"
+
+
+def _read_only(*_args, **_kwargs):
+    raise ReadOnlyStorageError(
+        "snapshot-backed databases are read-only; materialize with "
+        "StoredDatabase.to_database() to mutate"
+    )
+
+
+class StoredDatabase:
+    """A read-only :class:`~repro.db.database.Database` stand-in backed
+    by an on-disk snapshot.
+
+    Satisfies the read surface every solver layer touches — relation
+    metadata, fact iteration, costs, content identity — while keeping
+    the data memmap'd.  ``canonical_form()`` is a one-element sentinel
+    built from the layout version and content digest, so hashing and
+    cache keying are O(1); two handles over snapshots of equal content
+    compare equal, and a handle never compares equal to an in-memory
+    ``Database`` (different types, different cache families — by
+    design, since their canonical forms are produced differently).
+    """
+
+    def __init__(self, snapshot: Snapshot):
+        self.storage_snapshot = snapshot
+        self.relations: Dict[str, StoredRelation] = {
+            name: StoredRelation(self, name)
+            for name in snapshot.relation_names()
+        }
+
+    # -- content identity ---------------------------------------------
+    def content_digest(self) -> str:
+        """The digest recorded at ingest — O(1), no decode."""
+        return self.storage_snapshot.digest
+
+    def canonical_form(self) -> frozenset:
+        """An O(1) sentinel standing in for the canonical form."""
+        return frozenset(
+            {("__snapshot__", LAYOUT_VERSION, self.storage_snapshot.digest)}
+        )
+
+    def content_epoch(self) -> tuple:
+        """Snapshots never mutate: the epoch is the digest itself."""
+        return (("__snapshot__", self.storage_snapshot.digest),)
+
+    def canonical_text(self) -> str:
+        """The full canonical text, by decoding every fact (O(|D|)).
+
+        Only result-cache key construction needs this; prefer
+        :meth:`content_digest` for identity checks.
+        """
+        parts: List[str] = []
+        for name in sorted(self.relations):
+            rel = self.relations[name]
+            rows = ",".join(sorted(repr(t.values) for t in rel))
+            parts.append(f"{name}/{rel.arity}/{int(rel.exogenous)}:{rows}")
+            if not rel.exogenous and rel.has_weighted_costs:
+                cost_rows = ",".join(
+                    sorted(f"{values!r}={cost}" for values, cost in rel.cost_items())
+                )
+                parts.append(f"{name}$costs:{cost_rows}")
+        return "|".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StoredDatabase):
+            return NotImplemented
+        return self.storage_snapshot.digest == other.storage_snapshot.digest
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_form())
+
+    # -- read surface --------------------------------------------------
+    def relation(self, name: str) -> StoredRelation:
+        return self.relations[name]
+
+    def __contains__(self, fact: DBTuple) -> bool:
+        rel = self.relations.get(fact.relation)
+        return rel is not None and fact in rel
+
+    def __iter__(self) -> Iterator[DBTuple]:
+        for rel in self.relations.values():
+            yield from rel
+
+    def __len__(self) -> int:
+        return self.storage_snapshot.total_rows()
+
+    def all_tuples(self) -> Set[DBTuple]:
+        return set(self)
+
+    def endogenous_tuples(self) -> Set[DBTuple]:
+        out: Set[DBTuple] = set()
+        for rel in self.relations.values():
+            if not rel.exogenous:
+                out.update(rel)
+        return out
+
+    def active_domain(self) -> Set[Hashable]:
+        dom: Set[Hashable] = set()
+        for fact in self:
+            dom.update(fact.values)
+        return dom
+
+    def cost(self, fact: DBTuple) -> int:
+        """The cost of ``fact``.
+
+        Unlike ``Database.cost`` this does not verify membership —
+        the solver stack only asks about facts it read out of this very
+        snapshot, and a membership probe would force a full decode.
+        """
+        rel = self.relations.get(fact.relation)
+        if rel is None:
+            raise ValueError(f"{fact!r} is not in the database")
+        return rel.cost(fact)
+
+    def total_cost(self, facts) -> int:
+        return sum(self.cost(fact) for fact in facts)
+
+    def has_weighted_costs(self) -> bool:
+        return any(
+            rel.has_weighted_costs
+            for rel in self.relations.values()
+            if not rel.exogenous
+        )
+
+    # -- write surface: refused ----------------------------------------
+    add = _read_only
+    add_all = _read_only
+    declare = _read_only
+    set_cost = _read_only
+    set_exogenous = _read_only
+    copy = _read_only
+
+    def minus(self, gamma):
+        """``D - Gamma``, materialized in memory.
+
+        The exact hitting-set path never deletes (it works on the
+        witness structure), but the PTIME flow specials and explicit
+        contingency verification do — for those, the handle decodes to
+        a mutable :class:`Database` first (O(|D|)), which is fine at
+        the scales flow constructions run at and loudly wrong nowhere.
+        """
+        return self.to_database().minus(gamma)
+
+    def to_database(self):
+        """Materialize a mutable in-memory :class:`Database` copy.
+
+        O(|D|) decode — the escape hatch for verification helpers
+        (e.g. ``is_contingency_set``) that genuinely need deletion.
+        """
+        from repro.db.database import Database
+
+        db = Database()
+        for name in sorted(self.relations):
+            rel = self.relations[name]
+            out = db.declare(name, rel.arity, exogenous=rel.exogenous)
+            for fact in rel:
+                out.add(*fact.values)
+            for values, cost in rel.cost_items():
+                out.set_cost(DBTuple(name, values), cost)
+        return db
+
+    # -- pickling: by path ---------------------------------------------
+    def __reduce__(self):
+        return (open_stored_database, (str(self.storage_snapshot.path),))
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{r.name}{'^x' if r.exogenous else ''}:{len(r)}"
+            for r in self.relations.values()
+        )
+        return f"StoredDatabase({rels}; n={len(self)})"
+
+
+def open_stored_database(path) -> StoredDatabase:
+    """Open the snapshot at ``path`` as a read-only database handle."""
+    return StoredDatabase(open_snapshot(path))
+
+
+# ---------------------------------------------------------------------------
+# Columnar adapter
+# ---------------------------------------------------------------------------
+
+class _SnapshotFacts:
+    """Lazy global-tuple-id → :class:`DBTuple` decoder.
+
+    Stands in for ``ColumnarDatabase.facts`` (a materialized list on the
+    in-memory path): facts are decoded only when a witness actually
+    emits their id, so enumeration over a million-tuple snapshot touches
+    Python objects only for the tuples that appear in witnesses.
+    """
+
+    def __init__(self, snapshot: Snapshot):
+        self._snapshot = snapshot
+        self._names: List[str] = []
+        self._starts: List[int] = []
+        total = 0
+        for name in snapshot.relation_names():
+            self._names.append(name)
+            self._starts.append(total)
+            total += snapshot.relation_meta[name].rows
+        self._total = total
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, tid: int) -> DBTuple:
+        tid = int(tid)
+        if not 0 <= tid < self._total:
+            raise IndexError(tid)
+        i = bisect.bisect_right(self._starts, tid) - 1
+        name = self._names[i]
+        row = self._snapshot.codes(name)[tid - self._starts[i]]
+        constant = self._snapshot.constant
+        return DBTuple(name, tuple(constant(int(c)) for c in row))
+
+
+class _SnapshotConstants:
+    """Lazy code → constant decoder (``ColumnarDatabase.constants``)."""
+
+    def __init__(self, snapshot: Snapshot):
+        self._snapshot = snapshot
+
+    def __len__(self) -> int:
+        return self._snapshot.n_constants
+
+    def __getitem__(self, code: int) -> Hashable:
+        return self._snapshot.constant(int(code))
+
+
+def columnar_parts(snapshot: Snapshot):
+    """The five ``ColumnarDatabase`` ingredients, zero-copy.
+
+    Returns ``(facts, relations, ranges, constants, n_constants)``:
+    code matrices are the snapshot's memmaps as-is (global tuple ids are
+    snapshot row positions, relations in ascending name order exactly
+    like the in-memory encoder), and the fact/constant tables decode
+    lazily.  Codes in a snapshot are already dense (< ``n_constants``),
+    which is all the join's key folding requires.
+    """
+    relations: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    ranges: List[Tuple[str, int, np.ndarray]] = []
+    offset = 0
+    for name in snapshot.relation_names():
+        meta = snapshot.relation_meta[name]
+        codes = snapshot.codes(name)
+        ids = np.arange(offset, offset + meta.rows, dtype=np.int64)
+        ranges.append((name, offset, codes))
+        relations[name] = (codes, ids)
+        offset += meta.rows
+    return (
+        _SnapshotFacts(snapshot),
+        relations,
+        ranges,
+        _SnapshotConstants(snapshot),
+        max(1, snapshot.n_constants),
+    )

@@ -163,23 +163,17 @@ def _canonical_pair_text(database: Database, query: ConjunctiveQuery) -> str:
     so they are excluded), keeping all-unit databases textually
     identical whether or not anyone ever touched the cost API.
     """
-    parts = []
-    for name in sorted(database.relations):
-        rel = database.relations[name]
-        rows = ",".join(sorted(repr(t.values) for t in rel))
-        parts.append(f"{name}/{rel.arity}/{int(rel.exogenous)}:{rows}")
-        if not rel.exogenous and rel.has_weighted_costs:
-            cost_rows = ",".join(
-                sorted(f"{values!r}={cost}" for values, cost in rel.cost_items())
-            )
-            parts.append(f"{name}$costs:{cost_rows}")
-    atoms = ";".join(
+    return database.canonical_text() + "#" + _canonical_query_text(query)
+
+
+def _canonical_query_text(query: ConjunctiveQuery) -> str:
+    """The query segment of the pair text: sorted atom signatures."""
+    return ";".join(
         sorted(
             f"{a.relation}({','.join(a.args)}){'^x' if a.exogenous else ''}"
             for a in query.atoms
         )
     )
-    return "|".join(parts) + "#" + atoms
 
 
 def pair_cache_key(
@@ -213,18 +207,28 @@ def pair_cache_key(
         budget = Budget.coerce(budget)
         time_limit = budget.time_limit
         node_limit = budget.node_limit
-    material = "\x1f".join(
-        [
-            f"schema={CACHE_SCHEMA}",
-            f"mode={mode}",
-            f"method={method}",
-            f"time_limit={time_limit!r}",
-            f"node_limit={node_limit!r}",
-            f"weighted={bool(weighted)}",
-            _canonical_pair_text(database, query),
-        ]
-    )
-    return hashlib.sha256(material.encode()).hexdigest()
+    # Fed to the hash segment by segment — never concatenated into one
+    # O(|D|) ``material`` string.  The database segment comes from the
+    # epoch-memoized Database.canonical_text(), so a repeat lookup on an
+    # unmutated database neither rebuilds nor copies the tuple text.
+    # Byte-identical to hashing
+    # "\x1f".join([...fixed segments..., _canonical_pair_text(db, q)]),
+    # which the golden-key suite pins.
+    hasher = hashlib.sha256()
+    for segment in (
+        f"schema={CACHE_SCHEMA}",
+        f"mode={mode}",
+        f"method={method}",
+        f"time_limit={time_limit!r}",
+        f"node_limit={node_limit!r}",
+        f"weighted={bool(weighted)}",
+    ):
+        hasher.update(segment.encode())
+        hasher.update(b"\x1f")
+    hasher.update(database.canonical_text().encode())
+    hasher.update(b"#")
+    hasher.update(_canonical_query_text(query).encode())
+    return hasher.hexdigest()
 
 
 def component_cache_key(
@@ -245,22 +249,28 @@ def component_cache_key(
     components untouched by an update hit the cache across database
     states (and across sessions sharing one ``cache_dir``).
     """
-    rows = ",".join(
-        sorted(
-            "{" + ";".join(sorted(repr(t) for t in s)) + "}"
-            for s in witness_sets
-        )
+    # Streaming equivalent of hashing "\x1f".join([...segments..., rows])
+    # where rows is the ","-join of the sorted per-set texts: the per-set
+    # strings must exist to be sorted, but the joined component text and
+    # the final material string are never materialized.
+    hasher = hashlib.sha256()
+    for segment in (
+        f"schema={CACHE_SCHEMA}",
+        "granularity=component",
+        f"mode={mode}",
+        f"backend={backend}",
+    ):
+        hasher.update(segment.encode())
+        hasher.update(b"\x1f")
+    set_texts = sorted(
+        "{" + ";".join(sorted(repr(t) for t in s)) + "}"
+        for s in witness_sets
     )
-    material = "\x1f".join(
-        [
-            f"schema={CACHE_SCHEMA}",
-            "granularity=component",
-            f"mode={mode}",
-            f"backend={backend}",
-            rows,
-        ]
-    )
-    return hashlib.sha256(material.encode()).hexdigest()
+    for i, text in enumerate(set_texts):
+        if i:
+            hasher.update(b",")
+        hasher.update(text.encode())
+    return hasher.hexdigest()
 
 
 class ResultCache:

@@ -18,6 +18,13 @@ from repro.workloads.formulas import (
     exhaustive_assignments,
 )
 from repro.workloads.graphs import random_graph, Graph
+from repro.workloads.outofcore import (
+    DEFAULT_HOT_PAIRS,
+    chain_database,
+    chain_query,
+    chain_rows,
+    write_chain_snapshot,
+)
 from repro.workloads.random_queries import random_sjfree_cq, random_ssj_binary_cq
 from repro.workloads.update_stream import apply_update, update_stream
 
@@ -41,4 +48,9 @@ __all__ = [
     "exhaustive_assignments",
     "random_graph",
     "Graph",
+    "DEFAULT_HOT_PAIRS",
+    "chain_database",
+    "chain_query",
+    "chain_rows",
+    "write_chain_snapshot",
 ]

@@ -1,0 +1,132 @@
+"""Million-tuple PTIME chain workloads for the out-of-core tier.
+
+The chain query ``R(x,y), S(y,z)`` is self-join-free and linear, so its
+resilience sits on the PTIME side of the dichotomy (Proposition 31 /
+Theorem 24's tractable island) — which makes it the right probe for the
+*storage* engine: solve cost is dominated by witness enumeration over
+``D |= q`` (Section 2), exactly the layer :mod:`repro.storage` moves
+out of core.
+
+The instance is deterministic (no RNG — bit-identity across processes
+and scales is the point):
+
+* ``hot_pairs`` disjoint witness pairs ``R(3i, 3i+1), S(3i+1, 3i+2)``
+  — each joins with exactly one partner, so the witness set count is
+  ``hot_pairs``, every witness is a disjoint 2-tuple set, and the
+  resilience is exactly ``hot_pairs`` (delete one tuple per witness;
+  Definition 1);
+* dead filler tuples ``R(B_R+j, B_R+j)`` / ``S(B_S+j, B_S+j)`` drawn
+  from disjoint constant ranges that never join — they inflate the
+  instance to ``total_tuples`` without touching the answer, so the
+  same known ground truth holds from 10^3 to 10^7 tuples.
+
+Two constructions, one content: :func:`chain_database` materializes the
+instance in memory, :func:`write_chain_snapshot` streams it straight
+into a snapshot without ever holding the facts as Python objects.
+Their content digests agree (the snapshot writer hashes the canonical
+text incrementally), so equivalence suites can pin bit-identity at
+every overlapping scale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Tuple
+
+from repro.db.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+
+#: Filler constants live in ranges disjoint from the hot pairs (and
+#: from each other), so filler tuples can never join with anything.
+R_FILLER_BASE = 1_000_000_000
+S_FILLER_BASE = 2_000_000_000
+
+#: The PTIME probe query (self-join-free, linear).
+CHAIN_QUERY_TEXT = "R(x, y), S(y, z)"
+
+#: Default number of hot witness pairs — and therefore the known
+#: resilience of every instance this module generates.
+DEFAULT_HOT_PAIRS = 512
+
+
+def chain_query() -> ConjunctiveQuery:
+    """The chain query ``R(x,y), S(y,z)`` (fresh instance)."""
+    return parse_query(CHAIN_QUERY_TEXT, name="q_oc_chain")
+
+
+def _split_fillers(total_tuples: int, hot_pairs: int) -> Tuple[int, int]:
+    if hot_pairs < 1:
+        raise ValueError(f"hot_pairs must be >= 1, got {hot_pairs}")
+    fill = total_tuples - 2 * hot_pairs
+    if fill < 0:
+        raise ValueError(
+            f"total_tuples={total_tuples} cannot hold 2*{hot_pairs} hot tuples"
+        )
+    return fill - fill // 2, fill // 2
+
+
+def chain_rows(
+    total_tuples: int, hot_pairs: int = DEFAULT_HOT_PAIRS
+) -> Tuple[Iterator[Tuple[int, int]], Iterator[Tuple[int, int]], int]:
+    """Lazy ``(r_rows, s_rows, resilience)`` for one chain instance.
+
+    The two iterators together yield exactly ``total_tuples`` distinct
+    value vectors; the known resilience is ``hot_pairs``.
+    """
+    r_fill, s_fill = _split_fillers(total_tuples, hot_pairs)
+
+    def r_rows() -> Iterator[Tuple[int, int]]:
+        for i in range(hot_pairs):
+            yield (3 * i, 3 * i + 1)
+        for j in range(r_fill):
+            yield (R_FILLER_BASE + j, R_FILLER_BASE + j)
+
+    def s_rows() -> Iterator[Tuple[int, int]]:
+        for i in range(hot_pairs):
+            yield (3 * i + 1, 3 * i + 2)
+        for j in range(s_fill):
+            yield (S_FILLER_BASE + j, S_FILLER_BASE + j)
+
+    return r_rows(), s_rows(), hot_pairs
+
+
+def chain_database(
+    total_tuples: int, hot_pairs: int = DEFAULT_HOT_PAIRS
+) -> Database:
+    """The chain instance materialized as an in-memory :class:`Database`.
+
+    Same facts as :func:`write_chain_snapshot` writes — equal content
+    digests — for the bit-identity suites at overlapping scales.
+    """
+    r_rows, s_rows, _ = chain_rows(total_tuples, hot_pairs)
+    db = Database()
+    db.add_all("R", r_rows)
+    db.add_all("S", s_rows)
+    return db
+
+
+def write_chain_snapshot(
+    path,
+    total_tuples: int,
+    hot_pairs: int = DEFAULT_HOT_PAIRS,
+    overwrite: bool = False,
+) -> Path:
+    """Stream the chain instance directly into a snapshot at ``path``.
+
+    Facts go straight from the generators into the snapshot's column
+    files — no :class:`Database`, no fact objects — so peak memory is
+    the constant intern table plus one relation's digest material, and
+    a 10^6-tuple instance builds comfortably under the E22 RSS ceiling.
+    """
+    from repro.storage.layout import SnapshotWriter
+
+    r_rows, s_rows, _ = chain_rows(total_tuples, hot_pairs)
+    writer = SnapshotWriter(path, overwrite=overwrite)
+    try:
+        writer.add_relation("R", 2, r_rows)
+        writer.add_relation("S", 2, s_rows)
+        return writer.commit()
+    except BaseException:
+        writer.abort()
+        raise

@@ -1,0 +1,246 @@
+"""Cache-key stability and canonical-form memoization.
+
+Two regression suites pinned against the same invariants:
+
+* **Golden keys** — the streaming-digest rewrite of
+  ``pair_cache_key``/``component_cache_key`` (the SHA-256 is now fed
+  segment by segment from the memoized ``Database.canonical_text()``
+  instead of one concatenated ``material`` string) must produce keys
+  bit-for-bit identical to the pre-rewrite implementation, or every
+  persisted result-cache entry silently invalidates.  The hexdigests
+  below were captured from the original implementation and are the
+  authoritative values.
+
+* **Memoization epochs** — ``Database.canonical_form()`` (and
+  ``canonical_text``/``content_digest``) must materialize exactly once
+  per mutation epoch: repeat hash/equality lookups reuse the memo, and
+  any mutation (``add``/``discard``/``set_cost``/exogenous flip)
+  invalidates it.
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.tuples import DBTuple
+from repro.query.zoo import ALL_QUERIES
+from repro.resilience.types import Budget
+from repro.witness.cache import (
+    _canonical_pair_text,
+    component_cache_key,
+    pair_cache_key,
+)
+
+
+def _instance_a():
+    db = Database()
+    for u, v in [(1, 2), (2, 3), (3, 1), (2, 2), ("a", 1)]:
+        db.add("R", u, v)
+    db.add("A", 1)
+    db.add("A", "a")
+    db.declare("H", 2, exogenous=True)
+    db.add("H", 1, 3)
+    return db, ALL_QUERIES["q_chain"]
+
+
+def _instance_b():
+    db = Database()
+    db.add("R", 1, 2, cost=5)
+    db.add("R", 2, 1)
+    db.add("A", 1)
+    db.set_cost(DBTuple("R", (2, 1)), 3)
+    return db, ALL_QUERIES["q_Aperm"]
+
+
+class TestGoldenPairKeys:
+    """Keys captured from the pre-streaming implementation."""
+
+    def test_default_parameters(self):
+        db, q = _instance_a()
+        assert pair_cache_key(db, q) == (
+            "c9e46ca8f2aaf0f7d53cbb8704d9f04f69fcaef12db2bcca37dc10f567fa8b1d"
+        )
+
+    def test_anytime_with_float_budget(self):
+        db, q = _instance_a()
+        assert pair_cache_key(db, q, mode="anytime", method=None, budget=2.5) == (
+            "f384e69fcbe7c124deccb9516da309db512632e21473a2b5235ca97fee78be8f"
+        )
+
+    def test_forced_method(self):
+        db, q = _instance_a()
+        assert pair_cache_key(db, q, mode="exact", method="flow") == (
+            "e8b739177e7c8a3e426884bdb5015bb8149298e3af043b074dfb78b6515420f0"
+        )
+
+    def test_budget_object(self):
+        db, q = _instance_a()
+        key = pair_cache_key(
+            db,
+            q,
+            mode="anytime",
+            budget=Budget(time_limit=1.5, node_limit=77),
+            weighted=False,
+        )
+        assert key == (
+            "b29c578884f171f0bf2d9b7f64efc463273de9866a9854e3c35875553ef17dbf"
+        )
+
+    def test_weighted_instance(self):
+        db, q = _instance_b()
+        assert pair_cache_key(db, q, weighted=True) == (
+            "1bbce872befd38adcc27eb0a51da168a28a669d66ce92dc33918a289295d78b7"
+        )
+        assert pair_cache_key(db, q, weighted=False) == (
+            "9ffd769f7537a7c7537a3583788ed3bb439830ebbdc7a7c54bb71f73f75deced"
+        )
+
+    def test_streaming_matches_joined_material(self):
+        """Structural cross-check: the streamed digest equals a SHA-256
+        over the old one-string material, for every parameter shape."""
+        import hashlib
+
+        db, q = _instance_a()
+        for kwargs in (
+            {},
+            {"mode": "anytime", "budget": 2.5},
+            {"mode": "exact", "method": "ilp"},
+            {"weighted": True},
+        ):
+            time_limit = node_limit = None
+            if kwargs.get("budget") is not None:
+                b = Budget.coerce(kwargs["budget"])
+                time_limit, node_limit = b.time_limit, b.node_limit
+            from repro.witness.cache import CACHE_SCHEMA
+
+            material = "\x1f".join(
+                [
+                    f"schema={CACHE_SCHEMA}",
+                    f"mode={kwargs.get('mode', 'exact')}",
+                    f"method={kwargs.get('method')}",
+                    f"time_limit={time_limit!r}",
+                    f"node_limit={node_limit!r}",
+                    f"weighted={bool(kwargs.get('weighted', False))}",
+                    _canonical_pair_text(db, q),
+                ]
+            )
+            expected = hashlib.sha256(material.encode()).hexdigest()
+            assert pair_cache_key(db, q, **kwargs) == expected
+
+
+class TestGoldenComponentKeys:
+    def test_component_keys(self):
+        s1 = frozenset({DBTuple("R", (1, 2)), DBTuple("R", (2, 3))})
+        s2 = frozenset({DBTuple("R", (2, 3)), DBTuple("A", (1,))})
+        assert component_cache_key([s1, s2], mode="exact", backend="bnb") == (
+            "4b331b4b59b800a40dfafc8248d918b854b2ca24bfdf9d65163915d9be2e23d5"
+        )
+        assert component_cache_key((s2, s1), mode="exact", backend="ilp") == (
+            "3b0202186ff225d1680e7665de7d57825c7a73f0f43412f2b55c5169cb6e4777"
+        )
+        assert component_cache_key([s1], mode="approx", backend=None) == (
+            "798331a5af3700c235a269291870a84030152ad676ce6d8cd1dd7fbddbad9f54"
+        )
+
+    def test_order_insensitive(self):
+        s1 = frozenset({DBTuple("R", (1, 2))})
+        s2 = frozenset({DBTuple("A", (1,))})
+        assert component_cache_key([s1, s2]) == component_cache_key([s2, s1])
+
+
+class TestCanonicalFormMemoization:
+    def _counting(self, db, monkeypatch):
+        calls = {"n": 0}
+        original = Database._materialize_canonical_form
+
+        def counted(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Database, "_materialize_canonical_form", counted)
+        return calls
+
+    def test_one_materialization_per_epoch(self, monkeypatch):
+        db, _ = _instance_a()
+        calls = self._counting(db, monkeypatch)
+        for _ in range(5):
+            hash(db)
+            db.canonical_form()
+        assert calls["n"] == 1, "unmutated database re-materialized"
+
+        db.add("R", 9, 9)  # mutation: new epoch
+        for _ in range(3):
+            db.canonical_form()
+        assert calls["n"] == 2
+
+        db.set_cost(DBTuple("R", (9, 9)), 4)  # cost change: new epoch
+        db.canonical_form()
+        db.canonical_form()
+        assert calls["n"] == 3
+
+    def test_noop_mutations_keep_the_epoch(self, monkeypatch):
+        db, _ = _instance_a()
+        calls = self._counting(db, monkeypatch)
+        before = db.content_epoch()
+        db.canonical_form()
+        db.add("R", 1, 2)  # already present: no-op
+        db.relation("R").discard(DBTuple("R", (777, 777)))  # absent: no-op
+        db.set_exogenous("H")  # already exogenous: no-op
+        assert db.content_epoch() == before
+        db.canonical_form()
+        assert calls["n"] == 1
+
+    def test_every_mutation_kind_invalidates(self):
+        db, _ = _instance_a()
+        epochs = [db.content_epoch()]
+
+        db.add("S", 7)  # new relation
+        epochs.append(db.content_epoch())
+        db.add("S", 8)  # new fact
+        epochs.append(db.content_epoch())
+        db.relation("S").discard(DBTuple("S", (8,)))  # removal
+        epochs.append(db.content_epoch())
+        db.set_cost(DBTuple("S", (7,)), 3)  # cost set
+        epochs.append(db.content_epoch())
+        db.set_cost(DBTuple("S", (7,)), 1)  # cost cleared
+        epochs.append(db.content_epoch())
+        db.set_exogenous("S")  # flag flip
+        epochs.append(db.content_epoch())
+
+        assert len(set(epochs)) == len(epochs), "an effective mutation reused an epoch"
+
+    def test_hash_and_eq_track_content(self):
+        db1, _ = _instance_a()
+        db2, _ = _instance_a()
+        assert db1 == db2 and hash(db1) == hash(db2)
+        db2.add("R", 42, 42)
+        assert db1 != db2
+        db2.relation("R").discard(DBTuple("R", (42, 42)))
+        assert db1 == db2 and hash(db1) == hash(db2)
+
+    def test_content_digest_is_stable_and_content_keyed(self):
+        db1, _ = _instance_a()
+        db2, _ = _instance_a()
+        assert db1.content_digest() == db2.content_digest()
+        assert len(db1.content_digest()) == 64
+        db2.add("R", 5, 5)
+        assert db1.content_digest() != db2.content_digest()
+
+    def test_canonical_text_matches_pair_text_db_segment(self):
+        db, q = _instance_a()
+        pair = _canonical_pair_text(db, q)
+        assert pair.startswith(db.canonical_text() + "#")
+
+    def test_copy_does_not_share_memo_state(self):
+        db, _ = _instance_a()
+        db.canonical_form()
+        clone = db.copy()
+        clone.add("R", 100, 100)
+        assert db != clone
+        assert db.canonical_form() != clone.canonical_form()
+
+    def test_minus_sees_fresh_epochs(self):
+        db, _ = _instance_b()
+        fact = DBTuple("R", (1, 2))
+        smaller = db.minus([fact])
+        assert fact in db and fact not in smaller
+        assert db.content_digest() != smaller.content_digest()

@@ -55,7 +55,27 @@ def _env(**overrides):
                 os.environ[key] = value
 
 
-def _random_instance(seed: int):
+def _with_duplicate_atom(query, rng):
+    """A copy of ``query`` whose body literally repeats one atom.
+
+    White-box: the ``ConjunctiveQuery`` constructor dedupes duplicate
+    subgoals (conjunction is idempotent), so the repeated-atom body is
+    installed directly.  The join layers must still handle it — a body
+    with literal duplicates is exactly the shape that exposed the
+    signature-collision bug in ``_enumerate_fact_matrix`` (two atoms
+    sharing one output column, another left uninitialized).
+    """
+    from repro.query.cq import ConjunctiveQuery
+
+    atoms = list(query.atoms)
+    dup = atoms[rng.randrange(len(atoms))]
+    atoms.insert(rng.randrange(len(atoms) + 1), dup)
+    clone = ConjunctiveQuery(query.atoms, name=query.name)
+    clone.atoms = tuple(atoms)
+    return clone
+
+
+def _random_instance(seed: int, allow_duplicates: bool = True):
     rng = random.Random(seed)
     if rng.random() < 0.5:
         query = random_ssj_binary_cq(rng=rng)
@@ -67,6 +87,8 @@ def _random_instance(seed: int):
         density=rng.uniform(0.1, 0.6),
         rng=rng,
     )
+    if allow_duplicates and rng.random() < 0.25:
+        query = _with_duplicate_atom(query, rng)
     return database, query
 
 
@@ -135,6 +157,66 @@ class TestEnumerationEquivalence:
             assert vectorized is not None, name
             assert set(vectorized) == set(reference), name
             assert len(vectorized) == len(reference), name
+
+
+class TestDuplicateAtoms:
+    """Regression for the output-column collision on duplicate atoms.
+
+    ``_enumerate_fact_matrix`` used to map join-ordered columns back to
+    body positions by ``atom.signature()`` alone — duplicate atoms
+    collapsed onto one dict key, writing one ``np.empty`` column twice
+    and leaving another as uninitialized garbage tuple ids.
+    """
+
+    def _chain_with_duplicate(self):
+        from repro.query.cq import Atom, ConjunctiveQuery
+
+        r = Atom("R", ("x", "y"))
+        s = Atom("S", ("y", "z"))
+        query = ConjunctiveQuery((r, s), name="dup_chain")
+        query.atoms = (r, r, s)  # white-box: bypass idempotent dedup
+        return query
+
+    def test_duplicate_atom_columns_are_each_written(self):
+        from repro.db.database import Database
+
+        query = self._chain_with_duplicate()
+        database = Database()
+        for u, v in [(1, 2), (2, 3), (3, 4), (4, 1)]:
+            database.add("R", u, v)
+        for u, v in [(2, 5), (3, 6), (1, 7)]:
+            database.add("S", u, v)
+        reference = witness_tuple_sets(database, query)
+        vectorized = columnar_witness_tuple_sets(database, query)
+        assert vectorized is not None
+        assert set(vectorized) == set(reference)
+        assert len(vectorized) == len(reference)
+
+    def test_duplicate_atom_valuations_match_reference(self):
+        query = self._chain_with_duplicate()
+        database = random_database_for_query(
+            query, domain_size=5, density=0.5, seed=11
+        )
+        reference = collections.Counter(
+            frozenset(v.items()) for v in witnesses(database, query)
+        )
+        vectorized = columnar_valuations(database, query)
+        assert vectorized is not None
+        assert reference == collections.Counter(
+            frozenset(v.items()) for v in vectorized
+        )
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_duplicate_atom_queries_match_reference(self, seed):
+        """Every random instance, with one atom force-duplicated."""
+        rng = random.Random(seed ^ 0x5EED)
+        database, query = _random_instance(seed, allow_duplicates=False)
+        query = _with_duplicate_atom(query, rng)
+        reference = witness_tuple_sets(database, query)
+        vectorized = columnar_witness_tuple_sets(database, query)
+        assert vectorized is not None
+        assert set(vectorized) == set(reference)
+        assert len(vectorized) == len(reference)
 
 
 class TestStructureAndSolveEquivalence:

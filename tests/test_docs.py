@@ -28,6 +28,7 @@ AUDITED_PACKAGES = (
     "incremental",
     "serving",
     "planner",
+    "storage",
 )
 
 # Standalone documentation pages every release must ship (each one is
@@ -132,7 +133,8 @@ def test_audit_covers_the_expected_packages():
     assert "columnar.py" in names  # the vectorized join layer
     assert {"server.py", "wire.py", "admission.py", "client.py"} <= names
     assert {"features.py", "model.py"} <= names  # repro.planner
-    assert len(modules) >= 28
+    assert {"layout.py", "stored.py"} <= names  # repro.storage
+    assert len(modules) >= 30
 
 
 @pytest.mark.parametrize("page", REQUIRED_DOCS_PAGES)
@@ -169,10 +171,63 @@ def test_performance_page_documents_the_engine_knobs():
         "REPRO_KERNEL_BACKEND",
         "REPRO_FLOW_BACKEND",
         "REPRO_COLUMNAR_MIN_TUPLES",
+        "REPRO_COLUMNAR_CHUNK_ROWS",
         "BENCH_e18_hotpaths.json",
         "bench --json",
     ):
         assert needle in page, f"docs/performance.md does not mention {needle}"
+
+
+def test_performance_page_documents_out_of_core_storage():
+    """docs/performance.md must cover the 1.8.0 storage engine: the
+    snapshot layout, the streaming enumeration, and the E22 gate."""
+    page = (REPO_ROOT / "docs" / "performance.md").read_text()
+    for needle in (
+        "Out-of-core storage",
+        "repro.storage",
+        "Chunked streaming enumeration",
+        "numpy.memmap",
+        "ingest_database",
+        "SnapshotWriter",
+        "open_stored_database",
+        "content_digest",
+        "BENCH_e22_outofcore.json",
+        "REPRO_BENCH_E22_TUPLES",
+    ):
+        assert needle in page, f"docs/performance.md does not mention {needle}"
+
+
+def test_api_page_documents_the_storage_surface():
+    """docs/api.md must record the 1.8.0 storage API: the snapshot
+    lifecycle symbols, the read-only handle, and the layout version."""
+    page = (REPO_ROOT / "docs" / "api.md").read_text()
+    for needle in (
+        "Out-of-core snapshots",
+        "ingest_database",
+        "SnapshotWriter",
+        "open_snapshot",
+        "open_stored_database",
+        "StoredDatabase",
+        "LAYOUT_VERSION",
+        "storage_snapshot",
+        "REPRO_COLUMNAR_CHUNK_ROWS",
+    ):
+        assert needle in page, f"docs/api.md does not mention {needle}"
+
+
+def test_outofcore_bench_record_exists():
+    """The E22 out-of-core benchmark has committed its trajectory
+    record with every gate passing."""
+    import json
+
+    record = json.loads((REPO_ROOT / "BENCH_e22_outofcore.json").read_text())
+    assert record["bench"] == "e22_outofcore"
+    gates = record["gates"]
+    assert gates["under_ceiling"] is True
+    assert gates["peak_rss_mb"] <= gates["rss_ceiling_mb"]
+    assert gates["value_matches_ground_truth"] is True
+    assert gates["bit_identical_at_overlap"] is True
+    assert gates["planner_out_of_core"] is True
 
 
 def test_bench_trajectory_record_exists():
