@@ -20,6 +20,15 @@ Commands
     Search for an Independent Join Path (Appendix C.2) within a small
     budget and report the endpoints if found.
 
+``ijp sweep``
+    Run the standing open-conjecture sweep (``docs/ijp.md``): shard the
+    partition spaces of the paper's OPEN queries (``--queries`` picks
+    others, ``--random N`` adds seeded three-occurrence samples) across
+    ``--workers`` processes, print the open-query table, and — with
+    ``--cache-dir`` — checkpoint every completed shard so an
+    interrupted sweep resumes without re-enumerating (``--no-resume``
+    forces a recompute).  ``--json OUT`` writes the full report.
+
 ``bench``
     Solve a randomized workload through :func:`repro.core.solve_batch`
     and report per-stage timings (enumerate / reduce / solve) plus the
@@ -117,9 +126,13 @@ def cmd_zoo(args) -> int:
 
 
 def cmd_ijp(args) -> int:
+    if args.query == "sweep":
+        return _cmd_ijp_sweep(args)
     query = parse_query(args.query)
     report = ijp_search(
-        query, max_joins=args.max_joins, partition_budget=args.budget
+        query,
+        max_joins=args.max_joins,
+        partition_budget=20000 if args.budget is None else args.budget,
     )
     if report is None:
         print("no IJP found within the budget "
@@ -129,6 +142,47 @@ def cmd_ijp(args) -> int:
     print(f"resilience of the gadget: {report.resilience}")
     for reason in report.reasons:
         print(f"  {reason}")
+    return 0
+
+
+def _cmd_ijp_sweep(args) -> int:
+    """``repro ijp sweep``: the standing distributed certificate sweep."""
+    import random
+
+    from repro.ijp.sweep import OPEN_QUERIES, sweep
+    from repro.workloads.random_queries import random_three_occurrence_cq
+
+    if args.queries is None:
+        names = list(OPEN_QUERIES)
+    else:
+        names = [n.strip() for n in args.queries.split(",") if n.strip()]
+        unknown = [n for n in names if n not in ALL_QUERIES]
+        if unknown:
+            print(f"unknown zoo queries: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    population = [(name, ALL_QUERIES[name]) for name in names]
+    rng = random.Random(args.seed)
+    for i in range(args.random):
+        population.append(
+            (f"rand_3occ_{args.seed}_{i}", random_three_occurrence_cq(rng=rng))
+        )
+    report = sweep(
+        population,
+        copies=args.copies,
+        budget=args.budget,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=not args.no_resume,
+    )
+    print(report.render())
+    print(
+        f"{len(report.sweeps)} ranges, {report.shards_resumed} shards "
+        f"resumed, {report.workers} workers, {report.seconds:.1f}s"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -619,10 +673,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("zoo", help="list the paper's queries and verdicts")
     p.set_defaults(func=cmd_zoo)
 
-    p = sub.add_parser("ijp", help="search for an Independent Join Path")
-    p.add_argument("query")
+    p = sub.add_parser(
+        "ijp",
+        help="search for an Independent Join Path, or run the standing "
+        "'sweep' over the open queries",
+    )
+    p.add_argument("query", help='a query string, or "sweep"')
     p.add_argument("--max-joins", type=int, default=2)
-    p.add_argument("--budget", type=int, default=20000)
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="partition budget (default: 20000 for a single search, "
+        "full coverage for a sweep; counts covered = enumerated + "
+        "pruned partitions per copy count)",
+    )
+    p.add_argument(
+        "--queries",
+        default=None,
+        help="sweep: comma-separated zoo names (default: the seven "
+        "OPEN queries)",
+    )
+    p.add_argument(
+        "--copies", type=int, default=3, help="sweep: max join copies"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep: worker processes (results are bit-identical to "
+        "serial for any count)",
+    )
+    p.add_argument(
+        "--random",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sweep: add N seeded random three-occurrence queries",
+    )
+    p.add_argument("--seed", type=int, default=0, help="sweep: random seed")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sweep: checkpoint shards and probe results here (enables "
+        "resume)",
+    )
+    p.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="sweep: ignore existing shard checkpoints",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="OUT", help="sweep: write the report"
+    )
     p.set_defaults(func=cmd_ijp)
 
     p = sub.add_parser(

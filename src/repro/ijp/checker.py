@@ -22,13 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.db.database import Database
 from repro.db.tuples import DBTuple
 from repro.query.cq import ConjunctiveQuery
 from repro.query.evaluation import witness_tuple_sets
-from repro.resilience.exact import resilience_exact
 from repro.resilience.types import UnbreakableQueryError
 
 
@@ -65,19 +64,38 @@ def _subvectors(values: Tuple) -> List[Tuple[Tuple[int, ...], Tuple]]:
     return out
 
 
-def check_ijp(
-    database: Database,
-    query: ConjunctiveQuery,
-    tuple_a: DBTuple,
-    tuple_b: DBTuple,
-) -> IJPReport:
-    """Check Definition 48 for the candidate endpoint pair."""
-    conditions: List[bool] = []
-    reasons: List[str] = []
+def combined_flags(database: Database, query: ConjunctiveQuery) -> Dict[str, bool]:
+    """Exogenous flags as the checker sees them: a relation is exogenous
+    if either the query or the database declaration marks it so."""
     flags = dict(query.relation_flags())
     for name, rel in database.relations.items():
         if rel.exogenous:
             flags[name] = True
+    return flags
+
+
+def check_conditions_1_4(
+    database: Database,
+    query: ConjunctiveQuery,
+    tuple_a: DBTuple,
+    tuple_b: DBTuple,
+    all_sets: Optional[List[FrozenSet[DBTuple]]] = None,
+    flags: Optional[Dict[str, bool]] = None,
+) -> Tuple[List[bool], List[str]]:
+    """Conditions 1-4 of Definition 48 for one candidate endpoint pair.
+
+    These four are the *cheap* conditions — pure set/vector tests over
+    the database, no resilience solve — so the batch search evaluates
+    them separately and reserves the condition-5 probes for survivors.
+    ``all_sets``/``flags`` let callers amortize the witness enumeration
+    across the many pairs of one database (the search checks every
+    endpoint pair of every merged candidate; recomputing witnesses per
+    pair would dominate).
+    """
+    conditions: List[bool] = []
+    reasons: List[str] = []
+    if flags is None:
+        flags = combined_flags(database, query)
 
     # Condition 1 — same endogenous relation, incomparable constant sets.
     set_a, set_b = _values_set(tuple_a), _values_set(tuple_b)
@@ -93,7 +111,8 @@ def check_ijp(
         reasons.append("condition 1: endpoints must be incomparable tuples of one endogenous relation")
 
     # Condition 2 — each endpoint in exactly one witness of m tuples.
-    all_sets = witness_tuple_sets(database, query, endogenous_only=False)
+    if all_sets is None:
+        all_sets = witness_tuple_sets(database, query, endogenous_only=False)
     m = len(query.atoms)
     wa = [s for s in all_sets if tuple_a in s]
     wb = [s for s in all_sets if tuple_b in s]
@@ -138,22 +157,47 @@ def check_ijp(
                     f"condition 4: exogenous {name} holds {sub_b} (= b_{idx}) but not {sub_a}"
                 )
     conditions.append(cond4)
+    return conditions, reasons
+
+
+def check_ijp(
+    database: Database,
+    query: ConjunctiveQuery,
+    tuple_a: DBTuple,
+    tuple_b: DBTuple,
+    cache_dir=None,
+) -> IJPReport:
+    """Check Definition 48 for the candidate endpoint pair.
+
+    Condition 5 ("or-property") needs four resilience values — on
+    ``D``, ``D - a``, ``D - b``, ``D - ab`` — and routes them through
+    the engine front door (:func:`repro.resilience.solver.solve` /
+    :func:`repro.core.analyzer.solve_batch`) rather than a fixed exact
+    backend, so dispatch, the planner, and the bitset kernel all apply.
+    With ``cache_dir`` the probes go through the persistent
+    :class:`~repro.witness.cache.ResultCache`, where their content-hash
+    keys dedupe repeats — the unmodified-``D`` probe is shared by every
+    candidate pair of the same database.
+    """
+    flags = combined_flags(database, query)
+    conditions, reasons = check_conditions_1_4(
+        database, query, tuple_a, tuple_b, flags=flags
+    )
 
     resilience = None
     cond5 = False
     if all(conditions):
         # Condition 5 — the "or-property".
         try:
-            resilience = resilience_exact(database, query).value
-            targets = [
-                {tuple_a},
-                {tuple_b},
-                {tuple_a, tuple_b},
+            probes = [
+                database,
+                database.minus({tuple_a}),
+                database.minus({tuple_b}),
+                database.minus({tuple_a, tuple_b}),
             ]
-            cond5 = all(
-                resilience_exact(database.minus(t), query).value == resilience - 1
-                for t in targets
-            )
+            values = _probe_resilience(probes, query, cache_dir)
+            resilience = values[0]
+            cond5 = all(v == resilience - 1 for v in values[1:])
             if not cond5:
                 reasons.append("condition 5: removing endpoints does not drop resilience by exactly 1")
         except UnbreakableQueryError:
@@ -167,6 +211,22 @@ def check_ijp(
         reasons=reasons,
         resilience=resilience,
     )
+
+
+def _probe_resilience(databases, query: ConjunctiveQuery, cache_dir=None) -> List[int]:
+    """Exact resilience of each probe database, through the engine.
+
+    Imported lazily: the solver stack pulls in the planner and batch
+    machinery, and :mod:`repro.ijp` must stay importable on its own.
+    """
+    if cache_dir is not None:
+        from repro.core.analyzer import solve_batch
+
+        batch = solve_batch([(db, query) for db in databases], cache_dir=cache_dir)
+        return batch.values()
+    from repro.resilience.solver import solve
+
+    return [solve(db, query).value for db in databases]
 
 
 def find_ijp_pair(

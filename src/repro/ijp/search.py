@@ -13,7 +13,14 @@ IJP.  The search below re-discovers it.
 
 Exhaustive Bell enumeration explodes quickly (B(12) ≈ 4.2M), so the
 search accepts a partition budget and prunes with the cheap conditions
-before ever calling the exact resilience solver.
+before ever calling the exact resilience solver.  :func:`ijp_search`
+runs on the vectorized restricted-growth-string engine
+(:mod:`repro.ijp.rgs`, :mod:`repro.ijp.space`): lexicographic numpy
+enumeration, sound subtree pruning, batched condition-5 probes through
+the solver front door.  The original recursive walk survives as
+:func:`ijp_search_reference` / :func:`set_partitions` — the
+differential baseline benchmark E23 measures the speedup against —
+and the sharded, resumable version lives in :mod:`repro.ijp.sweep`.
 
 **Reproduction finding.**  Definition 48, read literally, is satisfied
 by degenerate databases for some *PTIME* queries: e.g. for
@@ -34,25 +41,31 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro.db.database import Database
-from repro.ijp.checker import IJPReport, find_ijp_pair
+from repro.ijp.checker import IJPReport, check_ijp, find_ijp_pair
 from repro.query.cq import ConjunctiveQuery
 from repro.query.evaluation import satisfies
+from repro.workloads.random_db import declare_vocabulary
 
 
 def canonical_database(query: ConjunctiveQuery, tag: int = 0) -> Database:
     """The canonical database of ``q``: one tuple per atom, constants
-    ``(tag, variable)``."""
-    db = Database()
-    flags = query.relation_flags()
-    for rel_name, arity in query.relation_arities().items():
-        db.declare(rel_name, arity, exogenous=flags[rel_name])
+    ``(tag, variable)``; relations are declared through the shared
+    workload vocabulary helper, so canonical copies and the random
+    cross-validation instances always agree on arities and flags."""
+    db = declare_vocabulary(Database(), [query])
     for atom in query.atoms:
         db.add(atom.relation, *((tag, v) for v in atom.args))
     return db
 
 
 def set_partitions(items: List) -> Iterator[List[List]]:
-    """All set partitions of ``items`` (Bell-number many)."""
+    """All set partitions of ``items`` (Bell-number many).
+
+    The recursive reference enumerator — kept as the checked baseline
+    of the vectorized RGS engine (:mod:`repro.ijp.rgs`): property tests
+    pin that both visit the same partition set, and benchmark E23
+    measures its partitions/second as the 1x floor.
+    """
     if not items:
         yield []
         return
@@ -72,10 +85,7 @@ def _merge_copies(
         rep = ("blk",) + tuple(sorted(map(repr, block)))
         for item in block:
             representative[item] = rep
-    db = Database()
-    flags = query.relation_flags()
-    for rel_name, arity in query.relation_arities().items():
-        db.declare(rel_name, arity, exogenous=flags[rel_name])
+    db = declare_vocabulary(Database(), [query])
     for tag in range(k):
         for atom in query.atoms:
             db.add(
@@ -85,19 +95,16 @@ def _merge_copies(
     return db
 
 
-def ijp_search(
+def ijp_search_reference(
     query: ConjunctiveQuery,
     max_joins: int = 3,
     partition_budget: int = 200_000,
 ) -> Optional[IJPReport]:
-    """Search for an IJP by the Appendix C.2 enumeration.
-
-    Returns the first :class:`IJPReport` found, or ``None`` when no IJP
-    exists within ``max_joins`` copies and the partition budget.  A
-    ``None`` is *not* a proof of impossibility — Conjecture 49's
-    converse direction is open — but on the paper's PTIME queries the
-    bounded search comes up empty, as expected.
-    """
+    """The pre-vectorization Appendix C.2 search, kept verbatim as the
+    differential baseline: one recursive partition at a time, one
+    full Definition 48 check per merged database.  Benchmark E23's
+    speedup gate and the pruning-soundness tests compare
+    :func:`ijp_search` against this."""
     for k in range(1, max_joins + 1):
         constants = [(tag, v) for tag in range(k) for v in sorted(query.variables())]
         budget = partition_budget
@@ -114,4 +121,51 @@ def ijp_search(
                     f"found with {k} join copies, partition {partition}"
                 )
                 return report
+    return None
+
+
+def ijp_search(
+    query: ConjunctiveQuery,
+    max_joins: int = 3,
+    partition_budget: int = 200_000,
+    cache_dir=None,
+    prune: bool = True,
+) -> Optional[IJPReport]:
+    """Search for an IJP by the Appendix C.2 enumeration.
+
+    Returns the first :class:`IJPReport` found, or ``None`` when no IJP
+    exists within ``max_joins`` copies and the partition budget.  A
+    ``None`` is *not* a proof of impossibility — Conjecture 49's
+    converse direction is open — but on the paper's PTIME queries the
+    bounded search comes up empty, as expected.
+
+    Since the distributed-search rewrite this rides the vectorized RGS
+    engine (:mod:`repro.ijp.rgs` / :mod:`repro.ijp.space`): partitions
+    are enumerated as restricted growth strings in lexicographic order,
+    subtrees that provably contain no IJP are skipped (``prune``), the
+    cheap Definition 48 conditions run vectorized over leaf batches,
+    and condition-5 probes go through ``solve_batch`` (pass
+    ``cache_dir`` to persist/dedupe them).  The partition budget counts
+    *covered* partitions — enumerated plus soundly pruned — per copy
+    count, so the search semantics match the recursive baseline.
+    """
+    from repro.ijp.space import sweep_space
+
+    for k in range(1, max_joins + 1):
+        result = sweep_space(
+            query,
+            k,
+            budget=partition_budget,
+            cache_dir=cache_dir,
+            prune=prune,
+            stop_on_first=True,
+        )
+        if result.certificates:
+            cert = result.certificates[0]
+            db = cert.database(query)
+            report = check_ijp(db, query, *cert.pair, cache_dir=cache_dir)
+            report.reasons.append(
+                f"found with {k} join copies, partition {cert.blocks(query)}"
+            )
+            return report
     return None

@@ -3,6 +3,7 @@
 from repro.workloads.random_db import (
     HARD_SCALING_QUERIES,
     assign_skewed_costs,
+    declare_vocabulary,
     hard_scaling_workload,
     large_random_database,
     random_database_for_queries,
@@ -25,12 +26,18 @@ from repro.workloads.outofcore import (
     chain_rows,
     write_chain_snapshot,
 )
-from repro.workloads.random_queries import random_sjfree_cq, random_ssj_binary_cq
+from repro.workloads.random_queries import (
+    random_sjfree_cq,
+    random_ssj_binary_cq,
+    random_three_occurrence_cq,
+)
 from repro.workloads.update_stream import apply_update, update_stream
 
 __all__ = [
     "random_sjfree_cq",
     "random_ssj_binary_cq",
+    "random_three_occurrence_cq",
+    "declare_vocabulary",
     "apply_update",
     "update_stream",
     "HARD_SCALING_QUERIES",

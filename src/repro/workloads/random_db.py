@@ -87,6 +87,22 @@ def _union_vocabulary(
     return arities, flags
 
 
+def declare_vocabulary(db: Database, queries: Sequence[ConjunctiveQuery]) -> Database:
+    """Declare every relation the queries mention on ``db``.
+
+    The one shared way a database gets a query-matched schema: sorted
+    relation order, the queries' union arities and exogenous flags
+    (``ValueError`` on conflicts, as in :func:`_union_vocabulary`).
+    Used by the random generators here and by the IJP search's
+    canonical/merged databases (:mod:`repro.ijp.search`), so all of
+    them stay declaration-compatible by construction.  Returns ``db``.
+    """
+    arities, flags = _union_vocabulary(queries)
+    for rel_name in sorted(arities):
+        db.declare(rel_name, arities[rel_name], exogenous=flags[rel_name])
+    return db
+
+
 def random_database_for_queries(
     queries: Sequence[ConjunctiveQuery],
     domain_size: int = 6,
@@ -105,12 +121,11 @@ def random_database_for_queries(
     calls (``seed`` is then ignored); module-global ``random`` state is
     never consumed either way.
     """
-    arities, flags = _union_vocabulary(queries)
+    arities, _ = _union_vocabulary(queries)
     if rng is None:
         rng = random.Random(seed)
-    db = Database()
+    db = declare_vocabulary(Database(), queries)
     for rel_name in sorted(arities):
-        db.declare(rel_name, arities[rel_name], exogenous=flags[rel_name])
         d = (densities or {}).get(rel_name, density)
         _fill_relation(db, rel_name, arities[rel_name], domain_size, d, rng)
     return db
@@ -183,15 +198,14 @@ def large_random_database(
     the witness structure stays buildable while exact search on the
     NP-hard queries does not.
     """
-    arities, flags = _union_vocabulary(queries)
+    arities, _ = _union_vocabulary(queries)
     if domain_size is None:
         domain_size = max(8, n_tuples // 3)
     if rng is None:
         rng = random.Random(seed)
-    db = Database()
+    db = declare_vocabulary(Database(), queries)
     for rel_name in sorted(arities):
         arity = arities[rel_name]
-        db.declare(rel_name, arity, exogenous=flags[rel_name])
         if arity == 1:
             for v in range(domain_size):
                 if rng.random() < unary_fraction:

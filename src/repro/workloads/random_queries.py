@@ -60,6 +60,50 @@ def random_ssj_binary_cq(
     return ConjunctiveQuery(atoms, name=f"rand_ssj_{seed}")
 
 
+def random_three_occurrence_cq(
+    seed: Optional[int] = None,
+    max_extra_atoms: int = 2,
+    num_vars: int = 3,
+    allow_exogenous: bool = True,
+    rng: Optional[random.Random] = None,
+) -> ConjunctiveQuery:
+    """A random binary CQ whose self-joined relation occurs exactly
+    three times — the frontier fragment of Section 8 / Conjecture 49.
+
+    Two-occurrence queries are fully classified (Theorem 43); the open
+    queries of the paper (``q_AS3conf`` and the Conjecture 49 families)
+    all have three ``R``-occurrences, so the standing IJP sweep
+    (:mod:`repro.ijp.sweep`) samples this shape.  The three ``R`` atoms
+    get distinct argument pairs (repeating an atom would just duplicate
+    it), and extra unary/binary atoms draw fresh relation names.
+    ``rng`` overrides ``seed`` with a caller-owned generator — pass one
+    shared ``random.Random`` to make a whole sweep reproducible from a
+    single seed; module-global ``random`` state is never consumed.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    variables = _VARS[:num_vars]
+    arg_pairs = [(u, v) for u in variables for v in variables]
+    atoms: List[Atom] = [
+        Atom("R", args) for args in sorted(rng.sample(arg_pairs, 3))
+    ]
+    extra_names = iter("ABCDEFG")
+    for _ in range(rng.randint(0, max_extra_atoms)):
+        name = next(extra_names)
+        exogenous = allow_exogenous and rng.random() < 0.25
+        if rng.random() < 0.5:
+            atoms.append(Atom(name, (rng.choice(variables),), exogenous=exogenous))
+        else:
+            atoms.append(
+                Atom(
+                    name,
+                    (rng.choice(variables), rng.choice(variables)),
+                    exogenous=exogenous,
+                )
+            )
+    return ConjunctiveQuery(atoms, name=f"rand_3occ_{seed}")
+
+
 def random_sjfree_cq(
     seed: Optional[int] = None,
     max_atoms: int = 4,

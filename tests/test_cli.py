@@ -75,6 +75,48 @@ class TestCommands:
         assert main(["ijp", "R(x,y), R(y,x)", "--budget", "3000"]) == 1
         assert "no IJP" in capsys.readouterr().out
 
+    def test_ijp_sweep(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        assert main(
+            [
+                "ijp", "sweep",
+                "--queries", "q_z7,q_S3cc",
+                "--copies", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "q_S3cc" in out and "q_z7" in out
+        assert "shards resumed" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["sweep_schema"] >= 1
+        table = {row["query"]: row for row in payload["table"]}
+        assert table["q_S3cc"]["first_certificate_k"] == 1
+        assert table["q_z7"]["first_certificate_k"] is None
+        # Rerun resumes every shard from the checkpoint directory.
+        assert main(
+            [
+                "ijp", "sweep",
+                "--queries", "q_z7,q_S3cc",
+                "--copies", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        assert "0 shards resumed" not in capsys.readouterr().out
+
+    def test_ijp_sweep_unknown_query(self, capsys):
+        assert main(["ijp", "sweep", "--queries", "q_nonsense"]) == 2
+        assert "unknown zoo queries" in capsys.readouterr().err
+
+    def test_ijp_sweep_random_queries(self, capsys):
+        assert main(
+            ["ijp", "sweep", "--queries", "q_z7", "--copies", "1",
+             "--random", "2", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rand_3occ_3_0" in out and "rand_3occ_3_1" in out
+
     def test_bench(self, capsys):
         assert main(
             [

@@ -29,6 +29,7 @@ AUDITED_PACKAGES = (
     "serving",
     "planner",
     "storage",
+    "ijp",
 )
 
 # Standalone documentation pages every release must ship (each one is
@@ -42,6 +43,7 @@ REQUIRED_DOCS_PAGES = (
     "docs/performance.md",
     "docs/serving.md",
     "docs/planner.md",
+    "docs/ijp.md",
 )
 
 # Modules outside the audited packages that must still anchor
@@ -134,6 +136,7 @@ def test_audit_covers_the_expected_packages():
     assert {"server.py", "wire.py", "admission.py", "client.py"} <= names
     assert {"features.py", "model.py"} <= names  # repro.planner
     assert {"layout.py", "stored.py"} <= names  # repro.storage
+    assert {"rgs.py", "space.py", "sweep.py"} <= names  # repro.ijp
     assert len(modules) >= 30
 
 
@@ -154,6 +157,7 @@ def test_required_docs_pages_exist(page):
         "docs/incremental.md",
         "docs/serving.md",
         "docs/planner.md",
+        "docs/ijp.md",
     ),
 )
 def test_readme_links_the_new_pages(page):
@@ -362,6 +366,69 @@ def test_planner_bench_record_exists():
     assert gates["values_identical_configs"] == 16
     assert gates["intervals_identical_configs"] == 16
     assert gates["plans_deterministic"] is True
+
+
+def test_ijp_page_documents_the_distributed_search():
+    """docs/ijp.md must cover the Definition 48 conditions, the RGS
+    engine's pruning/prescreen layers, the sharded sweep's resume
+    semantics, and the open-query table with its degenerate-certificate
+    punchline."""
+    page = (REPO_ROOT / "docs" / "ijp.md").read_text()
+    for needle in (
+        "Definition 48",
+        "Conjecture 49",
+        "restricted growth string",
+        "hitting-set prescreen",
+        "repro ijp sweep",
+        "--cache-dir",
+        "--workers",
+        "shard",
+        "resume",
+        "OPEN_QUERY_STATUS",
+        "proper",
+        "degenerate",
+        "q_S3cc",
+        "q_AS3conf",
+        "q_z6",
+        "bit-identical",
+        "BENCH_e23_ijp.json",
+        "REPRO_BENCH_E23_COPIES",
+    ):
+        assert needle in page, f"docs/ijp.md does not mention {needle}"
+
+
+def test_api_page_documents_the_ijp_surface():
+    """docs/api.md must record the 1.9.0 IJP search surface."""
+    page = (REPO_ROOT / "docs" / "api.md").read_text()
+    for needle in (
+        "sweep_space",
+        "sweep_range",
+        "standing_sweep",
+        "ijp_search_reference",
+        "IJPCertificate",
+        "OPEN_QUERY_STATUS",
+        "certificate_is_proper",
+        "random_three_occurrence_cq",
+        "declare_vocabulary",
+        "BENCH_e23_ijp.json",
+    ):
+        assert needle in page, f"docs/api.md does not mention {needle}"
+
+
+def test_ijp_bench_record_exists():
+    """The E23 distributed-IJP benchmark has committed its trajectory
+    record with every gate passing."""
+    import json
+
+    record = json.loads((REPO_ROOT / "BENCH_e23_ijp.json").read_text())
+    assert record["bench"] == "e23_ijp"
+    gates = record["gates"]
+    assert gates["speedup_vs_reference"]["value"] >= (
+        gates["speedup_vs_reference"]["gate"]
+    )
+    assert gates["parallel_bit_identical"] is True
+    assert gates["triangle_rediscovered"] is True
+    assert gates["resume_without_recompute"] is True
 
 
 def test_api_reference_tracks_the_package_version():

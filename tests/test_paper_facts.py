@@ -119,6 +119,106 @@ class TestSection5:
             assert classify(ALL_QUERIES[name]).verdict == Verdict.NPC
 
 
+class TestOpenConjectureTable:
+    """The standing IJP sweep's open-query status table (docs/ijp.md).
+
+    OPEN_QUERY_STATUS pins what the literal Definition 48 search finds
+    on the paper's seven open queries.  The cheap ranges are re-swept
+    live here; the B(9)-scale k=3 ranges are pinned by the committed
+    E23 sweep and re-verified by ``bench_e23_ijp``.  The punchline
+    extends the Reproduction finding: four of the seven open queries
+    admit literal certificates, mostly with degenerate (reflexive)
+    endpoints — exactly the shape that already "certifies" PTIME
+    queries — so a literal Definition 48 pass resolves nothing until
+    Conjecture 49 acquires gluing conditions.
+    """
+
+    def test_table_covers_exactly_the_open_queries(self):
+        from repro.ijp.sweep import OPEN_QUERIES, OPEN_QUERY_STATUS
+        from repro.query.zoo import PAPER_VERDICTS
+
+        open_names = {n for n, v in PAPER_VERDICTS.items() if v == "OPEN"}
+        assert set(OPEN_QUERIES) == open_names
+        assert set(OPEN_QUERY_STATUS) == open_names
+        for name, row in OPEN_QUERY_STATUS.items():
+            assert row["variables"] == len(ALL_QUERIES[name].variables()), name
+            assert row["proper"] <= row["certificates"], name
+            if row["first_certificate_k"] is None:
+                assert row["certificates"] == 0, name
+
+    def test_s3cc_admits_literal_certificates_at_one_copy(self):
+        """q_S3cc: the single-copy space (B(4) = 15) already contains 4
+        literal Definition 48 certificates, 3 of them proper."""
+        from repro.ijp.sweep import certificate_is_proper, sweep_range
+
+        result = sweep_range(ALL_QUERIES["q_S3cc"], 1)
+        assert result.stats.exhausted
+        assert len(result.certificates) == 4
+        assert sum(certificate_is_proper(c) for c in result.certificates) == 3
+
+    def test_as3conf_first_certificates_at_two_copies(self):
+        """q_AS3conf: empty at one copy, 72 certificate databases (16
+        proper) among the B(8) = 4140 two-copy partitions."""
+        from repro.ijp.sweep import certificate_is_proper, sweep_range
+
+        q = ALL_QUERIES["q_AS3conf"]
+        assert sweep_range(q, 1).certificates == []
+        result = sweep_range(q, 2)
+        assert result.stats.exhausted
+        assert len(result.certificates) == 72
+        assert sum(certificate_is_proper(c) for c in result.certificates) == 16
+
+    def test_z7_stays_empty_through_three_copies(self):
+        from repro.ijp.sweep import sweep_range
+
+        q = ALL_QUERIES["q_z7"]
+        for k in (1, 2, 3):
+            result = sweep_range(q, k)
+            assert result.stats.exhausted
+            assert result.certificates == []
+
+    def test_perm_families_empty_at_two_copies(self):
+        """q_ASxy3perm_R / q_SxyB3perm_R: no literal certificate up to
+        two copies (their k=3 emptiness is pinned by the E23 sweep)."""
+        from repro.ijp.sweep import sweep_range
+
+        for name in ("q_ASxy3perm_R", "q_SxyB3perm_R"):
+            for k in (1, 2):
+                assert sweep_range(ALL_QUERIES[name], k).certificates == []
+
+    def test_deep_ranges_match_the_pinned_table(self):
+        """The B(9)-scale findings recorded in OPEN_QUERY_STATUS:
+        q_SxyC3perm_R first certifies at k=3 with a proper majority,
+        q_z6 at k=3 with *only* degenerate certificates."""
+        from repro.ijp.sweep import OPEN_QUERY_STATUS
+
+        assert OPEN_QUERY_STATUS["q_SxyC3perm_R"] == {
+            "variables": 3,
+            "swept_copies": 3,
+            "first_certificate_k": 3,
+            "certificates": 84,
+            "proper": 66,
+        }
+        assert OPEN_QUERY_STATUS["q_z6"] == {
+            "variables": 3,
+            "swept_copies": 3,
+            "first_certificate_k": 3,
+            "certificates": 90,
+            "proper": 0,
+        }
+
+    def test_reproduction_finding_through_the_new_engine(self):
+        """The PTIME query q_ACconf still admits (degenerate) literal
+        certificates under the vectorized engine — the Reproduction
+        finding survives the rewrite, and the classifier flags every
+        such certificate as non-proper."""
+        from repro.ijp.sweep import certificate_is_proper, sweep_range
+
+        result = sweep_range(ALL_QUERIES["q_ACconf"], 2)
+        assert result.certificates
+        assert all(not certificate_is_proper(c) for c in result.certificates)
+
+
 class TestTable1Annotations:
     """Table 1's query classes are well-defined on our zoo."""
 
